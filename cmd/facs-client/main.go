@@ -1,0 +1,131 @@
+// Command facs-client drives a facs-server daemon with a synthetic call
+// workload and reports the admission statistics — a network-level
+// mini-benchmark of a live base station.
+//
+// Usage:
+//
+//	facs-client -addr 127.0.0.1:4077 -n 200 -hold 150ms
+//	facs-client -status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"facsp/internal/bsd"
+	"facsp/internal/rng"
+	"facsp/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("facs-client", flag.ContinueOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:4077", "daemon address")
+		n       = fs.Int("n", 100, "number of connection requests to offer")
+		hold    = fs.Duration("hold", 100*time.Millisecond, "mean wall-clock holding time per admitted call")
+		seed    = fs.Uint64("seed", 1, "workload seed")
+		conc    = fs.Int("concurrency", 4, "parallel client sessions")
+		status  = fs.Bool("status", false, "just print the cell status and exit")
+		handoff = fs.Bool("handoff", false, "mark requests as handoffs of on-going calls")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *status {
+		cl, err := bsd.Dial(*addr)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		st, err := cl.Status()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scheme=%s occupancy=%.1f/%.0f BU\n", st.Scheme, st.Occupancy, st.Capacity)
+		return nil
+	}
+
+	if *conc < 1 {
+		*conc = 1
+	}
+	var (
+		mu       sync.Mutex
+		accepted int
+		rejected int
+		errors   int
+	)
+	var wg sync.WaitGroup
+	perWorker := (*n + *conc - 1) / *conc
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			src := rng.New(*seed + uint64(worker))
+			cl, err := bsd.Dial(*addr)
+			if err != nil {
+				mu.Lock()
+				errors++
+				mu.Unlock()
+				return
+			}
+			defer cl.Close()
+			mix := traffic.DefaultMix()
+			for i := 0; i < perWorker; i++ {
+				id := uint64(worker*1_000_000 + i)
+				class := mix.Sample(src)
+				resp, err := cl.Admit(id, class.String(), src.Uniform(0, 120), src.Uniform(-180, 180), *handoff)
+				if err != nil {
+					mu.Lock()
+					errors++
+					mu.Unlock()
+					return
+				}
+				switch {
+				case !resp.OK:
+					mu.Lock()
+					errors++
+					mu.Unlock()
+				case resp.Accept:
+					mu.Lock()
+					accepted++
+					mu.Unlock()
+					// Hold the call, then release.
+					time.Sleep(time.Duration(src.Exp(float64(*hold))))
+					if _, err := cl.Release(id, class.String()); err != nil {
+						mu.Lock()
+						errors++
+						mu.Unlock()
+						return
+					}
+				default:
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := accepted + rejected
+	fmt.Printf("offered=%d accepted=%d rejected=%d errors=%d", total, accepted, rejected, errors)
+	if total > 0 {
+		fmt.Printf(" accept%%=%.1f", 100*float64(accepted)/float64(total))
+	}
+	fmt.Println()
+	if errors > 0 {
+		return fmt.Errorf("%d request(s) failed", errors)
+	}
+	return nil
+}

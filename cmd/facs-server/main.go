@@ -1,0 +1,101 @@
+// Command facs-server runs a base-station admission daemon: a TCP server
+// answering wire-protocol (JSON lines) admission queries against a chosen
+// call-admission scheme.
+//
+// Usage:
+//
+//	facs-server -addr :4077 -scheme facsp
+//	facs-server -scheme guard -capacity 40 -guard 8
+//
+// Protocol (one JSON object per line):
+//
+//	-> {"v":1,"op":"admit","id":1,"class":"voice","speed_kmh":60,"angle_deg":10}
+//	<- {"v":1,"ok":true,"accept":true,"score":0.62,"outcome":"A","occupancy":5,"capacity":40,"scheme":"FACS-P"}
+//	-> {"v":1,"op":"release","id":1,"class":"voice"}
+//	-> {"v":1,"op":"status"}
+//
+// A disconnecting client automatically releases every bandwidth unit it
+// holds, so crashed handsets cannot leak cell capacity.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"facsp/internal/baseline"
+	"facsp/internal/bsd"
+	"facsp/internal/cac"
+	"facsp/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-server:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("facs-server", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:4077", "listen address")
+		scheme   = fs.String("scheme", "facsp", "admission scheme: facsp, facs, guard, sharing")
+		capacity = fs.Float64("capacity", 40, "cell capacity in bandwidth units")
+		guard    = fs.Float64("guard", 8, "guard band in BU (guard scheme only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ctrl, err := buildController(*scheme, *capacity, *guard)
+	if err != nil {
+		return err
+	}
+	srv, err := bsd.NewServer(ctrl)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("facs-server: %s cell (%.0f BU) listening on %s\n", cac.Name(ctrl), *capacity, ln.Addr())
+
+	// Graceful shutdown on SIGINT/SIGTERM.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("facs-server: shutting down")
+		_ = srv.Close()
+	}()
+
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+func buildController(scheme string, capacity, guard float64) (cac.Controller, error) {
+	switch scheme {
+	case "facsp":
+		cfg := core.DefaultPConfig()
+		cfg.Capacity = capacity
+		return core.NewFACSP(cfg)
+	case "facs":
+		cfg := core.DefaultConfig()
+		cfg.Capacity = capacity
+		return core.NewFACS(cfg)
+	case "guard":
+		return baseline.NewGuardChannel(capacity, guard)
+	case "sharing":
+		return baseline.NewCompleteSharing(capacity)
+	default:
+		return nil, fmt.Errorf("unknown scheme %q (have facsp, facs, guard, sharing)", scheme)
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"facsp/internal/cac"
+)
+
+func TestBuildController(t *testing.T) {
+	tests := []struct {
+		scheme  string
+		want    string
+		wantErr bool
+	}{
+		{scheme: "facsp", want: "FACS-P"},
+		{scheme: "facs", want: "FACS"},
+		{scheme: "guard", want: "guard-channel"},
+		{scheme: "sharing", want: "complete-sharing"},
+		{scheme: "mystery", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.scheme, func(t *testing.T) {
+			ctrl, err := buildController(tt.scheme, 40, 8)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("buildController error = %v, wantErr %v", err, tt.wantErr)
+			}
+			if err != nil {
+				return
+			}
+			if got := cac.Name(ctrl); got != tt.want {
+				t.Errorf("scheme name = %q, want %q", got, tt.want)
+			}
+			if got := ctrl.Capacity(); got != 40 {
+				t.Errorf("capacity = %v", got)
+			}
+		})
+	}
+}
+
+func TestBuildControllerInvalidParams(t *testing.T) {
+	if _, err := buildController("facsp", -1, 0); err == nil {
+		t.Error("negative capacity accepted")
+	}
+	if _, err := buildController("guard", 40, 40); err == nil {
+		t.Error("guard == capacity accepted")
+	}
+}
+
+func TestRunRejectsBadScheme(t *testing.T) {
+	if err := run([]string{"-scheme", "nope", "-addr", "127.0.0.1:0"}); err == nil {
+		t.Error("bad scheme accepted")
+	}
+}

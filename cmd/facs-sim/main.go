@@ -1,0 +1,156 @@
+// Command facs-sim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	facs-sim -fig 10                 # ASCII chart of Fig. 10 to stdout
+//	facs-sim -fig 7 -csv fig7.csv    # also write tidy CSV
+//	facs-sim -fig all -reps 30       # every figure, 30 seeds per point
+//	facs-sim -fig drops              # the QoS (call-dropping) experiment
+//
+// Figures: 7 (FACS vs SCC), 8 (FACS-P by speed), 9 (FACS-P by angle),
+// 10 (FACS-P vs FACS), drops (dropped-call percentage, FACS-P vs FACS).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"facsp/internal/experiment"
+	"facsp/internal/plot"
+	"facsp/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("facs-sim", flag.ContinueOnError)
+	var (
+		fig     = fs.String("fig", "10", "figure to regenerate: 7, 8, 9, 10, drops, or all")
+		loads   = fs.String("loads", "", "comma-separated x axis, e.g. 10,25,50,100 (default: the paper grid)")
+		reps    = fs.Int("reps", 20, "replications (seeds) per point")
+		seed    = fs.Uint64("seed", 0, "base seed")
+		workers = fs.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+		csvPath = fs.String("csv", "", "also write tidy CSV to this path ('-' for stdout)")
+		noChart = fs.Bool("no-chart", false, "suppress the ASCII chart")
+		withCI  = fs.Bool("ci", false, "print a per-point table with 95% confidence half-widths")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiment.Options{Replications: *reps, BaseSeed: *seed, Workers: *workers}
+	if *loads != "" {
+		parsed, err := parseLoads(*loads)
+		if err != nil {
+			return err
+		}
+		opts.Loads = parsed
+	}
+
+	figures := experiment.Figures()
+	var ids []string
+	if *fig == "all" {
+		for id := range figures {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+	} else {
+		if figures[*fig] == nil {
+			return fmt.Errorf("unknown figure %q (have 7, 8, 9, 10, drops, all)", *fig)
+		}
+		ids = []string{*fig}
+	}
+
+	for _, id := range ids {
+		curves, err := figures[id](opts)
+		if err != nil {
+			return err
+		}
+		if err := emit(id, curves, *csvPath, !*noChart, *withCI); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseLoads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", p, err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative load %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func emit(id string, curves []experiment.Curve, csvPath string, chart, withCI bool) error {
+	series := make([]stats.Series, len(curves))
+	for i, c := range curves {
+		series[i] = c.Series
+	}
+
+	if chart {
+		title := "Figure " + id
+		if id == "drops" {
+			title = "Dropped-call percentage (QoS of on-going connections)"
+		}
+		c := plot.Chart{
+			Title:  title,
+			XLabel: "number of requesting connections",
+			YLabel: "percentage of accepted calls",
+		}
+		if id == "drops" {
+			c.YLabel = "percentage of admitted calls dropped"
+		}
+		if err := c.Render(os.Stdout, series...); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+
+	if withCI {
+		for _, c := range curves {
+			fmt.Printf("%s\n", c.Name)
+			for i, p := range c.Points {
+				fmt.Printf("  N=%-4g %6.2f ± %.2f\n", p.X, p.Y, c.CI95[i])
+			}
+		}
+		fmt.Println()
+	}
+
+	switch csvPath {
+	case "":
+		return nil
+	case "-":
+		return plot.WriteCSV(os.Stdout, series...)
+	default:
+		path := csvPath
+		if len(curves) > 0 && strings.Contains(path, "%s") {
+			path = fmt.Sprintf(csvPath, id)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := plot.WriteCSV(f, series...); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseLoads(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{in: "10,25,50", want: []int{10, 25, 50}},
+		{in: " 5 , 10 ", want: []int{5, 10}},
+		{in: "100", want: []int{100}},
+		{in: "", wantErr: true},
+		{in: "a,b", wantErr: true},
+		{in: "-5", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := parseLoads(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseLoads(%q) error = %v", tt.in, err)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseLoads(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseLoads(%q)[%d] = %d, want %d", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunBadLoads(t *testing.T) {
+	if err := run([]string{"-fig", "10", "-loads", "x"}); err == nil {
+		t.Error("bad loads accepted")
+	}
+}
+
+func TestRunWritesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fig10.csv")
+	err := run([]string{
+		"-fig", "10",
+		"-loads", "10,50",
+		"-reps", "2",
+		"-no-chart",
+		"-csv", path,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	if !strings.HasPrefix(out, "series,x,y\n") {
+		t.Errorf("CSV header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "FACS-P (proposed)") {
+		t.Errorf("CSV missing FACS-P rows:\n%s", out)
+	}
+	// 2 curves x 2 loads + header = 5 lines.
+	if got := strings.Count(out, "\n"); got != 5 {
+		t.Errorf("CSV has %d lines, want 5:\n%s", got, out)
+	}
+}

@@ -1,0 +1,183 @@
+// Command fuzzyviz introspects the paper's fuzzy controllers: it dumps the
+// membership functions of every linguistic variable (Figs. 5 and 6), the
+// rule bases FRB1 and FRB2 (Tables 1 and 2), and the end-to-end control
+// surface of the FLC1+FLC2 pipeline.
+//
+// Usage:
+//
+//	fuzzyviz -rules flc1          # Table 1 as a markdown table
+//	fuzzyviz -mf Sp -samples 25   # membership grades along the Sp axis
+//	fuzzyviz -surface -cs 20      # A/R score over speed x angle at Cs=20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"facsp/internal/core"
+	"facsp/internal/fuzzy"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fuzzyviz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fuzzyviz", flag.ContinueOnError)
+	var (
+		rules   = fs.String("rules", "", "dump a rule base: flc1 (Table 1) or flc2 (Table 2)")
+		mf      = fs.String("mf", "", "dump membership grades of a variable: Sp, An, Sr, Cv, Rq, Cs, A/R, or 'all'")
+		samples = fs.Int("samples", 21, "sample count along each axis")
+		surface = fs.Bool("surface", false, "dump the FLC1+FLC2 A/R surface over speed x angle (CSV)")
+		cs      = fs.Float64("cs", 20, "counter state (BU) for -surface")
+		rq      = fs.Float64("rq", 5, "request bandwidth (BU) for -surface")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *rules != "":
+		return dumpRules(*rules)
+	case *mf != "":
+		return dumpMF(*mf, *samples)
+	case *surface:
+		return dumpSurface(*samples, *rq, *cs)
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -rules, -mf or -surface is required")
+	}
+}
+
+func engines() (*fuzzy.Engine, *fuzzy.Engine, error) {
+	flc1, err := core.NewFLC1()
+	if err != nil {
+		return nil, nil, err
+	}
+	flc2, err := core.NewFLC2()
+	if err != nil {
+		return nil, nil, err
+	}
+	return flc1, flc2, nil
+}
+
+func dumpRules(which string) error {
+	flc1, flc2, err := engines()
+	if err != nil {
+		return err
+	}
+	var e *fuzzy.Engine
+	switch strings.ToLower(which) {
+	case "flc1":
+		e = flc1
+		fmt.Println("FRB1 (Table 1 of the paper): IF Sp AND An AND Sr THEN Cv")
+	case "flc2":
+		e = flc2
+		fmt.Println("FRB2 (Table 2 of the paper): IF Cv AND Rq AND Cs THEN A/R")
+	default:
+		return fmt.Errorf("unknown rule base %q (want flc1 or flc2)", which)
+	}
+
+	ins := e.Inputs()
+	out := e.Output()
+	header := "| Rule |"
+	sep := "|---|"
+	for _, in := range ins {
+		header += " " + in.Name + " |"
+		sep += "---|"
+	}
+	header += " " + out.Name + " |"
+	sep += "---|"
+	fmt.Println(header)
+	fmt.Println(sep)
+	for ri, r := range e.Rules() {
+		row := fmt.Sprintf("| %d |", ri)
+		for vi, w := range r.When {
+			row += " " + ins[vi].Terms[w].Name + " |"
+		}
+		row += " " + out.Terms[r.Then].Name + " |"
+		fmt.Println(row)
+	}
+	return nil
+}
+
+func variableByName(name string) (fuzzy.Variable, bool) {
+	vars := []fuzzy.Variable{
+		core.NewSpeedVariable(),
+		core.NewAngleVariable(),
+		core.NewServiceVariable(),
+		core.NewCvVariable(),
+		core.NewRequestVariable(),
+		core.NewCounterVariable(),
+		core.NewARVariable(),
+	}
+	for _, v := range vars {
+		if strings.EqualFold(v.Name, name) {
+			return v, true
+		}
+	}
+	return fuzzy.Variable{}, false
+}
+
+func dumpMF(name string, samples int) error {
+	if samples < 2 {
+		samples = 2
+	}
+	names := []string{name}
+	if strings.EqualFold(name, "all") {
+		names = []string{"Sp", "An", "Sr", "Cv", "Rq", "Cs", "A/R"}
+	}
+	for _, n := range names {
+		v, ok := variableByName(n)
+		if !ok {
+			return fmt.Errorf("unknown variable %q (want Sp, An, Sr, Cv, Rq, Cs, A/R)", n)
+		}
+		fmt.Printf("# %s universe [%g, %g]\n", v.Name, v.Min, v.Max)
+		fmt.Print("x")
+		for _, term := range v.Terms {
+			fmt.Printf(",%s", term.Name)
+		}
+		fmt.Println()
+		for i := 0; i < samples; i++ {
+			x := v.Min + (v.Max-v.Min)*float64(i)/float64(samples-1)
+			fmt.Printf("%g", x)
+			for _, g := range v.Fuzzify(x) {
+				fmt.Printf(",%.4f", g)
+			}
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+func dumpSurface(samples int, rq, cs float64) error {
+	if samples < 2 {
+		samples = 2
+	}
+	flc1, flc2, err := engines()
+	if err != nil {
+		return err
+	}
+	fmt.Println("speed_kmh,angle_deg,cv,score")
+	for i := 0; i < samples; i++ {
+		sp := core.SpeedMin + (core.SpeedMax-core.SpeedMin)*float64(i)/float64(samples-1)
+		for j := 0; j < samples; j++ {
+			an := core.AngleMin + (core.AngleMax-core.AngleMin)*float64(j)/float64(samples-1)
+			cv, err := flc1.Infer(sp, an, rq)
+			if err != nil {
+				return err
+			}
+			score, err := flc2.Infer(cv, rq, cs)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%.1f,%.1f,%.4f,%.4f\n", sp, an, cv, score)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := f()
+	_ = w.Close()
+	os.Stdout = old
+	out := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, rerr := r.Read(buf)
+		out = append(out, buf[:n]...)
+		if rerr != nil {
+			break
+		}
+	}
+	if errRun != nil {
+		t.Fatalf("run: %v", errRun)
+	}
+	return string(out)
+}
+
+func TestDumpRulesFLC1(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-rules", "flc1"}) })
+	if !strings.Contains(out, "Table 1") {
+		t.Errorf("missing title:\n%s", out[:120])
+	}
+	// Header + separator + 63 rules.
+	if got := strings.Count(out, "\n"); got != 66 {
+		t.Errorf("FLC1 dump has %d lines, want 66", got)
+	}
+	if !strings.Contains(out, "| 62 | Fa | B2 | Bi | Cv1 |") {
+		t.Error("rule 62 missing or wrong")
+	}
+}
+
+func TestDumpRulesFLC2(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-rules", "flc2"}) })
+	if got := strings.Count(out, "\n"); got != 30 {
+		t.Errorf("FLC2 dump has %d lines, want 30", got)
+	}
+	if !strings.Contains(out, "| 26 | Go | Vi | Fu | R |") {
+		t.Error("rule 26 missing or wrong")
+	}
+}
+
+func TestDumpRulesUnknown(t *testing.T) {
+	if err := run([]string{"-rules", "flc3"}); err == nil {
+		t.Error("unknown rule base accepted")
+	}
+}
+
+func TestDumpMF(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-mf", "Sp", "-samples", "5"}) })
+	if !strings.Contains(out, "x,Sl,Mi,Fa") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "60,0.0000,1.0000,0.0000") {
+		t.Errorf("Mi peak missing:\n%s", out)
+	}
+}
+
+func TestDumpMFAll(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-mf", "all", "-samples", "3"}) })
+	for _, v := range []string{"# Sp", "# An", "# Sr", "# Cv", "# Rq", "# Cs", "# A/R"} {
+		if !strings.Contains(out, v) {
+			t.Errorf("variable %q missing", v)
+		}
+	}
+}
+
+func TestDumpMFUnknown(t *testing.T) {
+	if err := run([]string{"-mf", "bogus"}); err == nil {
+		t.Error("unknown variable accepted")
+	}
+}
+
+func TestDumpSurface(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-surface", "-samples", "3"}) })
+	if !strings.Contains(out, "speed_kmh,angle_deg,cv,score") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	// 3x3 grid + header = 10 lines.
+	if got := strings.Count(out, "\n"); got != 10 {
+		t.Errorf("surface has %d lines, want 10:\n%s", got, out)
+	}
+}
+
+func TestNoModeSelected(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("no mode accepted")
+	}
+}

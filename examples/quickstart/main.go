@@ -1,0 +1,48 @@
+// Quickstart: build the paper's FACS-P controller, offer it a handful of
+// connection requests, and inspect the soft decisions it returns.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"facsp"
+)
+
+func main() {
+	// A base station with the paper's default 40 bandwidth units.
+	ctrl, err := facsp.NewFACSP()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	requests := []struct {
+		who   string
+		class facsp.Class
+		speed float64 // km/h
+		angle float64 // degrees off the bearing to the BS; 0 = straight at it
+	}{
+		{who: "commuter streaming video, driving at the BS", class: facsp.Video, speed: 70, angle: 5},
+		{who: "pedestrian texting, wandering", class: facsp.Text, speed: 4, angle: 140},
+		{who: "voice call, crossing traffic", class: facsp.Voice, speed: 50, angle: 90},
+		{who: "video call heading away from the BS", class: facsp.Video, speed: 100, angle: 180},
+	}
+
+	for _, r := range requests {
+		req := facsp.NewRequest(r.class, r.speed, r.angle)
+		dec := ctrl.Admit(req)
+		fmt.Printf("%-45s -> accept=%-5v outcome=%-4s score=%+.2f (cell now %.0f/%.0f BU)\n",
+			r.who, dec.Accept, dec.Outcome, dec.Score, ctrl.Occupancy(), ctrl.Capacity())
+	}
+
+	// An on-going call handing off into this cell has priority: it is
+	// admitted whenever physical capacity allows, whatever its fuzzy score.
+	handoff := facsp.NewRequest(facsp.Video, 100, 180)
+	handoff.Handoff = true
+	dec := ctrl.Admit(handoff)
+	fmt.Printf("%-45s -> accept=%-5v outcome=%-4s (priority of on-going connections)\n",
+		"same receding video call, but as a handoff", dec.Accept, dec.Outcome)
+
+	rtc, nrtc := ctrl.Counters()
+	fmt.Printf("differentiated-service counters: RTC=%.0f BU, NRTC=%.0f BU\n", rtc, nrtc)
+}

@@ -1,0 +1,217 @@
+// Package facsp is the public face of this repository: a Go implementation
+// of the fuzzy-logic call admission control system with priority of
+// on-going connections (FACS-P) of Mino, Barolli, Durresi, Xhafa and
+// Koyama (IEEE ICDCS Workshops 2009), together with the systems it is
+// evaluated against — the previous FACS controller, the Shadow Cluster
+// Concept, and classic guard-channel baselines — and the cellular network
+// simulator that reproduces every figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	ctrl, err := facsp.NewFACSP()
+//	if err != nil { ... }
+//	dec := ctrl.Admit(facsp.NewRequest(facsp.Voice, 60 /* km/h */, 15 /* deg */))
+//	if dec.Accept {
+//	    defer ctrl.Release(facsp.NewRequest(facsp.Voice, 60, 15))
+//	}
+//
+// # Reproducing the paper
+//
+//	curves, err := facsp.RunFigure("10", facsp.ExperimentOptions{})
+//
+// regenerates Fig. 10 (FACS-P vs FACS); see EXPERIMENTS.md for every
+// figure. The building blocks live in internal packages: the generic
+// Mamdani engine (internal/fuzzy), the controllers (internal/core), the
+// comparators (internal/scc, internal/baseline), and the event-driven
+// simulator (internal/cellsim).
+package facsp
+
+import (
+	"fmt"
+	"io"
+
+	"facsp/internal/baseline"
+	"facsp/internal/cac"
+	"facsp/internal/cellsim"
+	"facsp/internal/core"
+	"facsp/internal/experiment"
+	"facsp/internal/plot"
+	"facsp/internal/rng"
+	"facsp/internal/scc"
+	"facsp/internal/stats"
+	"facsp/internal/traffic"
+)
+
+// Re-exported contract types: every admission scheme in the repository
+// speaks these.
+type (
+	// Request describes one connection asking for admission.
+	Request = cac.Request
+	// Decision is a controller's verdict on one request.
+	Decision = cac.Decision
+	// Controller is a per-cell call-admission controller.
+	Controller = cac.Controller
+	// Class is a traffic service class (Text, Voice, Video).
+	Class = traffic.Class
+)
+
+// The paper's service classes (Section 4: 70%/20%/10% of traffic at
+// 1/5/10 bandwidth units).
+const (
+	Text  = traffic.Text
+	Voice = traffic.Voice
+	Video = traffic.Video
+)
+
+// Config re-exports the FACS controller configuration.
+type Config = core.Config
+
+// PConfig re-exports the FACS-P controller configuration.
+type PConfig = core.PConfig
+
+// SCCConfig re-exports the shadow-cluster configuration.
+type SCCConfig = scc.Config
+
+// DefaultConfig returns the paper's FACS configuration (40 BU capacity).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// DefaultPConfig returns the calibrated FACS-P configuration.
+func DefaultPConfig() PConfig { return core.DefaultPConfig() }
+
+// NewRequest builds an admission request for a service class: speed in
+// km/h, angle in degrees between the user's heading and the bearing to the
+// serving base station (0 = straight at it).
+func NewRequest(class Class, speedKmh, angleDeg float64) Request {
+	return Request{
+		Speed:     speedKmh,
+		Angle:     angleDeg,
+		Bandwidth: class.Bandwidth(),
+		RealTime:  class.RealTime(),
+	}
+}
+
+// NewFACS builds the paper's previous fuzzy admission controller with the
+// default configuration; pass a Config to customise.
+func NewFACS(cfg ...Config) (*core.FACS, error) {
+	c := core.DefaultConfig()
+	if len(cfg) > 1 {
+		return nil, fmt.Errorf("facsp: NewFACS takes at most one Config")
+	}
+	if len(cfg) == 1 {
+		c = cfg[0]
+	}
+	return core.NewFACS(c)
+}
+
+// NewFACSP builds the paper's proposed priority-aware controller with the
+// default configuration; pass a PConfig to customise.
+func NewFACSP(cfg ...PConfig) (*core.FACSP, error) {
+	c := core.DefaultPConfig()
+	if len(cfg) > 1 {
+		return nil, fmt.Errorf("facsp: NewFACSP takes at most one PConfig")
+	}
+	if len(cfg) == 1 {
+		c = cfg[0]
+	}
+	return core.NewFACSP(c)
+}
+
+// NewSCC builds the Shadow Cluster Concept comparator (a network-level
+// admitter spanning all cells).
+func NewSCC(cfg ...SCCConfig) (*scc.Controller, error) {
+	c := scc.DefaultConfig()
+	if len(cfg) > 1 {
+		return nil, fmt.Errorf("facsp: NewSCC takes at most one SCCConfig")
+	}
+	if len(cfg) == 1 {
+		c = cfg[0]
+	}
+	return scc.New(c)
+}
+
+// NewGuardChannel builds the cutoff-priority baseline: the last guard BU
+// are reserved for handoffs.
+func NewGuardChannel(capacity, guard float64) (*baseline.GuardChannel, error) {
+	return baseline.NewGuardChannel(capacity, guard)
+}
+
+// NewCompleteSharing builds the no-policy baseline.
+func NewCompleteSharing(capacity float64) (*baseline.CompleteSharing, error) {
+	return baseline.NewCompleteSharing(capacity)
+}
+
+// NewFractionalGuard builds the fractional guard channel baseline, seeded
+// deterministically.
+func NewFractionalGuard(capacity, threshold float64, seed uint64) (*baseline.FractionalGuard, error) {
+	return baseline.NewFractionalGuard(capacity, threshold, rng.New(seed))
+}
+
+// SimConfig re-exports the cellular simulator configuration.
+type SimConfig = cellsim.Config
+
+// SimResult re-exports the simulator's per-run accounting.
+type SimResult = cellsim.Result
+
+// DefaultSimConfig returns the paper's Section 4 simulation set-up for the
+// given number of requesting connections and seed.
+func DefaultSimConfig(requests int, seed uint64) SimConfig {
+	return cellsim.DefaultConfig(requests, seed)
+}
+
+// SimulateFACSP runs one cellular simulation with FACS-P controllers at
+// every base station and returns the call-level accounting.
+func SimulateFACSP(cfg SimConfig) (SimResult, error) {
+	sim, err := cellsim.New(cfg, experiment.FACSPFactory()())
+	if err != nil {
+		return SimResult{}, err
+	}
+	return sim.Run()
+}
+
+// SimulateFACS runs one cellular simulation with FACS controllers.
+func SimulateFACS(cfg SimConfig) (SimResult, error) {
+	sim, err := cellsim.New(cfg, experiment.FACSFactory()())
+	if err != nil {
+		return SimResult{}, err
+	}
+	return sim.Run()
+}
+
+// ExperimentOptions re-exports the experiment sweep options.
+type ExperimentOptions = experiment.Options
+
+// Curve re-exports a named experiment curve with confidence intervals.
+type Curve = experiment.Curve
+
+// RunFigure regenerates one of the paper's figures: "7", "8", "9", "10",
+// or the QoS experiment "drops". See EXPERIMENTS.md for expected shapes.
+func RunFigure(id string, opts ExperimentOptions) ([]Curve, error) {
+	fig, ok := experiment.Figures()[id]
+	if !ok {
+		return nil, fmt.Errorf("facsp: unknown figure %q (have 7, 8, 9, 10, drops)", id)
+	}
+	return fig(opts)
+}
+
+// RenderChart draws curves as an ASCII chart onto w.
+func RenderChart(w io.Writer, title string, curves []Curve) error {
+	series := make([]stats.Series, len(curves))
+	for i, c := range curves {
+		series[i] = c.Series
+	}
+	chart := plot.Chart{
+		Title:  title,
+		XLabel: "number of requesting connections",
+		YLabel: "percentage of accepted calls",
+	}
+	return chart.Render(w, series...)
+}
+
+// WriteCSV emits curves as tidy CSV (series,x,y) onto w.
+func WriteCSV(w io.Writer, curves []Curve) error {
+	series := make([]stats.Series, len(curves))
+	for i, c := range curves {
+		series[i] = c.Series
+	}
+	return plot.WriteCSV(w, series...)
+}

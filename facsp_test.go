@@ -1,0 +1,151 @@
+package facsp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewRequest(t *testing.T) {
+	tests := []struct {
+		class    Class
+		bw       float64
+		realTime bool
+	}{
+		{class: Text, bw: 1, realTime: false},
+		{class: Voice, bw: 5, realTime: true},
+		{class: Video, bw: 10, realTime: true},
+	}
+	for _, tt := range tests {
+		r := NewRequest(tt.class, 42, -17)
+		if r.Bandwidth != tt.bw || r.RealTime != tt.realTime {
+			t.Errorf("NewRequest(%v) = %+v", tt.class, r)
+		}
+		if r.Speed != 42 || r.Angle != -17 {
+			t.Errorf("NewRequest kinematics = %+v", r)
+		}
+	}
+}
+
+func TestControllersRoundTrip(t *testing.T) {
+	facs, err := NewFACS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	facsp, err := NewFACSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ctrl := range []Controller{facs, facsp} {
+		req := NewRequest(Voice, 80, 0)
+		d := ctrl.Admit(req)
+		if !d.Accept {
+			t.Fatalf("%T rejected an ideal request into an empty cell: %+v", ctrl, d)
+		}
+		if err := ctrl.Release(req); err != nil {
+			t.Fatalf("%T release: %v", ctrl, err)
+		}
+		if got := ctrl.Occupancy(); got != 0 {
+			t.Errorf("%T occupancy = %v", ctrl, got)
+		}
+	}
+}
+
+func TestConstructorsWithConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 80
+	f, err := NewFACS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Capacity(); got != 80 {
+		t.Errorf("Capacity = %v", got)
+	}
+	pcfg := DefaultPConfig()
+	pcfg.Capacity = 20
+	p, err := NewFACSP(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Capacity(); got != 20 {
+		t.Errorf("Capacity = %v", got)
+	}
+	if _, err := NewFACS(cfg, cfg); err == nil {
+		t.Error("two configs accepted")
+	}
+	if _, err := NewFACSP(pcfg, pcfg); err == nil {
+		t.Error("two configs accepted")
+	}
+	if _, err := NewSCC(SCCConfig{}); err == nil {
+		t.Error("invalid SCC config accepted")
+	}
+}
+
+func TestBaselineConstructors(t *testing.T) {
+	if _, err := NewGuardChannel(40, 10); err != nil {
+		t.Errorf("NewGuardChannel: %v", err)
+	}
+	if _, err := NewCompleteSharing(40); err != nil {
+		t.Errorf("NewCompleteSharing: %v", err)
+	}
+	if _, err := NewFractionalGuard(40, 20, 7); err != nil {
+		t.Errorf("NewFractionalGuard: %v", err)
+	}
+	if _, err := NewSCC(); err != nil {
+		t.Errorf("NewSCC: %v", err)
+	}
+}
+
+func TestSimulateFACSP(t *testing.T) {
+	res, err := SimulateFACSP(DefaultSimConfig(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 20 {
+		t.Errorf("Requests = %d", res.Requests)
+	}
+	if res.Accepted+res.Blocked != 20 {
+		t.Errorf("accounting broken: %+v", res)
+	}
+}
+
+func TestSimulateFACS(t *testing.T) {
+	res, err := SimulateFACS(DefaultSimConfig(20, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted+res.Blocked != 20 {
+		t.Errorf("accounting broken: %+v", res)
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if _, err := RunFigure("nope", ExperimentOptions{}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunFigureAndRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	curves, err := RunFigure("10", ExperimentOptions{Loads: []int{10, 50}, Replications: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	var chart, csv strings.Builder
+	if err := RenderChart(&chart, "Fig. 10", curves); err != nil {
+		t.Fatalf("RenderChart: %v", err)
+	}
+	if !strings.Contains(chart.String(), "FACS-P (proposed)") {
+		t.Error("chart missing legend")
+	}
+	if err := WriteCSV(&csv, curves); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	if !strings.Contains(csv.String(), "series,x,y") {
+		t.Error("CSV missing header")
+	}
+}

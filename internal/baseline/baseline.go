@@ -1,0 +1,237 @@
+// Package baseline implements the classic call-admission-control schemes
+// the CAC literature measures against: complete sharing, the guard-channel
+// (cutoff priority) scheme, and the fractional guard channel. They serve
+// as ablation points for the paper's fuzzy controllers — every scheme
+// implements cac.Controller, so the simulator and benchmarks can swap them
+// in for FACS/FACS-P directly.
+package baseline
+
+import (
+	"fmt"
+	"sync"
+
+	"facsp/internal/cac"
+	"facsp/internal/rng"
+)
+
+// CompleteSharing admits any request that physically fits: no reservation,
+// no prioritisation. It is the upper bound on acceptance and the lower
+// bound on handoff protection.
+type CompleteSharing struct {
+	capacity float64
+
+	mu   sync.Mutex
+	used float64
+}
+
+var (
+	_ cac.Controller = (*CompleteSharing)(nil)
+	_ cac.Named      = (*CompleteSharing)(nil)
+)
+
+// NewCompleteSharing builds the scheme with the given capacity in BU.
+func NewCompleteSharing(capacity float64) (*CompleteSharing, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("baseline: capacity %v must be positive", capacity)
+	}
+	return &CompleteSharing{capacity: capacity}, nil
+}
+
+// SchemeName implements cac.Named.
+func (c *CompleteSharing) SchemeName() string { return "complete-sharing" }
+
+// Capacity implements cac.Controller.
+func (c *CompleteSharing) Capacity() float64 { return c.capacity }
+
+// Occupancy implements cac.Controller.
+func (c *CompleteSharing) Occupancy() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Admit implements cac.Controller.
+func (c *CompleteSharing) Admit(req cac.Request) cac.Decision {
+	if err := req.Validate(); err != nil {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.used+req.Bandwidth > c.capacity {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity"}
+	}
+	c.used += req.Bandwidth
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits"}
+}
+
+// Release implements cac.Controller.
+func (c *CompleteSharing) Release(req cac.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Bandwidth > c.used+1e-9 {
+		return fmt.Errorf("baseline: release of %v BU exceeds occupancy %v", req.Bandwidth, c.used)
+	}
+	c.used -= req.Bandwidth
+	if c.used < 0 {
+		c.used = 0
+	}
+	return nil
+}
+
+// GuardChannel is the cutoff-priority scheme: the last Guard bandwidth
+// units are reserved for handoffs; new calls are admitted only while
+// occupancy stays below Capacity-Guard.
+type GuardChannel struct {
+	capacity float64
+	guard    float64
+
+	mu   sync.Mutex
+	used float64
+}
+
+var (
+	_ cac.Controller = (*GuardChannel)(nil)
+	_ cac.Named      = (*GuardChannel)(nil)
+)
+
+// NewGuardChannel builds the scheme; guard must lie in [0, capacity).
+func NewGuardChannel(capacity, guard float64) (*GuardChannel, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("baseline: capacity %v must be positive", capacity)
+	}
+	if guard < 0 || guard >= capacity {
+		return nil, fmt.Errorf("baseline: guard %v outside [0, capacity %v)", guard, capacity)
+	}
+	return &GuardChannel{capacity: capacity, guard: guard}, nil
+}
+
+// SchemeName implements cac.Named.
+func (g *GuardChannel) SchemeName() string { return "guard-channel" }
+
+// Capacity implements cac.Controller.
+func (g *GuardChannel) Capacity() float64 { return g.capacity }
+
+// Occupancy implements cac.Controller.
+func (g *GuardChannel) Occupancy() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.used
+}
+
+// Admit implements cac.Controller.
+func (g *GuardChannel) Admit(req cac.Request) cac.Decision {
+	if err := req.Validate(); err != nil {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	limit := g.capacity
+	if !req.Handoff {
+		limit = g.capacity - g.guard
+	}
+	if g.used+req.Bandwidth > limit {
+		outcome := "capacity"
+		if !req.Handoff && g.used+req.Bandwidth <= g.capacity {
+			outcome = "guard-channel"
+		}
+		return cac.Decision{Accept: false, Score: -1, Outcome: outcome}
+	}
+	g.used += req.Bandwidth
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits"}
+}
+
+// Release implements cac.Controller.
+func (g *GuardChannel) Release(req cac.Request) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if req.Bandwidth > g.used+1e-9 {
+		return fmt.Errorf("baseline: release of %v BU exceeds occupancy %v", req.Bandwidth, g.used)
+	}
+	g.used -= req.Bandwidth
+	if g.used < 0 {
+		g.used = 0
+	}
+	return nil
+}
+
+// FractionalGuard is the fractional guard channel (Ramjee et al.): above
+// the guard threshold, new calls are admitted with a probability that
+// decays linearly to zero at full occupancy, softening the cutoff.
+type FractionalGuard struct {
+	capacity  float64
+	threshold float64
+	src       *rng.Source
+
+	mu   sync.Mutex
+	used float64
+}
+
+var (
+	_ cac.Controller = (*FractionalGuard)(nil)
+	_ cac.Named      = (*FractionalGuard)(nil)
+)
+
+// NewFractionalGuard builds the scheme. threshold is the occupancy (BU) at
+// which new-call admission starts to decay; src drives the admission coin
+// flips and must not be nil.
+func NewFractionalGuard(capacity, threshold float64, src *rng.Source) (*FractionalGuard, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("baseline: capacity %v must be positive", capacity)
+	}
+	if threshold < 0 || threshold > capacity {
+		return nil, fmt.Errorf("baseline: threshold %v outside [0, capacity %v]", threshold, capacity)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("baseline: nil random source")
+	}
+	return &FractionalGuard{capacity: capacity, threshold: threshold, src: src}, nil
+}
+
+// SchemeName implements cac.Named.
+func (f *FractionalGuard) SchemeName() string { return "fractional-guard" }
+
+// Capacity implements cac.Controller.
+func (f *FractionalGuard) Capacity() float64 { return f.capacity }
+
+// Occupancy implements cac.Controller.
+func (f *FractionalGuard) Occupancy() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.used
+}
+
+// Admit implements cac.Controller.
+func (f *FractionalGuard) Admit(req cac.Request) cac.Decision {
+	if err := req.Validate(); err != nil {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.used+req.Bandwidth > f.capacity {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity"}
+	}
+	if !req.Handoff && f.used > f.threshold {
+		// Admission probability decays linearly from 1 at the threshold
+		// to 0 at full occupancy.
+		p := 1 - (f.used-f.threshold)/(f.capacity-f.threshold)
+		if !f.src.Bool(p) {
+			return cac.Decision{Accept: false, Score: -1, Outcome: "fractional-guard"}
+		}
+	}
+	f.used += req.Bandwidth
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits"}
+}
+
+// Release implements cac.Controller.
+func (f *FractionalGuard) Release(req cac.Request) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if req.Bandwidth > f.used+1e-9 {
+		return fmt.Errorf("baseline: release of %v BU exceeds occupancy %v", req.Bandwidth, f.used)
+	}
+	f.used -= req.Bandwidth
+	if f.used < 0 {
+		f.used = 0
+	}
+	return nil
+}

@@ -1,0 +1,228 @@
+package baseline
+
+import (
+	"testing"
+
+	"facsp/internal/cac"
+	"facsp/internal/rng"
+)
+
+func newCall(bw float64) cac.Request {
+	return cac.Request{Speed: 30, Angle: 0, Bandwidth: bw}
+}
+
+func newHandoff(bw float64) cac.Request {
+	r := newCall(bw)
+	r.Handoff = true
+	return r
+}
+
+func TestCompleteSharingFillsToCapacity(t *testing.T) {
+	c, err := NewCompleteSharing(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0.0
+	for i := 0; i < 20; i++ {
+		if d := c.Admit(newCall(5)); d.Accept {
+			admitted += 5
+		}
+	}
+	if admitted != 40 {
+		t.Errorf("admitted %v BU, want exactly 40", admitted)
+	}
+	if d := c.Admit(newCall(1)); d.Accept {
+		t.Error("admitted beyond capacity")
+	}
+	if d := c.Admit(newHandoff(1)); d.Accept {
+		t.Error("complete sharing has no handoff reservation; full is full")
+	}
+}
+
+func TestCompleteSharingRelease(t *testing.T) {
+	c, err := NewCompleteSharing(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := c.Admit(newCall(10)); !d.Accept {
+		t.Fatal("admit failed")
+	}
+	if err := c.Release(newCall(10)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Occupancy(); got != 0 {
+		t.Errorf("occupancy = %v", got)
+	}
+	if err := c.Release(newCall(1)); err == nil {
+		t.Error("underflow release accepted")
+	}
+}
+
+func TestCompleteSharingValidation(t *testing.T) {
+	if _, err := NewCompleteSharing(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	c, _ := NewCompleteSharing(10)
+	if d := c.Admit(cac.Request{}); d.Accept {
+		t.Error("invalid request accepted")
+	}
+	if got := c.SchemeName(); got != "complete-sharing" {
+		t.Errorf("SchemeName = %q", got)
+	}
+	if got := c.Capacity(); got != 10 {
+		t.Errorf("Capacity = %v", got)
+	}
+}
+
+func TestGuardChannelReservesForHandoffs(t *testing.T) {
+	g, err := NewGuardChannel(40, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New calls stop at 30 BU.
+	admitted := 0.0
+	for i := 0; i < 20; i++ {
+		if d := g.Admit(newCall(5)); d.Accept {
+			admitted += 5
+		}
+	}
+	if admitted != 30 {
+		t.Fatalf("new calls admitted %v BU, want 30", admitted)
+	}
+	d := g.Admit(newCall(5))
+	if d.Accept {
+		t.Fatal("new call admitted inside the guard band")
+	}
+	if d.Outcome != "guard-channel" {
+		t.Errorf("outcome = %q, want guard-channel", d.Outcome)
+	}
+	// Handoffs may use the guard band up to physical capacity.
+	if d := g.Admit(newHandoff(5)); !d.Accept {
+		t.Error("handoff denied the guard band")
+	}
+	if d := g.Admit(newHandoff(5)); !d.Accept {
+		t.Error("handoff denied the last guard BU")
+	}
+	if d := g.Admit(newHandoff(1)); d.Accept {
+		t.Error("handoff admitted beyond physical capacity")
+	}
+}
+
+func TestGuardChannelZeroGuardIsCompleteSharing(t *testing.T) {
+	g, err := NewGuardChannel(20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0.0
+	for i := 0; i < 10; i++ {
+		if d := g.Admit(newCall(5)); d.Accept {
+			admitted += 5
+		}
+	}
+	if admitted != 20 {
+		t.Errorf("admitted %v, want 20", admitted)
+	}
+}
+
+func TestGuardChannelValidation(t *testing.T) {
+	if _, err := NewGuardChannel(0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewGuardChannel(10, 10); err == nil {
+		t.Error("guard == capacity accepted")
+	}
+	if _, err := NewGuardChannel(10, -1); err == nil {
+		t.Error("negative guard accepted")
+	}
+	g, _ := NewGuardChannel(10, 2)
+	if got := g.SchemeName(); got != "guard-channel" {
+		t.Errorf("SchemeName = %q", got)
+	}
+}
+
+func TestGuardChannelRelease(t *testing.T) {
+	g, err := NewGuardChannel(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Admit(newCall(5)); !d.Accept {
+		t.Fatal("admit failed")
+	}
+	if err := g.Release(newCall(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Release(newCall(5)); err == nil {
+		t.Error("underflow release accepted")
+	}
+}
+
+func TestFractionalGuardBelowThresholdAlwaysAdmits(t *testing.T) {
+	f, err := NewFractionalGuard(40, 20, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if d := f.Admit(newCall(5)); !d.Accept {
+			t.Fatalf("call %d below threshold rejected", i)
+		}
+	}
+}
+
+func TestFractionalGuardDecaysAboveThreshold(t *testing.T) {
+	// At occupancy 30 of 40 with threshold 20, new-call admission
+	// probability is 1 - 10/20 = 0.5.
+	const trials = 20000
+	hits := 0
+	for i := 0; i < trials; i++ {
+		f, err := NewFractionalGuard(40, 20, rng.New(uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 6; j++ { // 30 BU via handoffs (always admitted)
+			if d := f.Admit(newHandoff(5)); !d.Accept {
+				t.Fatal("handoff fill failed")
+			}
+		}
+		if d := f.Admit(newCall(5)); d.Accept {
+			hits++
+		}
+	}
+	rate := float64(hits) / trials
+	if rate < 0.46 || rate > 0.54 {
+		t.Errorf("admission rate at half-decay = %v, want ~0.5", rate)
+	}
+}
+
+func TestFractionalGuardHandoffsAlwaysFit(t *testing.T) {
+	f, err := NewFractionalGuard(40, 0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if d := f.Admit(newHandoff(5)); !d.Accept {
+			t.Fatalf("handoff %d rejected below capacity", i)
+		}
+	}
+	if d := f.Admit(newHandoff(1)); d.Accept {
+		t.Error("handoff admitted beyond capacity")
+	}
+}
+
+func TestFractionalGuardValidation(t *testing.T) {
+	if _, err := NewFractionalGuard(0, 0, rng.New(1)); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewFractionalGuard(10, 11, rng.New(1)); err == nil {
+		t.Error("threshold above capacity accepted")
+	}
+	if _, err := NewFractionalGuard(10, 5, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	f, _ := NewFractionalGuard(10, 5, rng.New(1))
+	if got := f.SchemeName(); got != "fractional-guard" {
+		t.Errorf("SchemeName = %q", got)
+	}
+	if err := f.Release(newCall(1)); err == nil {
+		t.Error("underflow release accepted")
+	}
+}

@@ -1,0 +1,242 @@
+// Package bsd implements the base-station admission daemon behind
+// cmd/facs-server: a TCP server that answers wire-protocol admission
+// queries against a single cac.Controller, plus the matching client.
+//
+// The daemon is deliberately defensive, the way a long-lived network
+// element has to be: per-connection state is tracked so that a client that
+// disconnects (crashes, times out, is partitioned away) automatically
+// releases every bandwidth unit it was granted, malformed input yields an
+// error response rather than a dropped session, and line length is bounded.
+package bsd
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"facsp/internal/cac"
+	"facsp/internal/wire"
+)
+
+// Server serves admission queries for one base station.
+type Server struct {
+	ctrl cac.Controller
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]bool
+	closed bool
+}
+
+// NewServer builds a daemon around a controller. The controller must be
+// safe for concurrent use (all controllers in this repository are).
+func NewServer(ctrl cac.Controller) (*Server, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("bsd: nil controller")
+	}
+	return &Server{
+		ctrl:  ctrl,
+		conns: make(map[net.Conn]bool),
+	}, nil
+}
+
+// Serve accepts connections on ln until Close is called. It always returns
+// a non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Close stops accepting and closes every live session (releasing their
+// admitted bandwidth).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	return err
+}
+
+// handle runs one client session.
+func (s *Server) handle(conn net.Conn) {
+	// admitted tracks this session's live grants so a vanished client
+	// cannot leak bandwidth.
+	admitted := make(map[uint64]cac.Request)
+	defer func() {
+		for _, req := range admitted {
+			_ = s.ctrl.Release(req)
+		}
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	dec := wire.NewDecoder(conn)
+	enc := wire.NewEncoder(conn)
+	for {
+		var req wire.Request
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) {
+				// Malformed line: answer once, then drop the session —
+				// framing is gone.
+				_ = enc.Encode(s.errResponse(err))
+			}
+			return
+		}
+		if err := enc.Encode(s.dispatch(req, admitted)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) errResponse(err error) wire.Response {
+	return wire.Response{
+		V:         wire.Version,
+		OK:        false,
+		Err:       err.Error(),
+		Occupancy: s.ctrl.Occupancy(),
+		Capacity:  s.ctrl.Capacity(),
+		Scheme:    cac.Name(s.ctrl),
+	}
+}
+
+// dispatch executes one request against the controller.
+func (s *Server) dispatch(req wire.Request, admitted map[uint64]cac.Request) wire.Response {
+	if err := req.Validate(); err != nil {
+		return s.errResponse(err)
+	}
+	resp := wire.Response{
+		V:        wire.Version,
+		OK:       true,
+		Capacity: s.ctrl.Capacity(),
+		Scheme:   cac.Name(s.ctrl),
+	}
+	switch req.Op {
+	case wire.OpStatus:
+		// Nothing to do beyond the shared fields.
+
+	case wire.OpAdmit:
+		if _, dup := admitted[req.ID]; dup {
+			return s.errResponse(fmt.Errorf("bsd: connection %d already admitted on this session", req.ID))
+		}
+		creq, err := req.CACRequest()
+		if err != nil {
+			return s.errResponse(err)
+		}
+		d := s.ctrl.Admit(creq)
+		resp.Accept = d.Accept
+		resp.Score = d.Score
+		resp.Outcome = d.Outcome
+		if d.Accept {
+			admitted[req.ID] = creq
+		}
+
+	case wire.OpRelease:
+		creq, ok := admitted[req.ID]
+		if !ok {
+			return s.errResponse(fmt.Errorf("bsd: connection %d not admitted on this session", req.ID))
+		}
+		if err := s.ctrl.Release(creq); err != nil {
+			return s.errResponse(err)
+		}
+		delete(admitted, req.ID)
+	}
+	resp.Occupancy = s.ctrl.Occupancy()
+	return resp
+}
+
+// Client is a wire-protocol client bound to one TCP session.
+type Client struct {
+	conn net.Conn
+	enc  *wire.Encoder
+	dec  *wire.Decoder
+	mu   sync.Mutex
+}
+
+// Dial connects to a daemon.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bsd: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, enc: wire.NewEncoder(conn), dec: wire.NewDecoder(conn)}, nil
+}
+
+// Close terminates the session; the server releases any bandwidth still
+// held by it.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request and reads one response.
+func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return wire.Response{}, err
+	}
+	var resp wire.Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return wire.Response{}, err
+	}
+	return resp, nil
+}
+
+// Admit asks the daemon to admit connection id with the given parameters.
+func (c *Client) Admit(id uint64, class string, speedKmh, angleDeg float64, handoff bool) (wire.Response, error) {
+	return c.roundTrip(wire.Request{
+		V: wire.Version, Op: wire.OpAdmit,
+		ID: id, Class: class, SpeedKmh: speedKmh, AngleDeg: angleDeg, Handoff: handoff,
+	})
+}
+
+// Release returns connection id's bandwidth.
+func (c *Client) Release(id uint64, class string) (wire.Response, error) {
+	return c.roundTrip(wire.Request{V: wire.Version, Op: wire.OpRelease, ID: id, Class: class})
+}
+
+// Status reports the cell's occupancy and capacity.
+func (c *Client) Status() (wire.Response, error) {
+	return c.roundTrip(wire.Request{V: wire.Version, Op: wire.OpStatus})
+}

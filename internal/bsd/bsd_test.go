@@ -1,0 +1,262 @@
+package bsd
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"facsp/internal/core"
+	"facsp/internal/wire"
+)
+
+// startServer launches a daemon on a loopback listener and returns its
+// address plus a shutdown func.
+func startServer(t *testing.T) (addr string, ctrl *core.FACSP, shutdown func()) {
+	t.Helper()
+	c, err := core.NewFACSP(core.DefaultPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), c, func() {
+		_ = srv.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+	}
+}
+
+func TestNewServerNilController(t *testing.T) {
+	if _, err := NewServer(nil); err == nil {
+		t.Error("nil controller accepted")
+	}
+}
+
+func TestAdmitReleaseStatus(t *testing.T) {
+	addr, ctrl, shutdown := startServer(t)
+	defer shutdown()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	st, err := cl.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.OK || st.Capacity != 40 || st.Occupancy != 0 || st.Scheme != "FACS-P" {
+		t.Fatalf("status = %+v", st)
+	}
+
+	resp, err := cl.Admit(1, "voice", 80, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.OK || !resp.Accept {
+		t.Fatalf("admit = %+v", resp)
+	}
+	if resp.Occupancy != 5 {
+		t.Errorf("occupancy after admit = %v, want 5", resp.Occupancy)
+	}
+
+	rel, err := cl.Release(1, "voice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel.OK || rel.Occupancy != 0 {
+		t.Fatalf("release = %+v", rel)
+	}
+	if got := ctrl.Occupancy(); got != 0 {
+		t.Errorf("controller occupancy = %v", got)
+	}
+}
+
+func TestDoubleAdmitSameID(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Admit(7, "text", 50, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := cl.Admit(7, "text", 50, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Errorf("duplicate admit accepted: %+v", resp)
+	}
+	if !strings.Contains(resp.Err, "already admitted") {
+		t.Errorf("err = %q", resp.Err)
+	}
+}
+
+func TestReleaseUnknownID(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	resp, err := cl.Release(99, "voice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Errorf("release of unknown id accepted: %+v", resp)
+	}
+}
+
+func TestDisconnectReleasesBandwidth(t *testing.T) {
+	addr, ctrl, shutdown := startServer(t)
+	defer shutdown()
+
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Admit(1, "video", 80, 0, false); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Occupancy(); got != 10 {
+		t.Fatalf("occupancy = %v, want 10", got)
+	}
+	// Simulate a client crash: the daemon must reclaim the 10 BU.
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for ctrl.Occupancy() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("bandwidth not reclaimed after disconnect; occupancy = %v", ctrl.Occupancy())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMalformedLineAnswersError(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := wire.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatalf("no error response: %v", err)
+	}
+	if resp.OK {
+		t.Errorf("malformed line produced OK response: %+v", resp)
+	}
+}
+
+func TestWrongVersionRejected(t *testing.T) {
+	addr, _, shutdown := startServer(t)
+	defer shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	enc := wire.NewEncoder(conn)
+	if err := enc.Encode(wire.Request{V: 42, Op: wire.OpStatus}); err != nil {
+		t.Fatal(err)
+	}
+	var resp wire.Response
+	if err := wire.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK || !strings.Contains(resp.Err, "version") {
+		t.Errorf("response = %+v", resp)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	addr, ctrl, shutdown := startServer(t)
+	defer shutdown()
+
+	const clients = 8
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer cl.Close()
+			for j := 0; j < 20; j++ {
+				id := uint64(worker*1000 + j)
+				resp, err := cl.Admit(id, "text", 60, 0, false)
+				if err != nil {
+					t.Errorf("admit: %v", err)
+					return
+				}
+				if resp.OK && resp.Accept {
+					if _, err := cl.Release(id, "text"); err != nil {
+						t.Errorf("release: %v", err)
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := ctrl.Occupancy(); got != 0 {
+		t.Errorf("occupancy after balanced load = %v", got)
+	}
+}
+
+func TestServeAfterClose(t *testing.T) {
+	c, err := core.NewFACSP(core.DefaultPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if err := srv.Serve(ln); err == nil {
+		t.Error("Serve after Close succeeded")
+	}
+}

@@ -1,0 +1,107 @@
+// Package cac defines the contract between call-admission controllers and
+// the cellular simulator: the request a controller sees, the decision it
+// returns, and the Controller interface every scheme in this repository
+// (FACS, FACS-P, SCC, and the classic baselines) implements.
+//
+// Keeping the contract in its own package lets the simulator drive any
+// scheme without knowing how decisions are made, which is what makes the
+// paper's head-to-head comparisons (Figs. 7 and 10) a one-line swap.
+package cac
+
+import "fmt"
+
+// Request describes one connection asking for admission at a base station.
+type Request struct {
+	// ID identifies the connection across its lifetime (admission,
+	// handoffs, release). Controllers that track per-connection state,
+	// such as the shadow-cluster baseline, key on it; stateless
+	// controllers may ignore it.
+	ID uint64
+	// X, Y is the user's world position in metres at request time.
+	// Spatial schemes (SCC) project trajectories from it; the fuzzy
+	// controllers ignore it.
+	X float64
+	Y float64
+	// Speed is the user's speed in km/h (the paper's Sp, 0-120).
+	Speed float64
+	// Angle is the angle in degrees between the user's direction of travel
+	// and the direction from the user to the serving base station (the
+	// paper's An, -180..180; 0 means heading straight at the BS).
+	Angle float64
+	// Bandwidth is the requested capacity in bandwidth units (the paper's
+	// Sr/Rq; 1 for text, 5 for voice, 10 for video).
+	Bandwidth float64
+	// RealTime marks delay-sensitive traffic (voice, video). The paper's
+	// differentiated-service stage (Ds) routes real-time connections to the
+	// RTC counter and the rest to NRTC.
+	RealTime bool
+	// Handoff is true when the request is an on-going call entering from a
+	// neighbouring cell rather than a brand-new call.
+	Handoff bool
+	// Priority is the optional class of a *requesting* connection
+	// (0 = normal). The paper lists requesting-connection priority as
+	// future work; controllers may ignore it.
+	Priority int
+}
+
+// Validate reports whether the request is physically meaningful.
+func (r Request) Validate() error {
+	if r.Bandwidth <= 0 {
+		return fmt.Errorf("cac: request bandwidth %v must be positive", r.Bandwidth)
+	}
+	if r.Speed < 0 {
+		return fmt.Errorf("cac: request speed %v must be non-negative", r.Speed)
+	}
+	if r.Priority < 0 {
+		return fmt.Errorf("cac: request priority %d must be non-negative", r.Priority)
+	}
+	return nil
+}
+
+// Decision is a controller's verdict on one request.
+type Decision struct {
+	// Accept is the binary admit/deny outcome.
+	Accept bool
+	// Score is the controller's confidence in [-1, 1]; for the fuzzy
+	// controllers it is the defuzzified A/R value, for crisp schemes it is
+	// +1 / -1.
+	Score float64
+	// Outcome is the human-readable soft outcome, e.g. "A", "WA", "NRNA",
+	// "WR", "R" for the fuzzy controllers or a scheme-specific reason such
+	// as "guard-channel" for the baselines.
+	Outcome string
+}
+
+// Controller is a call-admission controller bound to one base station.
+//
+// Implementations must be safe for concurrent use; the simulator is
+// single-threaded per cell but the TCP daemon in cmd/facs-server serves
+// parallel clients against a single Controller.
+type Controller interface {
+	// Admit decides the request and, when accepting, reserves its
+	// bandwidth until the matching Release.
+	Admit(req Request) Decision
+	// Release returns the bandwidth held by a previously admitted request
+	// (the call ended or handed off to another cell). Releasing more than
+	// was admitted is a driver bug and returns an error.
+	Release(req Request) error
+	// Occupancy returns the bandwidth units currently in use.
+	Occupancy() float64
+	// Capacity returns the total bandwidth units of the base station.
+	Capacity() float64
+}
+
+// Named is implemented by controllers that expose a scheme name for
+// reports and plots.
+type Named interface {
+	SchemeName() string
+}
+
+// Name returns the controller's scheme name, falling back to a generic
+// label when the controller does not implement Named.
+func Name(c Controller) string {
+	if n, ok := c.(Named); ok {
+		return n.SchemeName()
+	}
+	return fmt.Sprintf("%T", c)
+}

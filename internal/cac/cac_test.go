@@ -1,0 +1,42 @@
+package cac
+
+import "testing"
+
+func TestRequestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		req     Request
+		wantErr bool
+	}{
+		{name: "valid", req: Request{Speed: 10, Bandwidth: 5}},
+		{name: "valid stationary", req: Request{Bandwidth: 1}},
+		{name: "zero bandwidth", req: Request{Speed: 10}, wantErr: true},
+		{name: "negative bandwidth", req: Request{Bandwidth: -1}, wantErr: true},
+		{name: "negative speed", req: Request{Speed: -1, Bandwidth: 1}, wantErr: true},
+		{name: "negative priority", req: Request{Bandwidth: 1, Priority: -1}, wantErr: true},
+		{name: "priority ok", req: Request{Bandwidth: 1, Priority: 3}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.req.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+type namedController struct{ Controller }
+
+func (namedController) SchemeName() string { return "test-scheme" }
+
+type anonController struct{ Controller }
+
+func TestName(t *testing.T) {
+	if got := Name(namedController{}); got != "test-scheme" {
+		t.Errorf("Name(named) = %q", got)
+	}
+	if got := Name(anonController{}); got != "cac.anonController" {
+		t.Errorf("Name(anon) = %q", got)
+	}
+}

@@ -1,0 +1,551 @@
+// Package cellsim is the event-driven cellular network simulator used for
+// every figure in the paper's evaluation.
+//
+// A simulation instantiates a hexagonal cluster of cells around a tagged
+// centre cell, directs N connection requests at the centre base station
+// over an arrival window, and lets admitted mobiles move (handing off
+// between cells, possibly out of the network) until every call completes.
+// Admission is delegated to an Admitter, so the same run can be repeated
+// with FACS, FACS-P, SCC or any baseline, which is how the head-to-head
+// figures are produced.
+//
+// All randomness flows from the Config seed; runs are reproducible
+// bit-for-bit.
+package cellsim
+
+import (
+	"fmt"
+	"math"
+
+	"facsp/internal/cac"
+	"facsp/internal/des"
+	"facsp/internal/hexgrid"
+	"facsp/internal/mobility"
+	"facsp/internal/rng"
+	"facsp/internal/stats"
+	"facsp/internal/traffic"
+)
+
+// Admitter is the network-side admission interface the simulator drives.
+// Per-cell controllers are adapted with PerCell; network-level schemes
+// (SCC) implement it directly.
+type Admitter interface {
+	// Admit decides a request at the given cell and reserves bandwidth on
+	// acceptance.
+	Admit(cell hexgrid.Coord, req cac.Request) cac.Decision
+	// Release frees the bandwidth a previously admitted request holds at
+	// the given cell.
+	Release(cell hexgrid.Coord, req cac.Request) error
+}
+
+// PerCell adapts a factory of independent per-cell controllers (the shape
+// of FACS, FACS-P and the classic baselines) to the Admitter interface.
+type PerCell struct {
+	controllers map[hexgrid.Coord]cac.Controller
+	factory     func(hexgrid.Coord) cac.Controller
+}
+
+var _ Admitter = (*PerCell)(nil)
+
+// NewPerCell builds a PerCell admitter; factory is invoked lazily, once
+// per cell.
+func NewPerCell(factory func(hexgrid.Coord) cac.Controller) *PerCell {
+	return &PerCell{
+		controllers: make(map[hexgrid.Coord]cac.Controller),
+		factory:     factory,
+	}
+}
+
+// Controller returns the cell's controller, creating it on first use.
+func (p *PerCell) Controller(cell hexgrid.Coord) cac.Controller {
+	c, ok := p.controllers[cell]
+	if !ok {
+		c = p.factory(cell)
+		p.controllers[cell] = c
+	}
+	return c
+}
+
+// Admit implements Admitter.
+func (p *PerCell) Admit(cell hexgrid.Coord, req cac.Request) cac.Decision {
+	return p.Controller(cell).Admit(req)
+}
+
+// Release implements Admitter.
+func (p *PerCell) Release(cell hexgrid.Coord, req cac.Request) error {
+	return p.Controller(cell).Release(req)
+}
+
+// Sampler draws one scalar per call; scenario knobs (pinned speed, pinned
+// angle) are expressed as samplers.
+type Sampler func(src *rng.Source) float64
+
+// Fixed returns a Sampler that always yields v.
+func Fixed(v float64) Sampler { return func(*rng.Source) float64 { return v } }
+
+// Uniform returns a Sampler drawing uniformly from [lo, hi).
+func Uniform(lo, hi float64) Sampler {
+	return func(src *rng.Source) float64 { return src.Uniform(lo, hi) }
+}
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Requests is the number of requesting connections aimed at the
+	// centre cell (the x axis of Figs. 7-10).
+	Requests int
+	// NeighborRequests is the number of requesting connections offered to
+	// every non-centre cell over the same window, making the network
+	// homogeneous the way the paper's single-number load axis implies.
+	// Neighbour traffic contends with handoffs but is not counted in the
+	// headline acceptance metric.
+	NeighborRequests int
+	// Window is the arrival window in seconds; request arrival times are
+	// uniform over it.
+	Window float64
+	// HoldingMean is the mean exponential call duration in seconds.
+	HoldingMean float64
+	// Rings is the cluster radius in cells around the tagged centre
+	// (1 -> 7 cells, 2 -> 19 cells).
+	Rings int
+	// CellRadius is the hexagon circumradius in metres.
+	CellRadius float64
+	// Mix is the service-class distribution.
+	Mix traffic.Mix
+	// Speed samples each user's speed in km/h.
+	Speed Sampler
+	// Angle samples each user's initial trajectory angle, in degrees
+	// relative to the bearing toward the serving base station (the
+	// paper's An; 0 = straight at the BS).
+	Angle Sampler
+	// Mobility moves admitted users; nil defaults to the paper-aligned
+	// SmoothTurn model.
+	Mobility mobility.Model
+	// CheckInterval is the handoff-detection granularity in seconds.
+	CheckInterval float64
+	// Static disables spatial motion: admitted calls hold their bandwidth
+	// at the admission cell for their whole holding time and never hand
+	// off. Use it for decision-level sensitivity sweeps where cell
+	// residence differences across scenarios would confound the admission
+	// policy under study (see internal/experiment Fig9).
+	Static bool
+	// Seed drives all randomness of the run.
+	Seed uint64
+}
+
+// DefaultConfig returns the Section 4 simulation set-up: the paper's
+// traffic mix, uniform 0-120 km/h speeds, uniform angles, a 7-cell
+// cluster, and window/holding constants calibrated in EXPERIMENTS.md.
+func DefaultConfig(requests int, seed uint64) Config {
+	return Config{
+		Requests:         requests,
+		NeighborRequests: requests,
+		Window:           600,
+		HoldingMean:      180,
+		Rings:            1,
+		CellRadius:       1000,
+		Mix:              traffic.DefaultMix(),
+		Speed:            Uniform(0, 120),
+		Angle:            Uniform(-180, 180),
+		Mobility:         mobility.DefaultSmoothTurn(),
+		CheckInterval:    1,
+		Seed:             seed,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Requests < 0 {
+		return fmt.Errorf("cellsim: negative request count %d", c.Requests)
+	}
+	if c.NeighborRequests < 0 {
+		return fmt.Errorf("cellsim: negative neighbour request count %d", c.NeighborRequests)
+	}
+	if c.Window <= 0 {
+		return fmt.Errorf("cellsim: window %v must be positive", c.Window)
+	}
+	if c.HoldingMean <= 0 {
+		return fmt.Errorf("cellsim: holding mean %v must be positive", c.HoldingMean)
+	}
+	if c.Rings < 0 {
+		return fmt.Errorf("cellsim: negative ring count %d", c.Rings)
+	}
+	if c.CellRadius <= 0 {
+		return fmt.Errorf("cellsim: cell radius %v must be positive", c.CellRadius)
+	}
+	if err := c.Mix.Validate(); err != nil {
+		return err
+	}
+	if c.Speed == nil || c.Angle == nil {
+		return fmt.Errorf("cellsim: nil speed or angle sampler")
+	}
+	if c.CheckInterval <= 0 {
+		return fmt.Errorf("cellsim: check interval %v must be positive", c.CheckInterval)
+	}
+	return nil
+}
+
+// Result aggregates one run's call-level accounting.
+type Result struct {
+	// Requests is the number of new-call requests offered to the centre
+	// cell.
+	Requests int
+	// Accepted counts new calls admitted at the centre cell.
+	Accepted int
+	// Blocked counts new calls denied at the centre cell.
+	Blocked int
+	// HandoffAttempts counts cell-boundary crossings that required
+	// admission at a neighbour.
+	HandoffAttempts int
+	// HandoffAccepted counts successful handoffs.
+	HandoffAccepted int
+	// Dropped counts on-going calls lost because a handoff was denied.
+	Dropped int
+	// Completed counts calls that finished their holding time in-network.
+	Completed int
+	// LeftNetwork counts calls whose mobile exited the simulated cluster.
+	LeftNetwork int
+	// AcceptedByClass breaks Accepted down per service class.
+	AcceptedByClass map[traffic.Class]int
+	// RequestsByClass breaks Requests down per service class.
+	RequestsByClass map[traffic.Class]int
+	// CentreUtilization is the time-weighted mean occupancy of the centre
+	// cell in BU over the arrival window.
+	CentreUtilization float64
+	// NetworkRequests and NetworkAccepted count new-call admissions across
+	// the whole cluster, including background neighbour traffic.
+	NetworkRequests int
+	NetworkAccepted int
+}
+
+// AcceptedPct returns the figures' y axis: the percentage of requesting
+// connections admitted at the centre cell (100 when no requests were
+// offered, matching the plots' starting point).
+func (r Result) AcceptedPct() float64 {
+	if r.Requests == 0 {
+		return 100
+	}
+	return 100 * float64(r.Accepted) / float64(r.Requests)
+}
+
+// DropPct returns the percentage of admitted calls that were later
+// dropped at a handoff.
+func (r Result) DropPct() float64 {
+	if r.Accepted == 0 {
+		return 0
+	}
+	return 100 * float64(r.Dropped) / float64(r.Accepted)
+}
+
+// call is the simulator's per-connection state.
+type call struct {
+	req     cac.Request
+	class   traffic.Class
+	mover   mobility.Mover
+	cell    hexgrid.Coord
+	counted bool // originated at the centre cell: tracked in Result
+	endAt   float64
+	ended   bool
+	endEvt  des.Handle
+}
+
+// Sim runs cellular admission simulations.
+type Sim struct {
+	cfg     Config
+	adm     Admitter
+	layout  hexgrid.Layout
+	cluster map[hexgrid.Coord]bool
+	cells   []hexgrid.Coord // cluster cells in stable (ring) order
+	centre  hexgrid.Coord
+}
+
+// New constructs a simulator for the given config and admitter.
+func New(cfg Config, adm Admitter) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if adm == nil {
+		return nil, fmt.Errorf("cellsim: nil admitter")
+	}
+	if cfg.Mobility == nil {
+		cfg.Mobility = mobility.DefaultSmoothTurn()
+	}
+	cells := hexgrid.Disk(hexgrid.Coord{}, cfg.Rings)
+	cluster := make(map[hexgrid.Coord]bool, len(cells))
+	for _, c := range cells {
+		cluster[c] = true
+	}
+	return &Sim{
+		cfg:     cfg,
+		adm:     adm,
+		layout:  hexgrid.NewLayout(cfg.CellRadius),
+		cluster: cluster,
+		cells:   cells,
+		centre:  hexgrid.Coord{},
+	}, nil
+}
+
+// Run executes one complete simulation and returns its accounting.
+func (s *Sim) Run() (Result, error) {
+	src := rng.New(s.cfg.Seed)
+	var sim des.Sim
+	res := Result{
+		Requests:        s.cfg.Requests,
+		AcceptedByClass: make(map[traffic.Class]int),
+		RequestsByClass: make(map[traffic.Class]int),
+	}
+	var util stats.TimeWeighted
+	centreBU := 0.0
+	var firstErr error
+	fail := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	observe := func(now float64) {
+		if err := util.Observe(now, centreBU); err != nil {
+			fail(err)
+		}
+	}
+	observe(0) // open the utilization window at time zero
+
+	// Schedule the centre cell's requesting connections first, then the
+	// homogeneous background traffic of every other cell. Drawing all
+	// request attributes up front keeps the centre's request stream
+	// identical across admitters and neighbour-load settings.
+	nextID := uint64(1)
+	schedule := func(cell hexgrid.Coord, n int, counted bool) error {
+		for i := 0; i < n; i++ {
+			at := src.Uniform(0, s.cfg.Window)
+			class := s.cfg.Mix.Sample(src)
+			speed := s.cfg.Speed(src)
+			angle := s.cfg.Angle(src)
+			holding := src.Exp(s.cfg.HoldingMean)
+			id := nextID
+			nextID++
+			if counted {
+				res.RequestsByClass[class]++
+			}
+
+			// Spawn uniformly inside the cell's hexagon by rejection from
+			// the bounding box.
+			x, y := s.randomPointInCell(src, cell)
+			moverSrc := src.Split()
+
+			if _, err := sim.At(at, func(now float64) {
+				s.arrive(&sim, &res, arrival{
+					id: id, class: class, speed: speed, angle: angle,
+					holding: holding, x: x, y: y, moverSrc: moverSrc,
+					cell: cell, counted: counted,
+				}, &centreBU, observe, fail, now)
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := schedule(s.centre, s.cfg.Requests, true); err != nil {
+		return Result{}, err
+	}
+	for _, cell := range s.cells {
+		if cell == s.centre {
+			continue
+		}
+		if err := schedule(cell, s.cfg.NeighborRequests, false); err != nil {
+			return Result{}, err
+		}
+	}
+
+	sim.Run(0)
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+	observe(sim.Now()) // flush the final occupancy segment
+	res.CentreUtilization = util.Mean()
+	return res, nil
+}
+
+type arrival struct {
+	id       uint64
+	class    traffic.Class
+	speed    float64
+	angle    float64
+	holding  float64
+	x, y     float64
+	moverSrc *rng.Source
+	cell     hexgrid.Coord
+	counted  bool
+}
+
+// arrive processes a new-call request at its cell.
+func (s *Sim) arrive(sim *des.Sim, res *Result, a arrival,
+	centreBU *float64, observe func(float64), fail func(error), now float64) {
+
+	bsX, bsY := s.layout.Center(a.cell)
+	heading := hexgrid.NormalizeAngle(hexgrid.BearingDeg(a.x, a.y, bsX, bsY) + a.angle)
+
+	req := cac.Request{
+		ID:        a.id,
+		X:         a.x,
+		Y:         a.y,
+		Speed:     a.speed,
+		Angle:     a.angle,
+		Bandwidth: a.class.Bandwidth(),
+		RealTime:  a.class.RealTime(),
+	}
+	res.NetworkRequests++
+	d := s.adm.Admit(a.cell, req)
+	if !d.Accept {
+		if a.counted {
+			res.Blocked++
+		}
+		return
+	}
+	res.NetworkAccepted++
+	if a.counted {
+		res.Accepted++
+		res.AcceptedByClass[a.class]++
+	}
+	if a.cell == s.centre {
+		*centreBU += req.Bandwidth
+		observe(now)
+	}
+
+	c := &call{
+		req:   req,
+		class: a.class,
+		mover: s.cfg.Mobility.NewMover(mobility.State{
+			X: a.x, Y: a.y, SpeedKmh: a.speed, HeadingDeg: heading,
+		}, a.moverSrc),
+		cell:    a.cell,
+		counted: a.counted,
+		endAt:   now + a.holding,
+	}
+
+	endEvt, err := sim.At(c.endAt, func(endNow float64) {
+		s.endCall(res, c, centreBU, observe, fail, endNow)
+	})
+	if err != nil {
+		fail(err)
+		return
+	}
+	c.endEvt = endEvt
+	if !s.cfg.Static {
+		s.scheduleCheck(sim, res, c, centreBU, observe, fail)
+	}
+}
+
+// scheduleCheck arms the next handoff-detection tick for an active call.
+func (s *Sim) scheduleCheck(sim *des.Sim, res *Result, c *call,
+	centreBU *float64, observe func(float64), fail func(error)) {
+
+	if _, err := sim.After(s.cfg.CheckInterval, func(now float64) {
+		s.checkPosition(sim, res, c, centreBU, observe, fail, now)
+	}); err != nil {
+		fail(err)
+	}
+}
+
+// checkPosition advances the mobile and performs a handoff if it crossed a
+// cell boundary.
+func (s *Sim) checkPosition(sim *des.Sim, res *Result, c *call,
+	centreBU *float64, observe func(float64), fail func(error), now float64) {
+
+	if c.ended {
+		return
+	}
+	c.mover.Advance(s.cfg.CheckInterval)
+	st := c.mover.State()
+	newCell := s.layout.CellAt(st.X, st.Y)
+	if newCell == c.cell {
+		s.scheduleCheck(sim, res, c, centreBU, observe, fail)
+		return
+	}
+
+	if !s.cluster[newCell] {
+		// The mobile left the simulated network; its capacity is freed.
+		s.release(res, c, centreBU, observe, fail, now)
+		c.ended = true
+		sim.Cancel(c.endEvt)
+		if c.counted {
+			res.LeftNetwork++
+		}
+		return
+	}
+
+	// Handoff: the on-going call requests admission at the new cell.
+	if c.counted {
+		res.HandoffAttempts++
+	}
+	bsX, bsY := s.layout.Center(newCell)
+	hreq := c.req
+	hreq.X, hreq.Y = st.X, st.Y
+	hreq.Speed = st.SpeedKmh
+	hreq.Angle = hexgrid.AngleOff(st.HeadingDeg, st.X, st.Y, bsX, bsY)
+	hreq.Handoff = true
+
+	d := s.adm.Admit(newCell, hreq)
+	if !d.Accept {
+		// Dropped mid-call: the QoS violation the paper's priority scheme
+		// is designed to avoid.
+		s.release(res, c, centreBU, observe, fail, now)
+		c.ended = true
+		sim.Cancel(c.endEvt)
+		if c.counted {
+			res.Dropped++
+		}
+		return
+	}
+	s.release(res, c, centreBU, observe, fail, now)
+	if c.counted {
+		res.HandoffAccepted++
+	}
+	c.cell = newCell
+	c.req = hreq
+	if c.cell == s.centre {
+		*centreBU += c.req.Bandwidth
+		observe(now)
+	}
+	s.scheduleCheck(sim, res, c, centreBU, observe, fail)
+}
+
+// endCall completes a call that finished its holding time.
+func (s *Sim) endCall(res *Result, c *call,
+	centreBU *float64, observe func(float64), fail func(error), now float64) {
+
+	if c.ended {
+		return
+	}
+	c.ended = true
+	s.release(res, c, centreBU, observe, fail, now)
+	if c.counted {
+		res.Completed++
+	}
+}
+
+// release frees the call's bandwidth at its current cell.
+func (s *Sim) release(res *Result, c *call,
+	centreBU *float64, observe func(float64), fail func(error), now float64) {
+
+	if err := s.adm.Release(c.cell, c.req); err != nil {
+		fail(fmt.Errorf("cellsim: release at %v: %w", c.cell, err))
+		return
+	}
+	if c.cell == s.centre {
+		*centreBU -= c.req.Bandwidth
+		observe(now)
+	}
+}
+
+// randomPointInCell draws a uniform point inside the hexagon of the given
+// cell by rejection sampling from its bounding box.
+func (s *Sim) randomPointInCell(src *rng.Source, cell hexgrid.Coord) (x, y float64) {
+	cx, cy := s.layout.Center(cell)
+	w := s.cfg.CellRadius * math.Sqrt(3) / 2 // inradius: half width of pointy-top hex
+	for {
+		px := src.Uniform(-w, w)
+		py := src.Uniform(-s.cfg.CellRadius, s.cfg.CellRadius)
+		if s.layout.CellAt(cx+px, cy+py) == cell {
+			return cx + px, cy + py
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package cellsim
+
+import "testing"
+
+func TestStaticModeNoHandoffs(t *testing.T) {
+	cfg := DefaultConfig(60, 5)
+	cfg.Static = true
+	cfg.Speed = Fixed(100) // would generate many handoffs if mobile
+	s, err := New(cfg, newOpenAdmitter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HandoffAttempts != 0 {
+		t.Errorf("static run produced %d handoff attempts", res.HandoffAttempts)
+	}
+	if res.LeftNetwork != 0 {
+		t.Errorf("static run lost %d mobiles", res.LeftNetwork)
+	}
+	if res.Completed != res.Accepted {
+		t.Errorf("static run: completed %d != accepted %d", res.Completed, res.Accepted)
+	}
+}
+
+func TestStaticModeDrainsControllers(t *testing.T) {
+	cfg := DefaultConfig(40, 6)
+	cfg.Static = true
+	adm := facsAdmitter(t)
+	s, err := New(cfg, adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for cell, ctrl := range adm.controllers {
+		if got := ctrl.Occupancy(); got != 0 {
+			t.Errorf("cell %v occupancy after static run = %v", cell, got)
+		}
+	}
+}
+
+func TestStaticModeDeterministic(t *testing.T) {
+	run := func() Result {
+		cfg := DefaultConfig(30, 77)
+		cfg.Static = true
+		s, err := New(cfg, facsAdmitter(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Accepted != b.Accepted || a.Blocked != b.Blocked || a.Completed != b.Completed {
+		t.Errorf("static runs diverged: %+v vs %+v", a, b)
+	}
+}

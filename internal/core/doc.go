@@ -1,0 +1,23 @@
+// Package core implements the paper's contribution: the fuzzy call
+// admission control system (FACS) and its priority-aware extension (FACS-P)
+// for wireless cellular networks.
+//
+// The package builds the two Mamdani fuzzy logic controllers exactly as
+// published:
+//
+//   - FLC1 (Fig. 5, Table 1): user Speed, user Angle and Service request
+//     size -> Correction value Cv in [0,1], through 63 rules.
+//   - FLC2 (Fig. 6, Table 2): Cv, Request class bandwidth and Counter state
+//     -> soft Accept/Reject value in [-1,1], through 27 rules.
+//
+// FACS admits a request when the defuzzified A/R value clears a fixed
+// threshold. FACS-P adds the paper's priority of on-going connections: a
+// differentiated-service stage (Ds) tracks admitted real-time and
+// non-real-time bandwidth in the RTC and NRTC counters, and the admission
+// threshold for new calls rises with that on-going load, protecting the QoS
+// of calls already in progress. Handoffs of on-going calls receive
+// priority over new call requests.
+//
+// Both controllers implement the cac.Controller interface and are safe for
+// concurrent use.
+package core

@@ -1,0 +1,272 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"facsp/internal/cac"
+)
+
+// goodRequest is a request the controller should love: fast, heading
+// straight at the BS, cheap.
+func goodRequest() cac.Request {
+	return cac.Request{Speed: 100, Angle: 0, Bandwidth: TextBU}
+}
+
+// awayRequest is a request heading directly away from the BS.
+func awayRequest() cac.Request {
+	return cac.Request{Speed: 100, Angle: 180, Bandwidth: VideoBU, RealTime: true}
+}
+
+func newFACS(t testing.TB) *FACS {
+	t.Helper()
+	f, err := NewFACS(DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewFACS: %v", err)
+	}
+	return f
+}
+
+func TestNewFACSConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{name: "zero capacity", mut: func(c *Config) { c.Capacity = 0 }},
+		{name: "negative capacity", mut: func(c *Config) { c.Capacity = -40 }},
+		{name: "threshold above universe", mut: func(c *Config) { c.Threshold = 1.5 }},
+		{name: "threshold below universe", mut: func(c *Config) { c.Threshold = -1.5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mut(&cfg)
+			if _, err := NewFACS(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestFACSAdmitsGoodRequestWhenEmpty(t *testing.T) {
+	f := newFACS(t)
+	d := f.Admit(goodRequest())
+	if !d.Accept {
+		t.Fatalf("empty cell rejected an ideal request: %+v", d)
+	}
+	if d.Score <= 0 {
+		t.Errorf("score = %v, want positive", d.Score)
+	}
+	if got := f.Occupancy(); got != TextBU {
+		t.Errorf("occupancy after admit = %v, want %v", got, float64(TextBU))
+	}
+}
+
+func TestFACSAcceptsEvenPoorRequestsWhenEmpty(t *testing.T) {
+	// Table 2 row 6: Bd, Vi, Sa -> WA. Even a receding video user is
+	// (weakly) accepted into an almost empty cell.
+	f := newFACS(t)
+	d := f.Admit(awayRequest())
+	if !d.Accept {
+		t.Fatalf("empty cell rejected receding video request: %+v", d)
+	}
+}
+
+func TestFACSRejectsVideoInFullCell(t *testing.T) {
+	f := newFACS(t)
+	// Fill the cell to its physical capacity with text.
+	for i := 0; i < 40; i++ {
+		if d := f.Admit(goodRequest()); !d.Accept {
+			// Acceptance may taper before 40; stop filling once the fuzzy
+			// stage starts rejecting.
+			break
+		}
+	}
+	if f.Occupancy() < 20 {
+		t.Fatalf("could not load the cell past Middle; occupancy=%v", f.Occupancy())
+	}
+	d := f.Admit(awayRequest())
+	if d.Accept {
+		t.Errorf("loaded cell accepted receding video request: %+v", d)
+	}
+}
+
+func TestFACSHardCapacityBound(t *testing.T) {
+	f := newFACS(t)
+	admitted := 0.0
+	for i := 0; i < 200; i++ {
+		req := goodRequest()
+		if d := f.Admit(req); d.Accept {
+			admitted += req.Bandwidth
+		}
+	}
+	if admitted > f.Capacity() {
+		t.Fatalf("admitted %v BU into a %v BU cell", admitted, f.Capacity())
+	}
+	if got := f.Occupancy(); got != admitted {
+		t.Errorf("occupancy = %v, want %v", got, admitted)
+	}
+}
+
+func TestFACSCapacityOutcome(t *testing.T) {
+	// With a tiny capacity the fuzzy stage can say yes while physics says
+	// no; the decision must carry the "capacity" outcome.
+	cfg := DefaultConfig()
+	cfg.Capacity = 1.5
+	f, err := NewFACS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := f.Admit(goodRequest()); !d.Accept {
+		t.Fatalf("first request rejected: %+v", d)
+	}
+	d := f.Admit(goodRequest())
+	if d.Accept {
+		t.Fatalf("second request exceeded capacity but was accepted")
+	}
+	if d.Outcome != "capacity" {
+		t.Errorf("outcome = %q, want capacity", d.Outcome)
+	}
+}
+
+func TestFACSRelease(t *testing.T) {
+	f := newFACS(t)
+	req := goodRequest()
+	if d := f.Admit(req); !d.Accept {
+		t.Fatal("admit failed")
+	}
+	if err := f.Release(req); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if got := f.Occupancy(); got != 0 {
+		t.Errorf("occupancy after release = %v, want 0", got)
+	}
+}
+
+func TestFACSReleaseUnderflow(t *testing.T) {
+	f := newFACS(t)
+	if err := f.Release(goodRequest()); err == nil {
+		t.Error("releasing into an empty cell did not error")
+	}
+}
+
+func TestFACSReset(t *testing.T) {
+	f := newFACS(t)
+	f.Admit(goodRequest())
+	f.Reset()
+	if got := f.Occupancy(); got != 0 {
+		t.Errorf("occupancy after reset = %v, want 0", got)
+	}
+}
+
+func TestFACSEvaluateIsPure(t *testing.T) {
+	f := newFACS(t)
+	d1, err := f.Evaluate(goodRequest(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := f.Evaluate(goodRequest(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Errorf("Evaluate not deterministic: %+v vs %+v", d1, d2)
+	}
+	if got := f.Occupancy(); got != 0 {
+		t.Errorf("Evaluate reserved bandwidth: occupancy=%v", got)
+	}
+}
+
+func TestFACSEvaluateScalesCounterState(t *testing.T) {
+	// A controller with doubled capacity at half occupancy must behave
+	// like the default controller at the same *fraction* of load.
+	cfg := DefaultConfig()
+	cfg.Capacity = 80
+	big, err := NewFACS(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := newFACS(t)
+
+	reqs := []cac.Request{goodRequest(), awayRequest(), {Speed: 30, Angle: 60, Bandwidth: VoiceBU}}
+	for _, req := range reqs {
+		dBig, err := big.Evaluate(req, 40) // 50% of 80
+		if err != nil {
+			t.Fatal(err)
+		}
+		dStd, err := std.Evaluate(req, 20) // 50% of 40
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dBig.Score != dStd.Score {
+			t.Errorf("req %+v: score at 50%% load differs: %v (cap 80) vs %v (cap 40)", req, dBig.Score, dStd.Score)
+		}
+	}
+}
+
+func TestFACSInvalidRequest(t *testing.T) {
+	f := newFACS(t)
+	d := f.Admit(cac.Request{Speed: 10, Angle: 0, Bandwidth: 0})
+	if d.Accept {
+		t.Error("zero-bandwidth request accepted")
+	}
+	if !strings.HasPrefix(d.Outcome, "error:") {
+		t.Errorf("outcome = %q, want error outcome", d.Outcome)
+	}
+}
+
+func TestFACSSchemeName(t *testing.T) {
+	f := newFACS(t)
+	if got := f.SchemeName(); got != "FACS" {
+		t.Errorf("SchemeName = %q", got)
+	}
+	if got := cac.Name(f); got != "FACS" {
+		t.Errorf("cac.Name = %q", got)
+	}
+}
+
+func TestFACSConcurrentAdmitRelease(t *testing.T) {
+	f := newFACS(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req := goodRequest()
+			for i := 0; i < 50; i++ {
+				if d := f.Admit(req); d.Accept {
+					if err := f.Release(req); err != nil {
+						t.Errorf("Release: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Occupancy(); got != 0 {
+		t.Errorf("occupancy after balanced admit/release = %v, want 0", got)
+	}
+	if got := f.Occupancy(); got > f.Capacity() {
+		t.Errorf("occupancy %v exceeds capacity %v", got, f.Capacity())
+	}
+}
+
+func BenchmarkFACSAdmitRelease(b *testing.B) {
+	f, err := NewFACS(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := goodRequest()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := f.Admit(req); d.Accept {
+			if err := f.Release(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"facsp/internal/cac"
+)
+
+func newFACSP(t testing.TB) *FACSP {
+	t.Helper()
+	f, err := NewFACSP(DefaultPConfig())
+	if err != nil {
+		t.Fatalf("NewFACSP: %v", err)
+	}
+	return f
+}
+
+func TestNewFACSPConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*PConfig)
+	}{
+		{name: "zero capacity", mut: func(c *PConfig) { c.Capacity = 0 }},
+		{name: "theta0 above universe", mut: func(c *PConfig) { c.Theta0 = 2 }},
+		{name: "theta0 below universe", mut: func(c *PConfig) { c.Theta0 = -2 }},
+		{name: "handoff threshold out of range", mut: func(c *PConfig) { c.HandoffThreshold = 3 }},
+		{name: "negative gain", mut: func(c *PConfig) { c.Gain = -1 }},
+		{name: "negative rt weight", mut: func(c *PConfig) { c.RTWeight = -1 }},
+		{name: "negative nrt weight", mut: func(c *PConfig) { c.NRTWeight = -1 }},
+		{name: "negative priority step", mut: func(c *PConfig) { c.PriorityStep = -0.1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultPConfig()
+			tt.mut(&cfg)
+			if _, err := NewFACSP(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestFACSPDifferentiatedCounters(t *testing.T) {
+	f := newFACSP(t)
+	text := cac.Request{Speed: 80, Angle: 0, Bandwidth: TextBU}
+	voice := cac.Request{Speed: 80, Angle: 0, Bandwidth: VoiceBU, RealTime: true}
+
+	if d := f.Admit(text); !d.Accept {
+		t.Fatalf("text rejected: %+v", d)
+	}
+	if d := f.Admit(voice); !d.Accept {
+		t.Fatalf("voice rejected: %+v", d)
+	}
+	rtc, nrtc := f.Counters()
+	if rtc != VoiceBU {
+		t.Errorf("RTC = %v, want %v", rtc, float64(VoiceBU))
+	}
+	if nrtc != TextBU {
+		t.Errorf("NRTC = %v, want %v", nrtc, float64(TextBU))
+	}
+	if got := f.Occupancy(); got != TextBU+VoiceBU {
+		t.Errorf("occupancy = %v, want %v", got, float64(TextBU+VoiceBU))
+	}
+}
+
+func TestFACSPReleasePerClass(t *testing.T) {
+	f := newFACSP(t)
+	voice := cac.Request{Speed: 80, Angle: 0, Bandwidth: VoiceBU, RealTime: true}
+	if d := f.Admit(voice); !d.Accept {
+		t.Fatal("voice rejected")
+	}
+	// Releasing from the wrong class must fail: NRTC holds nothing.
+	wrong := voice
+	wrong.RealTime = false
+	if err := f.Release(wrong); err == nil {
+		t.Error("release against empty NRTC did not error")
+	}
+	if err := f.Release(voice); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	rtc, nrtc := f.Counters()
+	if rtc != 0 || nrtc != 0 {
+		t.Errorf("counters after release = (%v, %v), want (0, 0)", rtc, nrtc)
+	}
+}
+
+func TestFACSPLightLoadMoreLenientThanFACS(t *testing.T) {
+	// At light on-going load FACS-P's adaptive threshold sits below FACS's
+	// fixed DefaultThreshold, so every request FACS admits is admitted by
+	// FACS-P, and some borderline (NRNA-leaning) request exists that only
+	// FACS-P admits. Scan speed/angle/class combinations at 12 BU load.
+	facs := newFACS(t)
+	facsp := newFACSP(t)
+
+	found := false
+	for _, sp := range []float64{5, 30, 60, 100} {
+		for an := 0.0; an <= 180; an += 5 {
+			for _, bw := range []float64{TextBU, VoiceBU, VideoBU} {
+				req := cac.Request{Speed: sp, Angle: an, Bandwidth: bw, RealTime: bw != TextBU}
+				dF, err := facs.Evaluate(req, 12)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dP, err := facsp.Evaluate(req, 6, 6)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dP.Threshold >= dF.Threshold {
+					t.Fatalf("FACS-P threshold %v not below FACS threshold %v at light load", dP.Threshold, dF.Threshold)
+				}
+				if dP.Accept && !dF.Accept {
+					found = true
+				}
+				if dF.Accept && !dP.Accept {
+					t.Fatalf("at light load FACS-P was stricter than FACS for %+v", req)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("no request found that lenient FACS-P accepts and FACS rejects at light load")
+	}
+}
+
+func TestFACSPHeavyLoadStricterThanFACS(t *testing.T) {
+	// At heavy on-going load the adaptive threshold must exceed FACS's
+	// fixed threshold: the priority system protects on-going calls by
+	// admitting fewer new ones (the paper's Fig. 10 high-load regime).
+	facsp := newFACSP(t)
+	req := cac.Request{Speed: 60, Angle: 30, Bandwidth: VoiceBU, RealTime: true}
+	d, err := facsp.Evaluate(req, 24, 8) // 32 of 40 BU on-going
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Threshold <= DefaultThreshold {
+		t.Errorf("heavy-load FACS-P threshold %v not above FACS threshold %v", d.Threshold, DefaultThreshold)
+	}
+}
+
+func TestFACSPThresholdRisesWithOngoingLoad(t *testing.T) {
+	f := newFACSP(t)
+	req := cac.Request{Speed: 60, Angle: 30, Bandwidth: VoiceBU, RealTime: true}
+
+	empty, err := f.Evaluate(req, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := f.Evaluate(req, 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Threshold <= empty.Threshold {
+		t.Errorf("threshold did not rise with load: empty=%v loaded=%v", empty.Threshold, loaded.Threshold)
+	}
+	if empty.Threshold != DefaultPConfig().Theta0 {
+		t.Errorf("empty threshold = %v, want Theta0 = %v", empty.Threshold, DefaultPConfig().Theta0)
+	}
+}
+
+func TestFACSPRealTimeLoadWeighsMore(t *testing.T) {
+	f := newFACSP(t)
+	req := cac.Request{Speed: 60, Angle: 30, Bandwidth: TextBU}
+	rtHeavy, err := f.Evaluate(req, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nrtHeavy, err := f.Evaluate(req, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rtHeavy.Threshold <= nrtHeavy.Threshold {
+		t.Errorf("RT-heavy threshold %v not above NRT-heavy threshold %v", rtHeavy.Threshold, nrtHeavy.Threshold)
+	}
+}
+
+func TestFACSPHandoffPriority(t *testing.T) {
+	f := newFACSP(t)
+	// Load the cell enough that a receding video *new* call is rejected.
+	filler := cac.Request{Speed: 80, Angle: 0, Bandwidth: VoiceBU, RealTime: true}
+	for f.Occupancy() < 20 {
+		if d := f.Admit(filler); !d.Accept {
+			break
+		}
+	}
+	newCall := awayRequest()
+	if d := f.Admit(newCall); d.Accept {
+		t.Fatalf("loaded cell accepted receding new video call")
+	}
+	handoff := newCall
+	handoff.Handoff = true
+	if d := f.Admit(handoff); !d.Accept {
+		t.Errorf("handoff of on-going call rejected despite available capacity: %+v", d)
+	}
+}
+
+func TestFACSPHandoffStillCapacityBound(t *testing.T) {
+	cfg := DefaultPConfig()
+	cfg.Capacity = 10
+	f, err := NewFACSP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := cac.Request{Speed: 60, Angle: 0, Bandwidth: VideoBU, RealTime: true, Handoff: true}
+	if d := f.Admit(h); !d.Accept {
+		t.Fatalf("first handoff rejected: %+v", d)
+	}
+	d := f.Admit(h)
+	if d.Accept {
+		t.Fatal("handoff admitted beyond physical capacity")
+	}
+	if d.Outcome != "capacity" {
+		t.Errorf("outcome = %q, want capacity", d.Outcome)
+	}
+}
+
+func TestFACSPRequestingPriorityExtension(t *testing.T) {
+	cfg := DefaultPConfig()
+	cfg.PriorityStep = 0.3
+	f, err := NewFACSP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := cac.Request{Speed: 60, Angle: 60, Bandwidth: VoiceBU, RealTime: true}
+	base, err := f.Evaluate(req, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Priority = 2
+	prio, err := f.Evaluate(req, 15, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prio.Threshold >= base.Threshold {
+		t.Errorf("priority did not lower threshold: base=%v prio=%v", base.Threshold, prio.Threshold)
+	}
+}
+
+func TestFACSPHardCapacityBound(t *testing.T) {
+	f := newFACSP(t)
+	admitted := 0.0
+	reqs := []cac.Request{
+		{Speed: 100, Angle: 0, Bandwidth: TextBU},
+		{Speed: 100, Angle: 0, Bandwidth: VoiceBU, RealTime: true},
+		{Speed: 100, Angle: 0, Bandwidth: VideoBU, RealTime: true},
+	}
+	for i := 0; i < 200; i++ {
+		req := reqs[i%len(reqs)]
+		if d := f.Admit(req); d.Accept {
+			admitted += req.Bandwidth
+		}
+	}
+	if f.Occupancy() > f.Capacity() {
+		t.Fatalf("occupancy %v exceeds capacity %v", f.Occupancy(), f.Capacity())
+	}
+	if f.Occupancy() != admitted {
+		t.Errorf("occupancy %v != admitted %v", f.Occupancy(), admitted)
+	}
+}
+
+func TestFACSPReset(t *testing.T) {
+	f := newFACSP(t)
+	f.Admit(cac.Request{Speed: 80, Angle: 0, Bandwidth: VoiceBU, RealTime: true})
+	f.Admit(cac.Request{Speed: 80, Angle: 0, Bandwidth: TextBU})
+	f.Reset()
+	rtc, nrtc := f.Counters()
+	if rtc != 0 || nrtc != 0 {
+		t.Errorf("counters after reset = (%v, %v), want (0, 0)", rtc, nrtc)
+	}
+}
+
+func TestFACSPSchemeName(t *testing.T) {
+	if got := newFACSP(t).SchemeName(); got != "FACS-P" {
+		t.Errorf("SchemeName = %q", got)
+	}
+}
+
+func TestFACSPConcurrentUse(t *testing.T) {
+	f := newFACSP(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(rt bool) {
+			defer wg.Done()
+			req := cac.Request{Speed: 80, Angle: 0, Bandwidth: TextBU, RealTime: rt}
+			for i := 0; i < 50; i++ {
+				if d := f.Admit(req); d.Accept {
+					if err := f.Release(req); err != nil {
+						t.Errorf("Release: %v", err)
+						return
+					}
+				}
+			}
+		}(w%2 == 0)
+	}
+	wg.Wait()
+	if got := f.Occupancy(); got != 0 {
+		t.Errorf("occupancy after balanced admit/release = %v, want 0", got)
+	}
+}
+
+func BenchmarkFACSPAdmitRelease(b *testing.B) {
+	f, err := NewFACSP(DefaultPConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	req := cac.Request{Speed: 80, Angle: 15, Bandwidth: VoiceBU, RealTime: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := f.Admit(req); d.Accept {
+			if err := f.Release(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

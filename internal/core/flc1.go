@@ -1,0 +1,142 @@
+package core
+
+import (
+	"strconv"
+
+	"facsp/internal/fuzzy"
+)
+
+// Universe bounds and anchor points of the FLC1 linguistic variables,
+// read off the tick marks of Fig. 5 of the paper.
+const (
+	// SpeedMin and SpeedMax bound the user speed universe in km/h.
+	SpeedMin = 0
+	SpeedMax = 120
+	// AngleMin and AngleMax bound the user angle universe in degrees.
+	AngleMin = -180
+	AngleMax = 180
+	// ServiceMin and ServiceMax bound the service-request universe in
+	// bandwidth units (text=1, voice=5, video=10).
+	ServiceMin = 0
+	ServiceMax = 10
+	// CvMin and CvMax bound the correction-value universe.
+	CvMin = 0
+	CvMax = 1
+)
+
+// NewSpeedVariable returns the paper's Sp variable (Fig. 5a):
+// T(Sp) = {Slow, Middle, Fast}. Slow peaks at standstill and vanishes at
+// 60 km/h, Middle peaks at 60, Fast saturates at 120; the Sl/Mi crossover
+// sits on the 30 km/h tick.
+func NewSpeedVariable() fuzzy.Variable {
+	return fuzzy.MustVariable("Sp", SpeedMin, SpeedMax,
+		fuzzy.Term{Name: "Sl", MF: fuzzy.Tri(0, 0, 60)},
+		fuzzy.Term{Name: "Mi", MF: fuzzy.Tri(60, 60, 60)},
+		fuzzy.Term{Name: "Fa", MF: fuzzy.RightShoulder(60, 120)},
+	)
+}
+
+// NewAngleVariable returns the paper's An variable (Fig. 5b):
+// T(An) = {Back1, Left1, Left2, Straight, Right1, Right2, Back2}, seven
+// terms spaced 45 degrees apart with shoulder terms at the +/-180 wrap.
+// An angle of 0 means the user is heading straight at the base station.
+func NewAngleVariable() fuzzy.Variable {
+	return fuzzy.MustVariable("An", AngleMin, AngleMax,
+		fuzzy.Term{Name: "B1", MF: fuzzy.LeftShoulder(-135, -90)},
+		fuzzy.Term{Name: "L1", MF: fuzzy.Tri(-90, 45, 45)},
+		fuzzy.Term{Name: "L2", MF: fuzzy.Tri(-45, 45, 45)},
+		fuzzy.Term{Name: "St", MF: fuzzy.Tri(0, 45, 45)},
+		fuzzy.Term{Name: "R1", MF: fuzzy.Tri(45, 45, 45)},
+		fuzzy.Term{Name: "R2", MF: fuzzy.Tri(90, 45, 45)},
+		fuzzy.Term{Name: "B2", MF: fuzzy.RightShoulder(90, 135)},
+	)
+}
+
+// NewServiceVariable returns the paper's Sr variable (Fig. 5c):
+// T(Sr) = {Small, Medium, Big} over 0-10 bandwidth units.
+func NewServiceVariable() fuzzy.Variable {
+	return fuzzy.MustVariable("Sr", ServiceMin, ServiceMax,
+		fuzzy.Term{Name: "Sm", MF: fuzzy.Tri(0, 0, 5)},
+		fuzzy.Term{Name: "Me", MF: fuzzy.Tri(5, 5, 5)},
+		fuzzy.Term{Name: "Bi", MF: fuzzy.Tri(10, 5, 0)},
+	)
+}
+
+// NewCvVariable returns the paper's Cv output variable (Fig. 5d): nine
+// evenly spaced terms Cv1..Cv9 over [0,1], with shoulder plateaus at the
+// ends so that the extreme rules saturate. Cvk peaks at k/10.
+func NewCvVariable() fuzzy.Variable {
+	terms := make([]fuzzy.Term, 0, 9)
+	terms = append(terms, fuzzy.Term{Name: "Cv1", MF: fuzzy.Trap(0, 0.1, 0, 0.1)})
+	for k := 2; k <= 8; k++ {
+		terms = append(terms, fuzzy.Term{
+			Name: "Cv" + strconv.Itoa(k),
+			MF:   fuzzy.Tri(float64(k)/10, 0.1, 0.1),
+		})
+	}
+	terms = append(terms, fuzzy.Term{Name: "Cv9", MF: fuzzy.Trap(0.9, 1, 0.1, 0)})
+	return fuzzy.MustVariable("Cv", CvMin, CvMax, terms...)
+}
+
+// frb1 is Table 1 of the paper: the 63 consequents of FRB1 in row order
+// (Sp slowest-varying, then An, then Sr), exactly as printed.
+var frb1 = []string{
+	// Sl, B1
+	"Cv1", "Cv3", "Cv2",
+	// Sl, L1
+	"Cv1", "Cv4", "Cv3",
+	// Sl, L2
+	"Cv2", "Cv6", "Cv4",
+	// Sl, St
+	"Cv5", "Cv9", "Cv7",
+	// Sl, R1
+	"Cv2", "Cv6", "Cv4",
+	// Sl, R2
+	"Cv1", "Cv4", "Cv3",
+	// Sl, B2
+	"Cv1", "Cv3", "Cv2",
+	// Mi, B1
+	"Cv1", "Cv2", "Cv1",
+	// Mi, L1
+	"Cv1", "Cv4", "Cv3",
+	// Mi, L2
+	"Cv1", "Cv5", "Cv3",
+	// Mi, St
+	"Cv8", "Cv9", "Cv9",
+	// Mi, R1
+	"Cv1", "Cv5", "Cv3",
+	// Mi, R2
+	"Cv1", "Cv4", "Cv3",
+	// Mi, B2
+	"Cv1", "Cv2", "Cv1",
+	// Fa, B1
+	"Cv1", "Cv2", "Cv1",
+	// Fa, L1
+	"Cv1", "Cv3", "Cv2",
+	// Fa, L2
+	"Cv2", "Cv5", "Cv3",
+	// Fa, St
+	"Cv9", "Cv9", "Cv9",
+	// Fa, R1
+	"Cv2", "Cv5", "Cv3",
+	// Fa, R2
+	"Cv1", "Cv3", "Cv2",
+	// Fa, B2
+	"Cv1", "Cv2", "Cv1",
+}
+
+// FRB1Consequents returns a copy of Table 1's consequent column, in the
+// paper's rule order (rule 0..62).
+func FRB1Consequents() []string { return append([]string(nil), frb1...) }
+
+// NewFLC1 builds the paper's first fuzzy logic controller:
+// (Sp, An, Sr) -> Cv with the 63-rule FRB1 of Table 1.
+func NewFLC1(opts ...fuzzy.Option) (*fuzzy.Engine, error) {
+	inputs := []fuzzy.Variable{NewSpeedVariable(), NewAngleVariable(), NewServiceVariable()}
+	output := NewCvVariable()
+	rules, err := fuzzy.RuleTable(inputs, output, frb1)
+	if err != nil {
+		return nil, err
+	}
+	return fuzzy.NewEngine("FLC1", inputs, output, rules, opts...)
+}

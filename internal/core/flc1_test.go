@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"facsp/internal/fuzzy"
+)
+
+func newFLC1(t testing.TB) *fuzzy.Engine {
+	t.Helper()
+	e, err := NewFLC1()
+	if err != nil {
+		t.Fatalf("NewFLC1: %v", err)
+	}
+	return e
+}
+
+func TestFLC1Shape(t *testing.T) {
+	e := newFLC1(t)
+	if got := len(e.Rules()); got != 63 {
+		t.Fatalf("FRB1 has %d rules, want 63 (Table 1)", got)
+	}
+	ins := e.Inputs()
+	if len(ins) != 3 {
+		t.Fatalf("FLC1 has %d inputs, want 3", len(ins))
+	}
+	wantTerms := map[string]int{"Sp": 3, "An": 7, "Sr": 3}
+	for _, in := range ins {
+		if got := len(in.Terms); got != wantTerms[in.Name] {
+			t.Errorf("input %q has %d terms, want %d", in.Name, got, wantTerms[in.Name])
+		}
+	}
+	if got := len(e.Output().Terms); got != 9 {
+		t.Errorf("Cv output has %d terms, want 9", got)
+	}
+}
+
+// table1 is a verbatim transcription of Table 1 used to cross-check the
+// rule base construction; each row is {Sp, An, Sr, Cv}.
+var table1 = [][4]string{
+	{"Sl", "B1", "Sm", "Cv1"}, {"Sl", "B1", "Me", "Cv3"}, {"Sl", "B1", "Bi", "Cv2"},
+	{"Sl", "L1", "Sm", "Cv1"}, {"Sl", "L1", "Me", "Cv4"}, {"Sl", "L1", "Bi", "Cv3"},
+	{"Sl", "L2", "Sm", "Cv2"}, {"Sl", "L2", "Me", "Cv6"}, {"Sl", "L2", "Bi", "Cv4"},
+	{"Sl", "St", "Sm", "Cv5"}, {"Sl", "St", "Me", "Cv9"}, {"Sl", "St", "Bi", "Cv7"},
+	{"Sl", "R1", "Sm", "Cv2"}, {"Sl", "R1", "Me", "Cv6"}, {"Sl", "R1", "Bi", "Cv4"},
+	{"Sl", "R2", "Sm", "Cv1"}, {"Sl", "R2", "Me", "Cv4"}, {"Sl", "R2", "Bi", "Cv3"},
+	{"Sl", "B2", "Sm", "Cv1"}, {"Sl", "B2", "Me", "Cv3"}, {"Sl", "B2", "Bi", "Cv2"},
+	{"Mi", "B1", "Sm", "Cv1"}, {"Mi", "B1", "Me", "Cv2"}, {"Mi", "B1", "Bi", "Cv1"},
+	{"Mi", "L1", "Sm", "Cv1"}, {"Mi", "L1", "Me", "Cv4"}, {"Mi", "L1", "Bi", "Cv3"},
+	{"Mi", "L2", "Sm", "Cv1"}, {"Mi", "L2", "Me", "Cv5"}, {"Mi", "L2", "Bi", "Cv3"},
+	{"Mi", "St", "Sm", "Cv8"}, {"Mi", "St", "Me", "Cv9"}, {"Mi", "St", "Bi", "Cv9"},
+	{"Mi", "R1", "Sm", "Cv1"}, {"Mi", "R1", "Me", "Cv5"}, {"Mi", "R1", "Bi", "Cv3"},
+	{"Mi", "R2", "Sm", "Cv1"}, {"Mi", "R2", "Me", "Cv4"}, {"Mi", "R2", "Bi", "Cv3"},
+	{"Mi", "B2", "Sm", "Cv1"}, {"Mi", "B2", "Me", "Cv2"}, {"Mi", "B2", "Bi", "Cv1"},
+	{"Fa", "B1", "Sm", "Cv1"}, {"Fa", "B1", "Me", "Cv2"}, {"Fa", "B1", "Bi", "Cv1"},
+	{"Fa", "L1", "Sm", "Cv1"}, {"Fa", "L1", "Me", "Cv3"}, {"Fa", "L1", "Bi", "Cv2"},
+	{"Fa", "L2", "Sm", "Cv2"}, {"Fa", "L2", "Me", "Cv5"}, {"Fa", "L2", "Bi", "Cv3"},
+	{"Fa", "St", "Sm", "Cv9"}, {"Fa", "St", "Me", "Cv9"}, {"Fa", "St", "Bi", "Cv9"},
+	{"Fa", "R1", "Sm", "Cv2"}, {"Fa", "R1", "Me", "Cv5"}, {"Fa", "R1", "Bi", "Cv3"},
+	{"Fa", "R2", "Sm", "Cv1"}, {"Fa", "R2", "Me", "Cv3"}, {"Fa", "R2", "Bi", "Cv2"},
+	{"Fa", "B2", "Sm", "Cv1"}, {"Fa", "B2", "Me", "Cv2"}, {"Fa", "B2", "Bi", "Cv1"},
+}
+
+func TestFRB1MatchesTable1(t *testing.T) {
+	e := newFLC1(t)
+	ins := e.Inputs()
+	out := e.Output()
+	rules := e.Rules()
+	if len(rules) != len(table1) {
+		t.Fatalf("rule count %d != table rows %d", len(rules), len(table1))
+	}
+	for i, row := range table1 {
+		r := rules[i]
+		got := [4]string{
+			ins[0].Terms[r.When[0]].Name,
+			ins[1].Terms[r.When[1]].Name,
+			ins[2].Terms[r.When[2]].Name,
+			out.Terms[r.Then].Name,
+		}
+		if got != row {
+			t.Errorf("rule %d = %v, want %v (Table 1)", i, got, row)
+		}
+	}
+}
+
+func TestFRB1ConsequentsCopy(t *testing.T) {
+	a := FRB1Consequents()
+	if len(a) != 63 {
+		t.Fatalf("FRB1Consequents has %d entries, want 63", len(a))
+	}
+	a[0] = "tampered"
+	if b := FRB1Consequents(); b[0] != "Cv1" {
+		t.Error("FRB1Consequents returned shared backing storage")
+	}
+}
+
+func TestFLC1MembershipAnchors(t *testing.T) {
+	// Crossover points and peaks from the tick marks of Fig. 5.
+	sp := NewSpeedVariable()
+	an := NewAngleVariable()
+	sr := NewServiceVariable()
+
+	tests := []struct {
+		v    fuzzy.Variable
+		x    float64
+		term string
+		want float64
+	}{
+		{v: sp, x: 0, term: "Sl", want: 1},
+		{v: sp, x: 30, term: "Sl", want: 0.5},
+		{v: sp, x: 30, term: "Mi", want: 0.5},
+		{v: sp, x: 60, term: "Mi", want: 1},
+		{v: sp, x: 90, term: "Fa", want: 0.5},
+		{v: sp, x: 120, term: "Fa", want: 1},
+		{v: an, x: -180, term: "B1", want: 1},
+		{v: an, x: -135, term: "B1", want: 1},
+		{v: an, x: -112.5, term: "B1", want: 0.5},
+		{v: an, x: -90, term: "L1", want: 1},
+		{v: an, x: -45, term: "L2", want: 1},
+		{v: an, x: 0, term: "St", want: 1},
+		{v: an, x: 22.5, term: "St", want: 0.5},
+		{v: an, x: 22.5, term: "R1", want: 0.5},
+		{v: an, x: 45, term: "R1", want: 1},
+		{v: an, x: 90, term: "R2", want: 1},
+		{v: an, x: 135, term: "B2", want: 1},
+		{v: an, x: 180, term: "B2", want: 1},
+		{v: sr, x: 0, term: "Sm", want: 1},
+		{v: sr, x: 2.5, term: "Sm", want: 0.5},
+		{v: sr, x: 5, term: "Me", want: 1},
+		{v: sr, x: 10, term: "Bi", want: 1},
+	}
+	for _, tt := range tests {
+		t.Run(fmt.Sprintf("%s_%s_at_%v", tt.v.Name, tt.term, tt.x), func(t *testing.T) {
+			idx := tt.v.TermIndex(tt.term)
+			if idx < 0 {
+				t.Fatalf("variable %q has no term %q", tt.v.Name, tt.term)
+			}
+			got := tt.v.Terms[idx].MF.Grade(tt.x)
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("mu_%s(%v) = %v, want %v", tt.term, tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFLC1RuspiniPartitions(t *testing.T) {
+	// Each FLC1 input should form a partition of unity over its universe —
+	// the standard reading of Fig. 5's evenly spaced overlapping terms.
+	vars := []fuzzy.Variable{NewSpeedVariable(), NewAngleVariable(), NewServiceVariable(), NewCvVariable()}
+	for _, v := range vars {
+		t.Run(v.Name, func(t *testing.T) {
+			const steps = 977 // prime, avoids landing only on special points
+			for i := 0; i <= steps; i++ {
+				x := v.Min + (v.Max-v.Min)*float64(i)/steps
+				sum := 0.0
+				for _, g := range v.Fuzzify(x) {
+					sum += g
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("grades at %s=%v sum to %v, want 1", v.Name, x, sum)
+				}
+			}
+		})
+	}
+}
+
+func TestFLC1StraightFastBeatsAwayFast(t *testing.T) {
+	e := newFLC1(t)
+	straight, err := e.Infer(100, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	away, err := e.Infer(100, 180, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if straight <= away {
+		t.Errorf("Cv(straight)=%v should exceed Cv(away)=%v", straight, away)
+	}
+	if straight < 0.8 {
+		t.Errorf("Cv for fast straight voice = %v, want near the Cv9 region (>0.8)", straight)
+	}
+	if away > 0.25 {
+		t.Errorf("Cv for fast receding voice = %v, want near the Cv1/Cv2 region (<0.25)", away)
+	}
+}
+
+func TestFLC1AngleSymmetry(t *testing.T) {
+	// FRB1 is mirror-symmetric in the angle (L1<->R2? no: L1<->R1, L2<->R2,
+	// B1<->B2), so Cv(an) must equal Cv(-an).
+	e := newFLC1(t)
+	for _, sp := range []float64{0, 20, 60, 100, 120} {
+		for _, sr := range []float64{1, 5, 10} {
+			for an := 0.0; an <= 180; an += 7.5 {
+				pos, err := e.Infer(sp, an, sr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				neg, err := e.Infer(sp, -an, sr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(pos-neg) > 1e-9 {
+					t.Fatalf("Cv not angle-symmetric at sp=%v sr=%v an=%v: %v vs %v", sp, sr, an, pos, neg)
+				}
+			}
+		}
+	}
+}
+
+func TestFLC1CvDecreasesWithAngle(t *testing.T) {
+	// The Fig. 9 mechanism: for a mid-speed voice request, Cv should be
+	// non-increasing as the trajectory turns away from the BS over the
+	// angles the paper plots (0..90).
+	e := newFLC1(t)
+	prev := math.Inf(1)
+	for _, an := range []float64{0, 30, 50, 60, 90} {
+		cv, err := e.Infer(60, an, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cv > prev+1e-9 {
+			t.Errorf("Cv at angle %v = %v exceeds Cv at smaller angle (%v)", an, cv, prev)
+		}
+		prev = cv
+	}
+}
+
+// Property: Cv is always within [0,1] for any input combination.
+func TestQuickFLC1OutputInRange(t *testing.T) {
+	e := newFLC1(t)
+	f := func(sp, an, sr float64) bool {
+		spv := math.Mod(math.Abs(sp), 120)
+		anv := math.Mod(an, 180)
+		srv := math.Mod(math.Abs(sr), 10)
+		cv, err := e.Infer(spv, anv, srv)
+		return err == nil && cv >= 0 && cv <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFLC1Infer(b *testing.B) {
+	e := newFLC1(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Infer(72.5, 33.0, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import "facsp/internal/fuzzy"
+
+// Universe bounds of the FLC2 linguistic variables, read off the tick marks
+// of Fig. 6 of the paper.
+const (
+	// RequestMin and RequestMax bound the Rq universe in bandwidth units.
+	RequestMin = 0
+	RequestMax = 10
+	// CounterMin and CounterMax bound the counter-state universe in
+	// bandwidth units; CounterMax is the base-station capacity used in the
+	// paper's simulations (40 BU).
+	CounterMin = 0
+	CounterMax = 40
+	// ARMin and ARMax bound the accept/reject universe.
+	ARMin = -1
+	ARMax = 1
+)
+
+// Class bandwidths used throughout the paper's evaluation (Section 4).
+const (
+	// TextBU is the requested size of a text connection.
+	TextBU = 1
+	// VoiceBU is the requested size of a voice connection.
+	VoiceBU = 5
+	// VideoBU is the requested size of a video connection.
+	VideoBU = 10
+)
+
+// NewCvInputVariable returns the paper's Cv input to FLC2 (Fig. 6a):
+// T(Cv) = {Bad, Normal, Good} over [0,1].
+func NewCvInputVariable() fuzzy.Variable {
+	return fuzzy.MustVariable("Cv", CvMin, CvMax,
+		fuzzy.Term{Name: "Bd", MF: fuzzy.Tri(0, 0, 0.5)},
+		fuzzy.Term{Name: "No", MF: fuzzy.Tri(0.5, 0.5, 0.5)},
+		fuzzy.Term{Name: "Go", MF: fuzzy.Tri(1, 0.5, 0)},
+	)
+}
+
+// NewRequestVariable returns the paper's Rq variable (Fig. 6b):
+// T(Rq) = {Text, Voice, Video}, positioned at the class bandwidths
+// (1, 5, 10 BU map to grades dominated by Tx, Vo, Vi respectively).
+func NewRequestVariable() fuzzy.Variable {
+	return fuzzy.MustVariable("Rq", RequestMin, RequestMax,
+		fuzzy.Term{Name: "Tx", MF: fuzzy.Tri(0, 0, 5)},
+		fuzzy.Term{Name: "Vo", MF: fuzzy.Tri(5, 5, 5)},
+		fuzzy.Term{Name: "Vi", MF: fuzzy.Tri(10, 5, 0)},
+	)
+}
+
+// NewCounterVariable returns the paper's Cs variable (Fig. 6c):
+// T(Cs) = {Small, Middle, Full} over the 40-BU base-station capacity.
+// Callers with a different capacity should scale occupancy into this
+// universe (occupied/capacity * CounterMax), which the controllers do.
+func NewCounterVariable() fuzzy.Variable {
+	return fuzzy.MustVariable("Cs", CounterMin, CounterMax,
+		fuzzy.Term{Name: "Sa", MF: fuzzy.Tri(0, 0, 20)},
+		fuzzy.Term{Name: "Md", MF: fuzzy.Tri(20, 20, 20)},
+		fuzzy.Term{Name: "Fu", MF: fuzzy.Tri(40, 20, 0)},
+	)
+}
+
+// NewARVariable returns the paper's A/R output variable (Fig. 6d):
+// T(A/R) = {Reject, Weak Reject, Not Reject Not Accept, Weak Accept,
+// Accept} over [-1,1], spaced on the +/-0.3 and +/-0.6 ticks.
+func NewARVariable() fuzzy.Variable {
+	return fuzzy.MustVariable("A/R", ARMin, ARMax,
+		fuzzy.Term{Name: "R", MF: fuzzy.LeftShoulder(-0.6, -0.3)},
+		fuzzy.Term{Name: "WR", MF: fuzzy.Tri(-0.3, 0.3, 0.3)},
+		fuzzy.Term{Name: "NRNA", MF: fuzzy.Tri(0, 0.3, 0.3)},
+		fuzzy.Term{Name: "WA", MF: fuzzy.Tri(0.3, 0.3, 0.3)},
+		fuzzy.Term{Name: "A", MF: fuzzy.RightShoulder(0.3, 0.6)},
+	)
+}
+
+// frb2 is Table 2 of the paper: the 27 consequents of FRB2 in row order
+// (Cv slowest-varying, then Rq, then Cs), exactly as printed.
+var frb2 = []string{
+	// Bd, Tx
+	"A", "NRNA", "NRNA",
+	// Bd, Vo
+	"A", "NRNA", "WR",
+	// Bd, Vi
+	"WA", "NRNA", "WR",
+	// No, Tx
+	"A", "NRNA", "NRNA",
+	// No, Vo
+	"A", "NRNA", "NRNA",
+	// No, Vi
+	"WA", "NRNA", "NRNA",
+	// Go, Tx
+	"A", "A", "NRNA",
+	// Go, Vo
+	"A", "A", "WR",
+	// Go, Vi
+	"A", "A", "R",
+}
+
+// FRB2Consequents returns a copy of Table 2's consequent column, in the
+// paper's rule order (rule 0..26).
+func FRB2Consequents() []string { return append([]string(nil), frb2...) }
+
+// NewFLC2 builds the paper's second fuzzy logic controller:
+// (Cv, Rq, Cs) -> A/R with the 27-rule FRB2 of Table 2.
+func NewFLC2(opts ...fuzzy.Option) (*fuzzy.Engine, error) {
+	inputs := []fuzzy.Variable{NewCvInputVariable(), NewRequestVariable(), NewCounterVariable()}
+	output := NewARVariable()
+	rules, err := fuzzy.RuleTable(inputs, output, frb2)
+	if err != nil {
+		return nil, err
+	}
+	return fuzzy.NewEngine("FLC2", inputs, output, rules, opts...)
+}

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"facsp/internal/fuzzy"
+)
+
+func newFLC2(t testing.TB) *fuzzy.Engine {
+	t.Helper()
+	e, err := NewFLC2()
+	if err != nil {
+		t.Fatalf("NewFLC2: %v", err)
+	}
+	return e
+}
+
+func TestFLC2Shape(t *testing.T) {
+	e := newFLC2(t)
+	if got := len(e.Rules()); got != 27 {
+		t.Fatalf("FRB2 has %d rules, want 27 (Table 2)", got)
+	}
+	if got := len(e.Inputs()); got != 3 {
+		t.Fatalf("FLC2 has %d inputs, want 3", got)
+	}
+	wantOut := []string{"R", "WR", "NRNA", "WA", "A"}
+	out := e.Output()
+	if len(out.Terms) != len(wantOut) {
+		t.Fatalf("A/R has %d terms, want %d", len(out.Terms), len(wantOut))
+	}
+	for i, name := range wantOut {
+		if out.Terms[i].Name != name {
+			t.Errorf("A/R term %d = %q, want %q", i, out.Terms[i].Name, name)
+		}
+	}
+}
+
+// table2 is a verbatim transcription of Table 2; each row is
+// {Cv, Rq, Cs, A/R}.
+var table2 = [][4]string{
+	{"Bd", "Tx", "Sa", "A"}, {"Bd", "Tx", "Md", "NRNA"}, {"Bd", "Tx", "Fu", "NRNA"},
+	{"Bd", "Vo", "Sa", "A"}, {"Bd", "Vo", "Md", "NRNA"}, {"Bd", "Vo", "Fu", "WR"},
+	{"Bd", "Vi", "Sa", "WA"}, {"Bd", "Vi", "Md", "NRNA"}, {"Bd", "Vi", "Fu", "WR"},
+	{"No", "Tx", "Sa", "A"}, {"No", "Tx", "Md", "NRNA"}, {"No", "Tx", "Fu", "NRNA"},
+	{"No", "Vo", "Sa", "A"}, {"No", "Vo", "Md", "NRNA"}, {"No", "Vo", "Fu", "NRNA"},
+	{"No", "Vi", "Sa", "WA"}, {"No", "Vi", "Md", "NRNA"}, {"No", "Vi", "Fu", "NRNA"},
+	{"Go", "Tx", "Sa", "A"}, {"Go", "Tx", "Md", "A"}, {"Go", "Tx", "Fu", "NRNA"},
+	{"Go", "Vo", "Sa", "A"}, {"Go", "Vo", "Md", "A"}, {"Go", "Vo", "Fu", "WR"},
+	{"Go", "Vi", "Sa", "A"}, {"Go", "Vi", "Md", "A"}, {"Go", "Vi", "Fu", "R"},
+}
+
+func TestFRB2MatchesTable2(t *testing.T) {
+	e := newFLC2(t)
+	ins := e.Inputs()
+	out := e.Output()
+	rules := e.Rules()
+	if len(rules) != len(table2) {
+		t.Fatalf("rule count %d != table rows %d", len(rules), len(table2))
+	}
+	for i, row := range table2 {
+		r := rules[i]
+		got := [4]string{
+			ins[0].Terms[r.When[0]].Name,
+			ins[1].Terms[r.When[1]].Name,
+			ins[2].Terms[r.When[2]].Name,
+			out.Terms[r.Then].Name,
+		}
+		if got != row {
+			t.Errorf("rule %d = %v, want %v (Table 2)", i, got, row)
+		}
+	}
+}
+
+func TestFRB2ConsequentsCopy(t *testing.T) {
+	a := FRB2Consequents()
+	if len(a) != 27 {
+		t.Fatalf("FRB2Consequents has %d entries, want 27", len(a))
+	}
+	a[0] = "tampered"
+	if b := FRB2Consequents(); b[0] != "A" {
+		t.Error("FRB2Consequents returned shared backing storage")
+	}
+}
+
+func TestFLC2MembershipAnchors(t *testing.T) {
+	cv := NewCvInputVariable()
+	rq := NewRequestVariable()
+	cs := NewCounterVariable()
+	ar := NewARVariable()
+
+	tests := []struct {
+		v    fuzzy.Variable
+		x    float64
+		term string
+		want float64
+	}{
+		{v: cv, x: 0, term: "Bd", want: 1},
+		{v: cv, x: 0.25, term: "Bd", want: 0.5},
+		{v: cv, x: 0.5, term: "No", want: 1},
+		{v: cv, x: 1, term: "Go", want: 1},
+		{v: rq, x: 0, term: "Tx", want: 1},
+		{v: rq, x: 5, term: "Vo", want: 1},
+		{v: rq, x: 10, term: "Vi", want: 1},
+		{v: cs, x: 0, term: "Sa", want: 1},
+		{v: cs, x: 10, term: "Sa", want: 0.5},
+		{v: cs, x: 20, term: "Md", want: 1},
+		{v: cs, x: 40, term: "Fu", want: 1},
+		{v: ar, x: -1, term: "R", want: 1},
+		{v: ar, x: -0.6, term: "R", want: 1},
+		{v: ar, x: -0.45, term: "R", want: 0.5},
+		{v: ar, x: -0.3, term: "WR", want: 1},
+		{v: ar, x: 0, term: "NRNA", want: 1},
+		{v: ar, x: 0.3, term: "WA", want: 1},
+		{v: ar, x: 0.45, term: "A", want: 0.5},
+		{v: ar, x: 0.6, term: "A", want: 1},
+		{v: ar, x: 1, term: "A", want: 1},
+	}
+	for _, tt := range tests {
+		idx := tt.v.TermIndex(tt.term)
+		if idx < 0 {
+			t.Fatalf("variable %q has no term %q", tt.v.Name, tt.term)
+		}
+		got := tt.v.Terms[idx].MF.Grade(tt.x)
+		if math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("mu_%s(%s=%v) = %v, want %v", tt.term, tt.v.Name, tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestFLC2RuspiniPartitions(t *testing.T) {
+	vars := []fuzzy.Variable{NewCvInputVariable(), NewRequestVariable(), NewCounterVariable(), NewARVariable()}
+	for _, v := range vars {
+		t.Run(v.Name, func(t *testing.T) {
+			const steps = 977
+			for i := 0; i <= steps; i++ {
+				x := v.Min + (v.Max-v.Min)*float64(i)/steps
+				sum := 0.0
+				for _, g := range v.Fuzzify(x) {
+					sum += g
+				}
+				if math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("grades at %s=%v sum to %v, want 1", v.Name, x, sum)
+				}
+			}
+		})
+	}
+}
+
+func TestFLC2EmptyCellAccepts(t *testing.T) {
+	// Table 2: whatever the correction value, a nearly-empty cell (Cs=Sa)
+	// accepts text and voice outright (rules 0, 3, 9, 12, 18, 21).
+	e := newFLC2(t)
+	for _, cv := range []float64{0, 0.5, 1} {
+		for _, rq := range []float64{TextBU, VoiceBU} {
+			score, err := e.Infer(cv, rq, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if score <= 0.3 {
+				t.Errorf("empty cell, cv=%v rq=%v: score %v, want decisively positive (>0.3)", cv, rq, score)
+			}
+		}
+	}
+}
+
+func TestFLC2FullCellRejectsVideo(t *testing.T) {
+	// Rule 26: Go, Vi, Fu -> R. A good user asking for video in a full
+	// cell is the paper's canonical hard-reject.
+	e := newFLC2(t)
+	score, err := e.Infer(1, VideoBU, CounterMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score >= -0.3 {
+		t.Errorf("full cell, good Cv, video: score %v, want decisively negative (<-0.3)", score)
+	}
+}
+
+func TestFLC2ScoreDecreasesWithLoad(t *testing.T) {
+	// Table 2 is not strictly monotone in Cs for a Good correction value
+	// (Sa and Md both map to "A"), so we assert exactly what the table
+	// implies: the linguistic anchor points are ordered, and a full cell
+	// is always the worst case.
+	e := newFLC2(t)
+	for _, cv := range []float64{0.2, 0.5, 0.9} {
+		atSa, err := e.Infer(cv, VoiceBU, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atMd, err := e.Infer(cv, VoiceBU, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		atFu, err := e.Infer(cv, VoiceBU, CounterMax)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if atSa < atMd-1e-9 {
+			t.Errorf("cv=%v: score(Sa)=%v below score(Md)=%v", cv, atSa, atMd)
+		}
+		if atMd < atFu-1e-9 {
+			t.Errorf("cv=%v: score(Md)=%v below score(Fu)=%v", cv, atMd, atFu)
+		}
+		if atSa <= atFu {
+			t.Errorf("cv=%v: score(Sa)=%v not above score(Fu)=%v", cv, atSa, atFu)
+		}
+	}
+
+	// For a Bad correction value the consequents are strictly ordered
+	// (A, NRNA, WR), so the full sweep must be weakly decreasing.
+	prev := math.Inf(1)
+	for cs := 0.0; cs <= CounterMax; cs += 2.5 {
+		score, err := e.Infer(0.1, VoiceBU, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if score > prev+1e-6 {
+			t.Errorf("cv=0.1: score at Cs=%v (%v) exceeds score at lower load (%v)", cs, score, prev)
+		}
+		prev = score
+	}
+}
+
+func TestFLC2GoodCvHelpsUnderLoad(t *testing.T) {
+	// At medium load, a Good correction value should make the decision
+	// strictly friendlier than a Bad one (Table 2 rows 1 vs 19).
+	e := newFLC2(t)
+	bad, err := e.Infer(0, TextBU, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := e.Infer(1, TextBU, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if good <= bad {
+		t.Errorf("score(good Cv)=%v should exceed score(bad Cv)=%v at medium load", good, bad)
+	}
+}
+
+// Property: the A/R score is always within [-1,1].
+func TestQuickFLC2OutputInRange(t *testing.T) {
+	e := newFLC2(t)
+	f := func(cv, rq, cs float64) bool {
+		cvv := math.Mod(math.Abs(cv), 1)
+		rqv := math.Mod(math.Abs(rq), 10)
+		csv := math.Mod(math.Abs(cs), 40)
+		score, err := e.Infer(cvv, rqv, csv)
+		return err == nil && score >= -1 && score <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFLC2Infer(b *testing.B) {
+	e := newFLC2(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Infer(0.7, 5, 22); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Package des is a minimal discrete-event simulation kernel: a simulation
+// clock and a binary-heap event queue with deterministic tie-breaking.
+//
+// Events are closures scheduled at absolute simulation times. Ties are
+// broken by insertion order, so two runs that schedule the same events in
+// the same order execute identically — a property the experiment harness
+// depends on for reproducible figures.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Event is a callback executed at its scheduled simulation time.
+type Event func(now float64)
+
+type item struct {
+	at   float64
+	seq  uint64
+	fn   Event
+	idx  int
+	dead bool
+}
+
+type eventHeap []*item
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*h = old[:n-1]
+	return it
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	it *item
+}
+
+// Sim is a single-threaded discrete-event simulator. The zero value is
+// ready to use and starts at time 0.
+type Sim struct {
+	now    float64
+	seq    uint64
+	queue  eventHeap
+	popped uint64
+}
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (s *Sim) Pending() int {
+	n := 0
+	for _, it := range s.queue {
+		if !it.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Executed returns the number of events run so far.
+func (s *Sim) Executed() uint64 { return s.popped }
+
+// At schedules fn at absolute time at. Scheduling in the past (before the
+// current simulation time) or at a non-finite time is a driver bug and
+// returns an error.
+func (s *Sim) At(at float64, fn Event) (Handle, error) {
+	if fn == nil {
+		return Handle{}, fmt.Errorf("des: schedule of nil event at t=%v", at)
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return Handle{}, fmt.Errorf("des: schedule at non-finite time %v", at)
+	}
+	if at < s.now {
+		return Handle{}, fmt.Errorf("des: schedule at t=%v is in the past (now=%v)", at, s.now)
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return Handle{it: it}, nil
+}
+
+// After schedules fn delay time units from now.
+func (s *Sim) After(delay float64, fn Event) (Handle, error) {
+	if delay < 0 {
+		return Handle{}, fmt.Errorf("des: negative delay %v", delay)
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-executed or
+// already-cancelled event is a no-op and returns false.
+func (s *Sim) Cancel(h Handle) bool {
+	if h.it == nil || h.it.dead || h.it.idx < 0 {
+		return false
+	}
+	h.it.dead = true
+	return true
+}
+
+// Step executes the next event, if any, and reports whether one ran.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		it := heap.Pop(&s.queue).(*item)
+		if it.dead {
+			continue
+		}
+		s.now = it.at
+		s.popped++
+		it.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or the event budget is
+// exhausted; budget <= 0 means unbounded. It returns the number of events
+// executed.
+func (s *Sim) Run(budget uint64) uint64 {
+	var n uint64
+	for budget <= 0 || n < budget {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// RunUntil executes events with scheduled time <= deadline, then advances
+// the clock exactly to deadline. Events scheduled beyond the deadline stay
+// queued. It returns the number of events executed.
+func (s *Sim) RunUntil(deadline float64) uint64 {
+	var n uint64
+	for len(s.queue) > 0 {
+		// Skim cancelled items off the top so the peek is accurate.
+		top := s.queue[0]
+		if top.dead {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if top.at > deadline {
+			break
+		}
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+	return n
+}

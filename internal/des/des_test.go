@@ -1,0 +1,295 @@
+package des
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"facsp/internal/rng"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Sim
+	if got := s.Now(); got != 0 {
+		t.Errorf("Now = %v, want 0", got)
+	}
+	if s.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if got := s.Run(0); got != 0 {
+		t.Errorf("Run on empty queue executed %d events", got)
+	}
+}
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Sim
+	var order []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		if _, err := s.At(at, func(now float64) { order = append(order, now) }); err != nil {
+			t.Fatalf("At(%v): %v", at, err)
+		}
+	}
+	s.Run(0)
+	want := []float64{1, 2, 3, 4, 5}
+	if len(order) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(order), len(want))
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Errorf("event %d ran at %v, want %v", i, order[i], want[i])
+		}
+	}
+}
+
+func TestTiesBreakByInsertionOrder(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(7, func(float64) { order = append(order, i) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Run(0)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie order = %v, want insertion order", order)
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	var s Sim
+	if _, err := s.At(2.5, func(now float64) {
+		if now != 2.5 {
+			t.Errorf("callback saw now=%v, want 2.5", now)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if got := s.Now(); got != 2.5 {
+		t.Errorf("Now after run = %v, want 2.5", got)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	var s Sim
+	var ran bool
+	if _, err := s.At(10, func(now float64) {
+		if _, err := s.After(5, func(now2 float64) {
+			if now2 != 15 {
+				t.Errorf("After event at %v, want 15", now2)
+			}
+			ran = true
+		}); err != nil {
+			t.Errorf("After: %v", err)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if !ran {
+		t.Error("After event never ran")
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	var s Sim
+	if _, err := s.At(1, nil); err == nil {
+		t.Error("nil event accepted")
+	}
+	if _, err := s.At(math.NaN(), func(float64) {}); err == nil {
+		t.Error("NaN time accepted")
+	}
+	if _, err := s.At(math.Inf(1), func(float64) {}); err == nil {
+		t.Error("Inf time accepted")
+	}
+	if _, err := s.After(-1, func(float64) {}); err == nil {
+		t.Error("negative delay accepted")
+	}
+	if _, err := s.At(5, func(float64) {}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if _, err := s.At(4, func(float64) {}); err == nil {
+		t.Error("scheduling in the past accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	var s Sim
+	ran := false
+	h, err := s.At(1, func(float64) { ran = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Cancel(h) {
+		t.Error("Cancel returned false for a live event")
+	}
+	if s.Cancel(h) {
+		t.Error("double Cancel returned true")
+	}
+	s.Run(0)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if s.Cancel(Handle{}) {
+		t.Error("Cancel of zero Handle returned true")
+	}
+}
+
+func TestCancelAfterExecution(t *testing.T) {
+	var s Sim
+	h, err := s.At(1, func(float64) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run(0)
+	if s.Cancel(h) {
+		t.Error("Cancel of executed event returned true")
+	}
+}
+
+func TestPendingAndExecuted(t *testing.T) {
+	var s Sim
+	h1, _ := s.At(1, func(float64) {})
+	s.At(2, func(float64) {})
+	s.At(3, func(float64) {})
+	if got := s.Pending(); got != 3 {
+		t.Errorf("Pending = %d, want 3", got)
+	}
+	s.Cancel(h1)
+	if got := s.Pending(); got != 2 {
+		t.Errorf("Pending after cancel = %d, want 2", got)
+	}
+	s.Run(0)
+	if got := s.Executed(); got != 2 {
+		t.Errorf("Executed = %d, want 2", got)
+	}
+	if got := s.Pending(); got != 0 {
+		t.Errorf("Pending after run = %d, want 0", got)
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	var s Sim
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func(float64) { count++ })
+	}
+	if got := s.Run(4); got != 4 {
+		t.Errorf("Run(4) executed %d", got)
+	}
+	if count != 4 {
+		t.Errorf("count = %d, want 4", count)
+	}
+	if got := s.Run(0); got != 6 {
+		t.Errorf("Run(0) executed %d, want remaining 6", got)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var s Sim
+	var ran []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		s.At(at, func(now float64) { ran = append(ran, now) })
+	}
+	if got := s.RunUntil(3); got != 3 {
+		t.Errorf("RunUntil(3) executed %d, want 3", got)
+	}
+	if got := s.Now(); got != 3 {
+		t.Errorf("Now = %v, want 3", got)
+	}
+	if got := s.Pending(); got != 2 {
+		t.Errorf("Pending = %d, want 2", got)
+	}
+	// Deadline with no events must still advance the clock.
+	if got := s.RunUntil(3.5); got != 0 {
+		t.Errorf("RunUntil(3.5) executed %d, want 0", got)
+	}
+	if got := s.Now(); got != 3.5 {
+		t.Errorf("Now = %v, want 3.5", got)
+	}
+}
+
+func TestRunUntilSkipsCancelledHead(t *testing.T) {
+	var s Sim
+	h, _ := s.At(1, func(float64) {})
+	s.At(2, func(float64) {})
+	s.Cancel(h)
+	if got := s.RunUntil(1.5); got != 0 {
+		t.Errorf("RunUntil(1.5) executed %d, want 0", got)
+	}
+	if got := s.RunUntil(2.5); got != 1 {
+		t.Errorf("RunUntil(2.5) executed %d, want 1", got)
+	}
+}
+
+func TestSelfSchedulingChain(t *testing.T) {
+	var s Sim
+	hops := 0
+	var hop Event
+	hop = func(now float64) {
+		hops++
+		if hops < 100 {
+			if _, err := s.After(1, hop); err != nil {
+				t.Errorf("After: %v", err)
+			}
+		}
+	}
+	s.At(0, hop)
+	s.Run(0)
+	if hops != 100 {
+		t.Errorf("hops = %d, want 100", hops)
+	}
+	if got := s.Now(); got != 99 {
+		t.Errorf("Now = %v, want 99", got)
+	}
+}
+
+// Property: random schedules always execute in non-decreasing time order
+// and execute every non-cancelled event exactly once.
+func TestQuickRandomSchedulesOrdered(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		src := rng.New(seed)
+		var s Sim
+		total := int(n%64) + 1
+		var times []float64
+		ok := true
+		prev := -1.0
+		for i := 0; i < total; i++ {
+			at := src.Float64() * 100
+			times = append(times, at)
+			if _, err := s.At(at, func(now float64) {
+				if now < prev {
+					ok = false
+				}
+				prev = now
+			}); err != nil {
+				return false
+			}
+		}
+		executed := s.Run(0)
+		return ok && executed == uint64(len(times))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	src := rng.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var s Sim
+		for j := 0; j < 128; j++ {
+			if _, err := s.At(src.Float64()*1000, func(float64) {}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		s.Run(0)
+	}
+}

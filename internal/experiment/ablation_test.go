@@ -1,0 +1,51 @@
+package experiment
+
+import "testing"
+
+func TestAblationHandoffPriority(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	curves, err := AblationHandoffPriority(Options{Loads: []int{80}, Replications: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	with, without := curves[0], curves[1]
+	// Removing the priority must raise the dropped-call percentage
+	// decisively: that is the whole mechanism.
+	if with.Points[0].Y >= without.Points[0].Y {
+		t.Errorf("handoff priority did not reduce drops: with=%v without=%v",
+			with.Points[0].Y, without.Points[0].Y)
+	}
+	if without.Points[0].Y < 2 {
+		t.Errorf("no-priority drop%% = %v, expected a visible drop rate at heavy load", without.Points[0].Y)
+	}
+}
+
+func TestAblationDefuzzifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	curves, err := AblationDefuzzifier(Options{Loads: []int{25, 100}, Replications: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 2 {
+		t.Fatalf("got %d curves", len(curves))
+	}
+	// Both defuzzifiers must produce sane declining curves; the choice is
+	// a cost/fidelity trade, not a correctness cliff.
+	for _, c := range curves {
+		if c.Points[0].Y <= c.Points[1].Y {
+			t.Errorf("curve %q does not decline with load: %v", c.Name, c.Points)
+		}
+		for _, p := range c.Points {
+			if p.Y < 0 || p.Y > 100 {
+				t.Errorf("curve %q out of range: %v", c.Name, p)
+			}
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package fuzzy
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// symOut is a symmetric three-term output variable over [-1, 1], shaped
+// like the paper's A/R variable but simplified.
+func symOut(t testing.TB) Variable {
+	t.Helper()
+	v, err := NewVariable("out", -1, 1,
+		Term{Name: "neg", MF: Tri(-1, 0, 1)},
+		Term{Name: "zero", MF: Tri(0, 1, 1)},
+		Term{Name: "pos", MF: Tri(1, 1, 0)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestCentroidSingleTerm(t *testing.T) {
+	out := symOut(t)
+	got, err := Centroid{}.Defuzz(out, []float64{0, 1, 0}, DefaultSamples)
+	if err != nil {
+		t.Fatalf("Defuzz: %v", err)
+	}
+	if math.Abs(got) > 1e-9 {
+		t.Errorf("centroid of symmetric middle term = %v, want 0", got)
+	}
+}
+
+func TestCentroidShiftsTowardStrongerTerm(t *testing.T) {
+	out := symOut(t)
+	got, err := Centroid{}.Defuzz(out, []float64{0.2, 0, 0.8}, DefaultSamples)
+	if err != nil {
+		t.Fatalf("Defuzz: %v", err)
+	}
+	if got <= 0 {
+		t.Errorf("centroid = %v, want > 0 when positive term dominates", got)
+	}
+	mirror, err := Centroid{}.Defuzz(out, []float64{0.8, 0, 0.2}, DefaultSamples)
+	if err != nil {
+		t.Fatalf("Defuzz mirror: %v", err)
+	}
+	if math.Abs(got+mirror) > 1e-6 {
+		t.Errorf("centroid not antisymmetric: %v vs %v", got, mirror)
+	}
+}
+
+func TestCentroidNoRuleFired(t *testing.T) {
+	out := symOut(t)
+	_, err := Centroid{}.Defuzz(out, []float64{0, 0, 0}, DefaultSamples)
+	if !errors.Is(err, ErrNoRuleFired) {
+		t.Errorf("error = %v, want ErrNoRuleFired", err)
+	}
+}
+
+func TestMeanOfMaxima(t *testing.T) {
+	out := symOut(t)
+	got, err := MeanOfMaxima{}.Defuzz(out, []float64{0, 0.3, 0.9}, DefaultSamples)
+	if err != nil {
+		t.Fatalf("Defuzz: %v", err)
+	}
+	// The pos term (peak at 1) dominates; its clipped top spans
+	// [0.1 above grade 0.9 cut]... the maximum plateau is centred well
+	// inside the positive half.
+	if got < 0.5 {
+		t.Errorf("MOM = %v, want in the positive region", got)
+	}
+}
+
+func TestMeanOfMaximaSymmetricTie(t *testing.T) {
+	out := symOut(t)
+	got, err := MeanOfMaxima{}.Defuzz(out, []float64{0.5, 0, 0.5}, DefaultSamples)
+	if err != nil {
+		t.Fatalf("Defuzz: %v", err)
+	}
+	if math.Abs(got) > 0.01 {
+		t.Errorf("MOM of symmetric activations = %v, want ~0", got)
+	}
+}
+
+func TestMeanOfMaximaNoRuleFired(t *testing.T) {
+	out := symOut(t)
+	_, err := MeanOfMaxima{}.Defuzz(out, []float64{0, 0, 0}, DefaultSamples)
+	if !errors.Is(err, ErrNoRuleFired) {
+		t.Errorf("error = %v, want ErrNoRuleFired", err)
+	}
+}
+
+func TestBisectorEqualsSymmetryPoint(t *testing.T) {
+	out := symOut(t)
+	got, err := Bisector{}.Defuzz(out, []float64{0, 1, 0}, DefaultSamples)
+	if err != nil {
+		t.Fatalf("Defuzz: %v", err)
+	}
+	if math.Abs(got) > 0.01 {
+		t.Errorf("bisector of symmetric set = %v, want ~0", got)
+	}
+}
+
+func TestBisectorNoRuleFired(t *testing.T) {
+	out := symOut(t)
+	_, err := Bisector{}.Defuzz(out, []float64{0, 0, 0}, DefaultSamples)
+	if !errors.Is(err, ErrNoRuleFired) {
+		t.Errorf("error = %v, want ErrNoRuleFired", err)
+	}
+}
+
+func TestHeightDefuzzifier(t *testing.T) {
+	out := symOut(t)
+	got, err := Height{}.Defuzz(out, []float64{0, 0.5, 0.5}, 0)
+	if err != nil {
+		t.Fatalf("Defuzz: %v", err)
+	}
+	// Equal weights on peaks 0 and 1.
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("height = %v, want 0.5", got)
+	}
+}
+
+func TestHeightNoRuleFired(t *testing.T) {
+	out := symOut(t)
+	_, err := Height{}.Defuzz(out, []float64{0, 0, 0}, 0)
+	if !errors.Is(err, ErrNoRuleFired) {
+		t.Errorf("error = %v, want ErrNoRuleFired", err)
+	}
+}
+
+type peaklessMF struct{}
+
+func (peaklessMF) Grade(float64) float64 { return 0.5 }
+
+func TestHeightRejectsPeaklessMF(t *testing.T) {
+	out := Variable{Name: "o", Min: 0, Max: 1, Terms: []Term{{Name: "t", MF: peaklessMF{}}}}
+	if _, err := (Height{}).Defuzz(out, []float64{1}, 0); err == nil {
+		t.Error("height defuzzifier accepted an MF without Peak")
+	}
+}
+
+func TestHeightSkipsInactiveTerms(t *testing.T) {
+	// The peakless term has zero strength, so Height must not consult it.
+	out := Variable{Name: "o", Min: 0, Max: 1, Terms: []Term{
+		{Name: "dead", MF: peaklessMF{}},
+		{Name: "live", MF: Tri(0.75, 0.25, 0.25)},
+	}}
+	got, err := Height{}.Defuzz(out, []float64{0, 1}, 0)
+	if err != nil {
+		t.Fatalf("Defuzz: %v", err)
+	}
+	if got != 0.75 {
+		t.Errorf("height = %v, want 0.75", got)
+	}
+}
+
+// Property: all integrating defuzzifiers stay within the output universe
+// for arbitrary activation vectors.
+func TestQuickDefuzzifiersWithinUniverse(t *testing.T) {
+	out := symOut(t)
+	defuzzers := []Defuzzifier{Centroid{}, MeanOfMaxima{}, Bisector{}, Height{}}
+	f := func(a, b, c float64) bool {
+		clampUnit := func(s float64) float64 { return math.Mod(math.Abs(s), 1) }
+		strength := []float64{clampUnit(a), clampUnit(b), clampUnit(c)}
+		if strength[0]+strength[1]+strength[2] == 0 {
+			return true
+		}
+		for _, d := range defuzzers {
+			v, err := d.Defuzz(out, strength, 256)
+			if err != nil {
+				if errors.Is(err, ErrNoRuleFired) {
+					continue
+				}
+				return false
+			}
+			if v < out.Min-1e-9 || v > out.Max+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: centroid is antisymmetric on a symmetric output variable when
+// activations are mirrored.
+func TestQuickCentroidAntisymmetric(t *testing.T) {
+	out := symOut(t)
+	f := func(a, b, c float64) bool {
+		clampUnit := func(s float64) float64 { return math.Mod(math.Abs(s), 1) }
+		s := []float64{clampUnit(a), clampUnit(b), clampUnit(c)}
+		if s[0]+s[1]+s[2] == 0 {
+			return true
+		}
+		fwd, err1 := Centroid{}.Defuzz(out, s, 512)
+		rev, err2 := Centroid{}.Defuzz(out, []float64{s[2], s[1], s[0]}, 512)
+		if err1 != nil || err2 != nil {
+			return errors.Is(err1, ErrNoRuleFired) && errors.Is(err2, ErrNoRuleFired)
+		}
+		return math.Abs(fwd+rev) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCentroid(b *testing.B) {
+	out := symOut(b)
+	strength := []float64{0.2, 0.7, 0.4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Centroid{}).Defuzz(out, strength, DefaultSamples); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

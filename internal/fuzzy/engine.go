@@ -1,0 +1,218 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// TNorm is a fuzzy AND: it combines the membership grades of a rule's
+// antecedents into the rule's activation strength.
+type TNorm func(a, b float64) float64
+
+// MinAND is the standard Mamdani conjunction (Zadeh AND).
+func MinAND(a, b float64) float64 { return math.Min(a, b) }
+
+// ProductAND is the probabilistic conjunction; it yields smoother control
+// surfaces than MinAND and is offered for ablation studies.
+func ProductAND(a, b float64) float64 { return a * b }
+
+const (
+	// DefaultSamples is the default numeric-integration resolution for
+	// integrating defuzzifiers. 1001 points over a unit universe keeps the
+	// centroid error well below the softness of the linguistic scale.
+	DefaultSamples = 1001
+
+	// minSamples guards against degenerate integration grids.
+	minSamples = 16
+)
+
+// Engine is an immutable Mamdani fuzzy-inference engine: fuzzifier,
+// rule-base inference (AND across antecedents, max aggregation across
+// rules), and defuzzifier, as in Fig. 2 of the paper.
+//
+// An Engine is safe for concurrent use: Infer does not mutate engine state.
+type Engine struct {
+	name    string
+	inputs  []Variable
+	output  Variable
+	rules   []Rule
+	and     TNorm
+	defuzz  Defuzzifier
+	samples int
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithAND selects the conjunction operator (default MinAND).
+func WithAND(and TNorm) Option { return func(e *Engine) { e.and = and } }
+
+// WithDefuzzifier selects the defuzzifier (default Centroid).
+func WithDefuzzifier(d Defuzzifier) Option { return func(e *Engine) { e.defuzz = d } }
+
+// WithSamples sets the numeric-integration resolution (default
+// DefaultSamples; values below a small floor are raised to it).
+func WithSamples(n int) Option { return func(e *Engine) { e.samples = n } }
+
+// NewEngine constructs and validates an engine. The rule base must cover
+// the complete cross product of input terms exactly once; both of the
+// paper's rule bases (Tables 1 and 2) have this property, and requiring it
+// catches transcription mistakes at startup rather than mid-simulation.
+func NewEngine(name string, inputs []Variable, output Variable, rules []Rule, opts ...Option) (*Engine, error) {
+	if name == "" {
+		return nil, fmt.Errorf("fuzzy: engine has empty name")
+	}
+	if len(inputs) == 0 {
+		return nil, fmt.Errorf("fuzzy: engine %q has no input variables", name)
+	}
+	for _, in := range inputs {
+		if err := in.Validate(); err != nil {
+			return nil, fmt.Errorf("fuzzy: engine %q: input: %w", name, err)
+		}
+	}
+	if err := output.Validate(); err != nil {
+		return nil, fmt.Errorf("fuzzy: engine %q: output: %w", name, err)
+	}
+	if err := validateRules(inputs, output, rules, true); err != nil {
+		return nil, fmt.Errorf("fuzzy: engine %q: %w", name, err)
+	}
+
+	e := &Engine{
+		name:    name,
+		inputs:  append([]Variable(nil), inputs...),
+		output:  output,
+		rules:   append([]Rule(nil), rules...),
+		and:     MinAND,
+		defuzz:  Centroid{},
+		samples: DefaultSamples,
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if e.samples < minSamples {
+		e.samples = minSamples
+	}
+	if e.and == nil {
+		return nil, fmt.Errorf("fuzzy: engine %q: nil AND operator", name)
+	}
+	if e.defuzz == nil {
+		return nil, fmt.Errorf("fuzzy: engine %q: nil defuzzifier", name)
+	}
+	return e, nil
+}
+
+// MustEngine is NewEngine that panics on error, for statically authored
+// controllers.
+func MustEngine(name string, inputs []Variable, output Variable, rules []Rule, opts ...Option) *Engine {
+	e, err := NewEngine(name, inputs, output, rules, opts...)
+	if err != nil {
+		panic(err.Error())
+	}
+	return e
+}
+
+// Name returns the engine's name.
+func (e *Engine) Name() string { return e.name }
+
+// Inputs returns a copy of the engine's input variables.
+func (e *Engine) Inputs() []Variable { return append([]Variable(nil), e.inputs...) }
+
+// Output returns the engine's output variable.
+func (e *Engine) Output() Variable { return e.output }
+
+// Rules returns a copy of the engine's rule base.
+func (e *Engine) Rules() []Rule { return append([]Rule(nil), e.rules...) }
+
+// Result carries the full trace of one inference, for diagnostics,
+// explanation and tests.
+type Result struct {
+	// Crisp is the defuzzified output value.
+	Crisp float64
+	// RuleStrength is the activation strength of each rule, in rule order.
+	RuleStrength []float64
+	// TermStrength is the aggregated (max) activation of each output term.
+	TermStrength []float64
+	// BestTerm is the index of the most activated output term, or -1 if no
+	// rule fired.
+	BestTerm int
+}
+
+// Infer runs fuzzification, rule evaluation, aggregation and
+// defuzzification for the given crisp inputs (one per input variable, in
+// order; values are clamped to each variable's universe).
+func (e *Engine) Infer(inputs ...float64) (float64, error) {
+	res, err := e.InferDetail(inputs...)
+	if err != nil {
+		return 0, err
+	}
+	return res.Crisp, nil
+}
+
+// InferDetail is Infer returning the full inference trace.
+func (e *Engine) InferDetail(inputs ...float64) (Result, error) {
+	if len(inputs) != len(e.inputs) {
+		return Result{}, fmt.Errorf("fuzzy: engine %q: got %d inputs, want %d", e.name, len(inputs), len(e.inputs))
+	}
+
+	// Fuzzify every input once; rules then index into the grade tables.
+	grades := make([][]float64, len(e.inputs))
+	for i, v := range e.inputs {
+		grades[i] = v.Fuzzify(inputs[i])
+	}
+
+	ruleStrength := make([]float64, len(e.rules))
+	termStrength := make([]float64, len(e.output.Terms))
+	for ri, r := range e.rules {
+		s := grades[0][r.When[0]]
+		for vi := 1; vi < len(r.When); vi++ {
+			if s == 0 {
+				break // conjunction cannot recover once any AND operand is 0
+			}
+			s = e.and(s, grades[vi][r.When[vi]])
+		}
+		ruleStrength[ri] = s
+		if s > termStrength[r.Then] {
+			termStrength[r.Then] = s
+		}
+	}
+
+	best := -1
+	bestS := 0.0
+	for ti, s := range termStrength {
+		if s > bestS {
+			bestS = s
+			best = ti
+		}
+	}
+
+	crisp, err := e.defuzz.Defuzz(e.output, termStrength, e.samples)
+	if err != nil {
+		return Result{}, fmt.Errorf("fuzzy: engine %q: %w", e.name, err)
+	}
+	return Result{
+		Crisp:        crisp,
+		RuleStrength: ruleStrength,
+		TermStrength: termStrength,
+		BestTerm:     best,
+	}, nil
+}
+
+// DescribeRule renders rule ri with variable and term names, e.g.
+// "IF Sp is Sl AND An is St AND Sr is Me THEN Cv is Cv9".
+func (e *Engine) DescribeRule(ri int) (string, error) {
+	if ri < 0 || ri >= len(e.rules) {
+		return "", fmt.Errorf("fuzzy: engine %q has no rule %d", e.name, ri)
+	}
+	r := e.rules[ri]
+	var b strings.Builder
+	b.WriteString("IF ")
+	for vi, w := range r.When {
+		if vi > 0 {
+			b.WriteString(" AND ")
+		}
+		fmt.Fprintf(&b, "%s is %s", e.inputs[vi].Name, e.inputs[vi].Terms[w].Name)
+	}
+	fmt.Fprintf(&b, " THEN %s is %s", e.output.Name, e.output.Terms[r.Then].Name)
+	return b.String(), nil
+}

@@ -1,0 +1,435 @@
+package fuzzy
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// tipperEngine builds a tiny 2-input engine with a known control surface:
+// the classic "tipping" toy problem, small enough to verify by hand.
+func tipperEngine(t testing.TB, opts ...Option) *Engine {
+	t.Helper()
+	service := MustVariable("service", 0, 10,
+		Term{Name: "poor", MF: Tri(0, 0, 5)},
+		Term{Name: "good", MF: Tri(5, 5, 5)},
+		Term{Name: "great", MF: Tri(10, 5, 0)},
+	)
+	food := MustVariable("food", 0, 10,
+		Term{Name: "bad", MF: Tri(0, 0, 10)},
+		Term{Name: "tasty", MF: Tri(10, 10, 0)},
+	)
+	tip := MustVariable("tip", 0, 30,
+		Term{Name: "low", MF: Tri(5, 5, 5)},
+		Term{Name: "medium", MF: Tri(15, 5, 5)},
+		Term{Name: "high", MF: Tri(25, 5, 5)},
+	)
+	rules, err := RuleTable([]Variable{service, food}, tip, []string{
+		// service=poor:  food=bad, food=tasty
+		"low", "low",
+		// service=good:
+		"medium", "medium",
+		// service=great:
+		"medium", "high",
+	})
+	if err != nil {
+		t.Fatalf("RuleTable: %v", err)
+	}
+	e, err := NewEngine("tipper", []Variable{service, food}, tip, rules, opts...)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	return e
+}
+
+func TestEngineInferKnownPoints(t *testing.T) {
+	e := tipperEngine(t)
+	tests := []struct {
+		name    string
+		service float64
+		food    float64
+		want    float64
+		tol     float64
+	}{
+		// Only "low" fires: centroid of the full low triangle = 5.
+		{name: "worst case", service: 0, food: 0, want: 5, tol: 0.05},
+		// Only "medium" fires fully.
+		{name: "good service", service: 5, food: 5, want: 15, tol: 0.05},
+		// Only "high" fires fully.
+		{name: "best case", service: 10, food: 10, want: 25, tol: 0.05},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := e.Infer(tt.service, tt.food)
+			if err != nil {
+				t.Fatalf("Infer: %v", err)
+			}
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Infer(%v, %v) = %v, want %v +/- %v", tt.service, tt.food, got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestEngineInferMonotoneInService(t *testing.T) {
+	e := tipperEngine(t)
+	prev := -1.0
+	for s := 0.0; s <= 10; s += 0.5 {
+		got, err := e.Infer(s, 10)
+		if err != nil {
+			t.Fatalf("Infer(%v, 10): %v", s, err)
+		}
+		if got < prev-1e-9 {
+			t.Fatalf("tip not monotone in service: f(%v)=%v < previous %v", s, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestEngineInferDetail(t *testing.T) {
+	e := tipperEngine(t)
+	res, err := e.InferDetail(2.5, 0)
+	if err != nil {
+		t.Fatalf("InferDetail: %v", err)
+	}
+	if len(res.RuleStrength) != 6 {
+		t.Fatalf("RuleStrength has %d entries, want 6", len(res.RuleStrength))
+	}
+	if len(res.TermStrength) != 3 {
+		t.Fatalf("TermStrength has %d entries, want 3", len(res.TermStrength))
+	}
+	// service=2.5 -> poor=0.5, good=0.5; food=0 -> bad=1, tasty=0.
+	// Fired rules: (poor,bad)->low @0.5, (good,bad)->medium @0.5.
+	if math.Abs(res.TermStrength[0]-0.5) > 1e-12 {
+		t.Errorf("low strength = %v, want 0.5", res.TermStrength[0])
+	}
+	if math.Abs(res.TermStrength[1]-0.5) > 1e-12 {
+		t.Errorf("medium strength = %v, want 0.5", res.TermStrength[1])
+	}
+	if res.TermStrength[2] != 0 {
+		t.Errorf("high strength = %v, want 0", res.TermStrength[2])
+	}
+	if res.BestTerm != 0 && res.BestTerm != 1 {
+		t.Errorf("BestTerm = %d, want 0 or 1", res.BestTerm)
+	}
+	// Symmetric activation of low (peak 5) and medium (peak 15): centroid 10.
+	if math.Abs(res.Crisp-10) > 0.05 {
+		t.Errorf("Crisp = %v, want ~10", res.Crisp)
+	}
+}
+
+func TestEngineWrongArity(t *testing.T) {
+	e := tipperEngine(t)
+	if _, err := e.Infer(1); err == nil {
+		t.Error("Infer with 1 input did not error")
+	}
+	if _, err := e.Infer(1, 2, 3); err == nil {
+		t.Error("Infer with 3 inputs did not error")
+	}
+}
+
+func TestEngineClampsOutOfRangeInputs(t *testing.T) {
+	e := tipperEngine(t)
+	inRange, err := e.Infer(10, 10)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	clamped, err := e.Infer(1e9, 1e9)
+	if err != nil {
+		t.Fatalf("Infer clamped: %v", err)
+	}
+	if inRange != clamped {
+		t.Errorf("clamped inference %v differs from edge inference %v", clamped, inRange)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := tipperEngine(t)
+	if e.Name() != "tipper" {
+		t.Errorf("Name = %q", e.Name())
+	}
+	if got := len(e.Inputs()); got != 2 {
+		t.Errorf("len(Inputs) = %d, want 2", got)
+	}
+	if got := e.Output().Name; got != "tip" {
+		t.Errorf("Output().Name = %q, want tip", got)
+	}
+	if got := len(e.Rules()); got != 6 {
+		t.Errorf("len(Rules) = %d, want 6", got)
+	}
+	// Mutating the returned copies must not affect the engine.
+	e.Rules()[0].Then = 99
+	if e.rules[0].Then == 99 {
+		t.Error("Rules() returned a view into engine state")
+	}
+}
+
+func TestDescribeRule(t *testing.T) {
+	e := tipperEngine(t)
+	got, err := e.DescribeRule(0)
+	if err != nil {
+		t.Fatalf("DescribeRule: %v", err)
+	}
+	want := "IF service is poor AND food is bad THEN tip is low"
+	if got != want {
+		t.Errorf("DescribeRule(0) = %q, want %q", got, want)
+	}
+	if _, err := e.DescribeRule(99); err == nil {
+		t.Error("DescribeRule(99) did not error")
+	}
+	if _, err := e.DescribeRule(-1); err == nil {
+		t.Error("DescribeRule(-1) did not error")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{When: []int{1, 2}, Then: 0}
+	got := r.String()
+	if !strings.Contains(got, "in0=1") || !strings.Contains(got, "in1=2") || !strings.Contains(got, "out=0") {
+		t.Errorf("Rule.String() = %q", got)
+	}
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	in := MustVariable("in", 0, 1,
+		Term{Name: "lo", MF: Tri(0, 0, 1)},
+		Term{Name: "hi", MF: Tri(1, 1, 0)},
+	)
+	out := MustVariable("out", 0, 1,
+		Term{Name: "a", MF: Tri(0, 0, 1)},
+		Term{Name: "b", MF: Tri(1, 1, 0)},
+	)
+	okRules := []Rule{
+		{When: []int{0}, Then: 0},
+		{When: []int{1}, Then: 1},
+	}
+
+	tests := []struct {
+		name    string
+		ename   string
+		inputs  []Variable
+		rules   []Rule
+		wantErr string
+	}{
+		{name: "valid", ename: "e", inputs: []Variable{in}, rules: okRules},
+		{name: "empty name", ename: "", inputs: []Variable{in}, rules: okRules, wantErr: "empty name"},
+		{name: "no inputs", ename: "e", rules: okRules, wantErr: "no input"},
+		{name: "no rules", ename: "e", inputs: []Variable{in}, wantErr: "empty"},
+		{
+			name: "bad arity", ename: "e", inputs: []Variable{in},
+			rules: []Rule{{When: []int{0, 0}, Then: 0}, {When: []int{1}, Then: 1}}, wantErr: "antecedents",
+		},
+		{
+			name: "bad antecedent index", ename: "e", inputs: []Variable{in},
+			rules: []Rule{{When: []int{5}, Then: 0}, {When: []int{1}, Then: 1}}, wantErr: "references term",
+		},
+		{
+			name: "bad consequent index", ename: "e", inputs: []Variable{in},
+			rules: []Rule{{When: []int{0}, Then: 9}, {When: []int{1}, Then: 1}}, wantErr: "consequent",
+		},
+		{
+			name: "incomplete", ename: "e", inputs: []Variable{in},
+			rules: []Rule{{When: []int{0}, Then: 0}}, wantErr: "complete cross product",
+		},
+		{
+			name: "duplicate antecedents", ename: "e", inputs: []Variable{in},
+			rules: []Rule{{When: []int{0}, Then: 0}, {When: []int{0}, Then: 1}}, wantErr: "share the same antecedents",
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewEngine(tt.ename, tt.inputs, out, tt.rules)
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("NewEngine: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Errorf("NewEngine error = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustEngine with invalid spec did not panic")
+		}
+	}()
+	MustEngine("", nil, Variable{}, nil)
+}
+
+func TestRuleTableErrors(t *testing.T) {
+	in := MustVariable("in", 0, 1,
+		Term{Name: "lo", MF: Tri(0, 0, 1)},
+		Term{Name: "hi", MF: Tri(1, 1, 0)},
+	)
+	out := MustVariable("out", 0, 1, Term{Name: "a", MF: Tri(0, 0, 1)})
+
+	if _, err := RuleTable([]Variable{in}, out, []string{"a"}); err == nil {
+		t.Error("RuleTable with wrong row count did not error")
+	}
+	if _, err := RuleTable([]Variable{in}, out, []string{"a", "nope"}); err == nil {
+		t.Error("RuleTable with unknown consequent did not error")
+	}
+}
+
+func TestRuleTableOrdering(t *testing.T) {
+	a := MustVariable("a", 0, 1,
+		Term{Name: "a0", MF: Tri(0, 0, 1)},
+		Term{Name: "a1", MF: Tri(1, 1, 0)},
+	)
+	b := MustVariable("b", 0, 1,
+		Term{Name: "b0", MF: Tri(0, 0, 1)},
+		Term{Name: "b1", MF: Tri(1, 1, 0)},
+		Term{Name: "b2", MF: Tri(0.5, 0.5, 0.5)},
+	)
+	out := MustVariable("o", 0, 1,
+		Term{Name: "x", MF: Tri(0, 0, 1)},
+		Term{Name: "y", MF: Tri(1, 1, 0)},
+	)
+	rules, err := RuleTable([]Variable{a, b}, out, []string{
+		"x", "y", "x", // a0 x {b0,b1,b2}
+		"y", "x", "y", // a1 x {b0,b1,b2}
+	})
+	if err != nil {
+		t.Fatalf("RuleTable: %v", err)
+	}
+	want := []Rule{
+		{When: []int{0, 0}, Then: 0},
+		{When: []int{0, 1}, Then: 1},
+		{When: []int{0, 2}, Then: 0},
+		{When: []int{1, 0}, Then: 1},
+		{When: []int{1, 1}, Then: 0},
+		{When: []int{1, 2}, Then: 1},
+	}
+	if len(rules) != len(want) {
+		t.Fatalf("got %d rules, want %d", len(rules), len(want))
+	}
+	for i := range want {
+		if rules[i].Then != want[i].Then || rules[i].When[0] != want[i].When[0] || rules[i].When[1] != want[i].When[1] {
+			t.Errorf("rule %d = %v, want %v", i, rules[i], want[i])
+		}
+	}
+}
+
+func TestEngineProductAND(t *testing.T) {
+	eMin := tipperEngine(t)
+	eProd := tipperEngine(t, WithAND(ProductAND))
+	// At a point where both grades are fractional the two conjunctions
+	// must differ; at corners they must agree.
+	vMin, err := eMin.Infer(2.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vProd, err := eProd.Infer(2.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vMin-vProd) < 1e-6 {
+		t.Errorf("min and product AND agree suspiciously exactly: %v vs %v", vMin, vProd)
+	}
+	cMin, err := eMin.Infer(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cProd, err := eProd.Infer(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cMin-cProd) > 1e-9 {
+		t.Errorf("min and product AND disagree at crisp corner: %v vs %v", cMin, cProd)
+	}
+}
+
+func TestEngineWithSamplesFloor(t *testing.T) {
+	e := tipperEngine(t, WithSamples(1))
+	if e.samples < minSamples {
+		t.Errorf("samples = %d, want at least %d", e.samples, minSamples)
+	}
+}
+
+func TestEngineNilOperators(t *testing.T) {
+	service := MustVariable("s", 0, 1, Term{Name: "x", MF: Tri(0, 0, 1)})
+	out := MustVariable("o", 0, 1, Term{Name: "y", MF: Tri(0, 0, 1)})
+	rules := []Rule{{When: []int{0}, Then: 0}}
+	if _, err := NewEngine("e", []Variable{service}, out, rules, WithAND(nil)); err == nil {
+		t.Error("nil AND accepted")
+	}
+	if _, err := NewEngine("e", []Variable{service}, out, rules, WithDefuzzifier(nil)); err == nil {
+		t.Error("nil defuzzifier accepted")
+	}
+}
+
+// Property: the crisp output always lies inside the output universe.
+func TestQuickInferWithinUniverse(t *testing.T) {
+	e := tipperEngine(t)
+	f := func(s, fd float64) bool {
+		sv := math.Mod(math.Abs(s), 10)
+		fv := math.Mod(math.Abs(fd), 10)
+		got, err := e.Infer(sv, fv)
+		if err != nil {
+			return false
+		}
+		return got >= 0 && got <= 30
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: inference is deterministic.
+func TestQuickInferDeterministic(t *testing.T) {
+	e := tipperEngine(t)
+	f := func(s, fd float64) bool {
+		sv := math.Mod(math.Abs(s), 10)
+		fv := math.Mod(math.Abs(fd), 10)
+		a, err1 := e.Infer(sv, fv)
+		b, err2 := e.Infer(sv, fv)
+		return err1 == nil && err2 == nil && a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: with a complete Ruspini rule base some rule always fires, so
+// ErrNoRuleFired never escapes for in-universe inputs.
+func TestQuickAlwaysFires(t *testing.T) {
+	e := tipperEngine(t)
+	f := func(s, fd float64) bool {
+		sv := math.Mod(math.Abs(s), 10)
+		fv := math.Mod(math.Abs(fd), 10)
+		_, err := e.Infer(sv, fv)
+		return !errors.Is(err, ErrNoRuleFired)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineInfer(b *testing.B) {
+	e := tipperEngine(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Infer(3.7, 6.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineInferHeight(b *testing.B) {
+	e := tipperEngine(b, WithDefuzzifier(Height{}))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Infer(3.7, 6.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

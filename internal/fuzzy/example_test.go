@@ -1,0 +1,51 @@
+package fuzzy_test
+
+import (
+	"fmt"
+
+	"facsp/internal/fuzzy"
+)
+
+// Build a one-input Mamdani controller from scratch: a fan whose speed
+// follows the room temperature.
+func ExampleEngine() {
+	temp := fuzzy.MustVariable("temp", 0, 40,
+		fuzzy.Term{Name: "cold", MF: fuzzy.Tri(0, 0, 20)},
+		fuzzy.Term{Name: "warm", MF: fuzzy.Tri(20, 20, 20)},
+		fuzzy.Term{Name: "hot", MF: fuzzy.Tri(40, 20, 0)},
+	)
+	fan := fuzzy.MustVariable("fan", 0, 100,
+		fuzzy.Term{Name: "off", MF: fuzzy.Tri(0, 0, 50)},
+		fuzzy.Term{Name: "half", MF: fuzzy.Tri(50, 50, 50)},
+		fuzzy.Term{Name: "full", MF: fuzzy.Tri(100, 50, 0)},
+	)
+	rules, err := fuzzy.RuleTable([]fuzzy.Variable{temp}, fan, []string{
+		"off",  // cold
+		"half", // warm
+		"full", // hot
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	engine, err := fuzzy.NewEngine("fan", []fuzzy.Variable{temp}, fan, rules)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	for _, t := range []float64{5, 20, 30} {
+		speed, err := engine.Infer(t)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%2.0f degrees -> fan %.0f%%\n", t, speed)
+	}
+	// The centroid defuzzifier blends the clipped output sets, so the
+	// extremes are pulled toward the middle of the fan universe.
+	// Output:
+	//  5 degrees -> fan 35%
+	// 20 degrees -> fan 50%
+	// 30 degrees -> fan 56%
+}

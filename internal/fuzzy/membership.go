@@ -1,0 +1,204 @@
+// Package fuzzy implements a small, dependency-free Mamdani fuzzy-inference
+// engine: linguistic variables with triangular and trapezoidal membership
+// functions, validated rule bases, min–max inference, and a choice of
+// defuzzifiers.
+//
+// The package is the substrate under the paper's two fuzzy logic controllers
+// (FLC1 and FLC2 in internal/core), but it is generic: nothing in it knows
+// about call admission. Engines are immutable after construction and safe
+// for concurrent use.
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// MF is a scalar membership function: Grade reports the degree, in [0, 1],
+// to which x belongs to the fuzzy set.
+type MF interface {
+	Grade(x float64) float64
+}
+
+// Peaked is implemented by membership functions that have a well-defined
+// prototype point (the x of maximal membership). The height defuzzifier and
+// several diagnostics rely on it.
+type Peaked interface {
+	Peak() float64
+}
+
+// Supported is implemented by membership functions with compact support.
+// Support returns the closed interval outside of which Grade is zero.
+type Supported interface {
+	Support() (lo, hi float64)
+}
+
+// Triangular is the paper's f(x; x0, a0, a1) membership function: grade 1 at
+// Center, falling linearly to 0 at Center-LeftWidth and Center+RightWidth.
+//
+// A zero width makes the corresponding side a vertical edge: the grade is 1
+// at Center and 0 strictly beyond it. Negative widths are invalid; use
+// Validate or the package constructors to catch them.
+type Triangular struct {
+	Center     float64
+	LeftWidth  float64
+	RightWidth float64
+}
+
+var (
+	_ MF        = Triangular{}
+	_ Peaked    = Triangular{}
+	_ Supported = Triangular{}
+)
+
+// Tri returns a Triangular membership function with the given center and
+// widths. It panics if either width is negative; rule-base authoring is
+// static, so a bad shape is a programming error, not a runtime condition.
+func Tri(center, leftWidth, rightWidth float64) Triangular {
+	t := Triangular{Center: center, LeftWidth: leftWidth, RightWidth: rightWidth}
+	if err := t.Validate(); err != nil {
+		panic("fuzzy: " + err.Error())
+	}
+	return t
+}
+
+// Validate reports whether the shape parameters are usable.
+func (t Triangular) Validate() error {
+	if t.LeftWidth < 0 || t.RightWidth < 0 {
+		return fmt.Errorf("triangular MF has negative width: left=%v right=%v", t.LeftWidth, t.RightWidth)
+	}
+	if math.IsNaN(t.Center) || math.IsInf(t.Center, 0) {
+		return fmt.Errorf("triangular MF has non-finite center %v", t.Center)
+	}
+	return nil
+}
+
+// Grade implements MF.
+func (t Triangular) Grade(x float64) float64 {
+	switch {
+	case x == t.Center:
+		return 1
+	case x < t.Center:
+		if t.LeftWidth == 0 || x <= t.Center-t.LeftWidth {
+			return 0
+		}
+		return (x - (t.Center - t.LeftWidth)) / t.LeftWidth
+	default:
+		if t.RightWidth == 0 || x >= t.Center+t.RightWidth {
+			return 0
+		}
+		return ((t.Center + t.RightWidth) - x) / t.RightWidth
+	}
+}
+
+// Peak implements Peaked.
+func (t Triangular) Peak() float64 { return t.Center }
+
+// Support implements Supported.
+func (t Triangular) Support() (lo, hi float64) {
+	return t.Center - t.LeftWidth, t.Center + t.RightWidth
+}
+
+// Trapezoidal is the paper's g(x; x0, x1, a0, a1) membership function:
+// grade 1 on the plateau [Left, Right], rising linearly from
+// Left-LeftWidth and falling linearly to Right+RightWidth.
+//
+// A zero width makes the corresponding side a vertical edge, which is how
+// the shoulder terms at the ends of a universe (e.g. Back1/Back2 on the
+// angle axis) are expressed.
+type Trapezoidal struct {
+	Left       float64
+	Right      float64
+	LeftWidth  float64
+	RightWidth float64
+}
+
+var (
+	_ MF        = Trapezoidal{}
+	_ Peaked    = Trapezoidal{}
+	_ Supported = Trapezoidal{}
+)
+
+// Trap returns a Trapezoidal membership function with plateau [left, right]
+// and the given slope widths. It panics on invalid shapes (negative widths
+// or an inverted plateau).
+func Trap(left, right, leftWidth, rightWidth float64) Trapezoidal {
+	tr := Trapezoidal{Left: left, Right: right, LeftWidth: leftWidth, RightWidth: rightWidth}
+	if err := tr.Validate(); err != nil {
+		panic("fuzzy: " + err.Error())
+	}
+	return tr
+}
+
+// Validate reports whether the shape parameters are usable.
+func (t Trapezoidal) Validate() error {
+	if t.Left > t.Right {
+		return fmt.Errorf("trapezoidal MF has inverted plateau [%v, %v]", t.Left, t.Right)
+	}
+	if t.LeftWidth < 0 || t.RightWidth < 0 {
+		return fmt.Errorf("trapezoidal MF has negative width: left=%v right=%v", t.LeftWidth, t.RightWidth)
+	}
+	// Shoulders extend a plateau outward without bound: Left may be -inf
+	// and Right may be +inf, but never the reverse, and never NaN.
+	if math.IsNaN(t.Left) || math.IsNaN(t.Right) || math.IsInf(t.Left, 1) || math.IsInf(t.Right, -1) {
+		return fmt.Errorf("trapezoidal MF has invalid plateau [%v, %v]", t.Left, t.Right)
+	}
+	return nil
+}
+
+// Grade implements MF.
+func (t Trapezoidal) Grade(x float64) float64 {
+	switch {
+	case x >= t.Left && x <= t.Right:
+		return 1
+	case x < t.Left:
+		if t.LeftWidth == 0 || x <= t.Left-t.LeftWidth {
+			return 0
+		}
+		return (x - (t.Left - t.LeftWidth)) / t.LeftWidth
+	default:
+		if t.RightWidth == 0 || x >= t.Right+t.RightWidth {
+			return 0
+		}
+		return ((t.Right + t.RightWidth) - x) / t.RightWidth
+	}
+}
+
+// Peak implements Peaked: the midpoint of the plateau. For shoulder shapes
+// whose plateau extends to infinity on one side, Peak is the finite edge.
+func (t Trapezoidal) Peak() float64 {
+	switch {
+	case math.IsInf(t.Left, -1):
+		return t.Right
+	case math.IsInf(t.Right, 1):
+		return t.Left
+	default:
+		return (t.Left + t.Right) / 2
+	}
+}
+
+// Support implements Supported.
+func (t Trapezoidal) Support() (lo, hi float64) {
+	return t.Left - t.LeftWidth, t.Right + t.RightWidth
+}
+
+// LeftShoulder returns a trapezoid with grade 1 on (-inf-like) plateau up to
+// `to`, falling to zero at `zero`. Use it for the lowest term of a variable:
+// the plateau is extended to cover everything below `to` so that clamped
+// inputs at the universe edge receive full membership.
+func LeftShoulder(to, zero float64) Trapezoidal {
+	if zero < to {
+		panic(fmt.Sprintf("fuzzy: LeftShoulder(to=%v, zero=%v): zero must be >= to", to, zero))
+	}
+	return Trapezoidal{Left: math.Inf(-1), Right: to, LeftWidth: 0, RightWidth: zero - to}
+}
+
+// RightShoulder returns a trapezoid with grade 0 up to `zero`, rising to a
+// plateau at `from` that extends upward without bound. Use it for the
+// highest term of a variable.
+func RightShoulder(zero, from float64) Trapezoidal {
+	if from < zero {
+		panic(fmt.Sprintf("fuzzy: RightShoulder(zero=%v, from=%v): from must be >= zero", zero, from))
+	}
+	return Trapezoidal{Left: from, Right: math.Inf(1), LeftWidth: from - zero, RightWidth: 0}
+}

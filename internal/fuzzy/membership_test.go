@@ -1,0 +1,287 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTriangularGrade(t *testing.T) {
+	tri := Tri(60, 60, 60) // the paper's "Middle" speed term
+	tests := []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		{name: "peak", x: 60, want: 1},
+		{name: "left zero", x: 0, want: 0},
+		{name: "right zero", x: 120, want: 0},
+		{name: "left mid", x: 30, want: 0.5},
+		{name: "right mid", x: 90, want: 0.5},
+		{name: "left quarter", x: 15, want: 0.25},
+		{name: "beyond left", x: -10, want: 0},
+		{name: "beyond right", x: 150, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tri.Grade(tt.x); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Grade(%v) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTriangularZeroWidthEdges(t *testing.T) {
+	// "Slow" in the paper peaks at 0 with a vertical left edge.
+	sl := Tri(0, 0, 60)
+	if got := sl.Grade(0); got != 1 {
+		t.Errorf("Grade at peak with zero left width = %v, want 1", got)
+	}
+	if got := sl.Grade(-1); got != 0 {
+		t.Errorf("Grade left of vertical edge = %v, want 0", got)
+	}
+	if got := sl.Grade(30); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Grade(30) = %v, want 0.5", got)
+	}
+
+	both := Tri(5, 0, 0) // crisp singleton
+	if got := both.Grade(5); got != 1 {
+		t.Errorf("singleton Grade(5) = %v, want 1", got)
+	}
+	for _, x := range []float64{4.999, 5.001} {
+		if got := both.Grade(x); got != 0 {
+			t.Errorf("singleton Grade(%v) = %v, want 0", x, got)
+		}
+	}
+}
+
+func TestTriangularPeakAndSupport(t *testing.T) {
+	tri := Tri(45, 45, 45)
+	if got := tri.Peak(); got != 45 {
+		t.Errorf("Peak = %v, want 45", got)
+	}
+	lo, hi := tri.Support()
+	if lo != 0 || hi != 90 {
+		t.Errorf("Support = [%v, %v], want [0, 90]", lo, hi)
+	}
+}
+
+func TestTriPanicsOnNegativeWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Tri with negative width did not panic")
+		}
+	}()
+	Tri(0, -1, 1)
+}
+
+func TestTriangularValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mf      Triangular
+		wantErr bool
+	}{
+		{name: "ok", mf: Triangular{Center: 1, LeftWidth: 1, RightWidth: 1}},
+		{name: "zero widths ok", mf: Triangular{Center: 0}},
+		{name: "negative left", mf: Triangular{LeftWidth: -1}, wantErr: true},
+		{name: "negative right", mf: Triangular{RightWidth: -1}, wantErr: true},
+		{name: "NaN center", mf: Triangular{Center: math.NaN()}, wantErr: true},
+		{name: "Inf center", mf: Triangular{Center: math.Inf(1)}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.mf.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestTrapezoidalGrade(t *testing.T) {
+	// The paper's "Back1" angle term: plateau [-180, -135], zero at -90.
+	b1 := Trap(-180, -135, 0, 45)
+	tests := []struct {
+		name string
+		x    float64
+		want float64
+	}{
+		{name: "plateau left edge", x: -180, want: 1},
+		{name: "plateau right edge", x: -135, want: 1},
+		{name: "plateau interior", x: -150, want: 1},
+		{name: "falling mid", x: -112.5, want: 0.5},
+		{name: "zero", x: -90, want: 0},
+		{name: "beyond", x: 0, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := b1.Grade(tt.x); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("Grade(%v) = %v, want %v", tt.x, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestTrapezoidalRisingSide(t *testing.T) {
+	a := Trap(0.6, 1, 0.3, 0) // the paper's "Accept" output term
+	tests := []struct {
+		x, want float64
+	}{
+		{x: 0.3, want: 0},
+		{x: 0.45, want: 0.5},
+		{x: 0.6, want: 1},
+		{x: 1, want: 1},
+		{x: 1.5, want: 0},
+	}
+	for _, tt := range tests {
+		if got := a.Grade(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Grade(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestTrapezoidalPeak(t *testing.T) {
+	if got := Trap(2, 4, 1, 1).Peak(); got != 3 {
+		t.Errorf("Peak = %v, want 3", got)
+	}
+}
+
+func TestTrapPanicsOnInvertedPlateau(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Trap with inverted plateau did not panic")
+		}
+	}()
+	Trap(2, 1, 0, 0)
+}
+
+func TestTrapezoidalValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mf      Trapezoidal
+		wantErr bool
+	}{
+		{name: "ok", mf: Trapezoidal{Left: 0, Right: 1, LeftWidth: 1, RightWidth: 1}},
+		{name: "left shoulder ok", mf: Trapezoidal{Left: math.Inf(-1), Right: 0, RightWidth: 1}},
+		{name: "right shoulder ok", mf: Trapezoidal{Left: 0, Right: math.Inf(1), LeftWidth: 1}},
+		{name: "inverted", mf: Trapezoidal{Left: 2, Right: 1}, wantErr: true},
+		{name: "negative width", mf: Trapezoidal{Right: 1, LeftWidth: -1}, wantErr: true},
+		{name: "NaN", mf: Trapezoidal{Left: math.NaN(), Right: 1}, wantErr: true},
+		{name: "plus-inf left", mf: Trapezoidal{Left: math.Inf(1), Right: math.Inf(1)}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.mf.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestShoulders(t *testing.T) {
+	ls := LeftShoulder(10, 20)
+	for _, tt := range []struct{ x, want float64 }{
+		{x: -1000, want: 1},
+		{x: 10, want: 1},
+		{x: 15, want: 0.5},
+		{x: 20, want: 0},
+		{x: 30, want: 0},
+	} {
+		if got := ls.Grade(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("LeftShoulder.Grade(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := ls.Peak(); got != 10 {
+		t.Errorf("LeftShoulder.Peak = %v, want finite edge 10", got)
+	}
+
+	rs := RightShoulder(10, 20)
+	for _, tt := range []struct{ x, want float64 }{
+		{x: 5, want: 0},
+		{x: 10, want: 0},
+		{x: 15, want: 0.5},
+		{x: 20, want: 1},
+		{x: 1000, want: 1},
+	} {
+		if got := rs.Grade(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("RightShoulder.Grade(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+	if got := rs.Peak(); got != 20 {
+		t.Errorf("RightShoulder.Peak = %v, want finite edge 20", got)
+	}
+}
+
+func TestShoulderPanics(t *testing.T) {
+	t.Run("left", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("LeftShoulder(20,10) did not panic")
+			}
+		}()
+		LeftShoulder(20, 10)
+	})
+	t.Run("right", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("RightShoulder(20,10) did not panic")
+			}
+		}()
+		RightShoulder(20, 10)
+	})
+}
+
+// Property: every membership grade is in [0, 1] for any finite input.
+func TestQuickGradesInUnitInterval(t *testing.T) {
+	mfs := []MF{
+		Tri(0, 0, 60),
+		Tri(60, 60, 60),
+		Trap(-180, -135, 0, 45),
+		LeftShoulder(0, 1),
+		RightShoulder(0.3, 0.6),
+	}
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		for _, mf := range mfs {
+			g := mf.Grade(raw)
+			if g < 0 || g > 1 || math.IsNaN(g) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangular grade is symmetric for symmetric widths.
+func TestQuickTriangularSymmetry(t *testing.T) {
+	tri := Tri(0, 10, 10)
+	f := func(d float64) bool {
+		d = math.Mod(math.Abs(d), 20)
+		return math.Abs(tri.Grade(d)-tri.Grade(-d)) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: grade is monotone non-increasing moving away from the peak.
+func TestQuickTriangularMonotone(t *testing.T) {
+	tri := Tri(5, 3, 7)
+	f := func(a, b float64) bool {
+		a = 5 + math.Mod(math.Abs(a), 10)
+		b = 5 + math.Mod(math.Abs(b), 10)
+		if a > b {
+			a, b = b, a
+		}
+		return tri.Grade(a) >= tri.Grade(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

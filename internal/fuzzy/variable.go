@@ -1,0 +1,134 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+)
+
+// Term is one linguistic value of a Variable, e.g. "Slow" on a speed axis.
+type Term struct {
+	Name string
+	MF   MF
+}
+
+// Variable is a linguistic variable: a named universe of discourse [Min, Max]
+// partitioned into linguistic Terms.
+//
+// Variables are value types; once handed to an Engine they are never
+// mutated. Inputs outside the universe are clamped to it before
+// fuzzification, which matches how the paper treats out-of-range
+// measurements (a 130 km/h reading is simply "Fast").
+type Variable struct {
+	Name  string
+	Min   float64
+	Max   float64
+	Terms []Term
+}
+
+// NewVariable constructs and validates a Variable.
+func NewVariable(name string, min, max float64, terms ...Term) (Variable, error) {
+	v := Variable{Name: name, Min: min, Max: max, Terms: terms}
+	if err := v.Validate(); err != nil {
+		return Variable{}, err
+	}
+	return v, nil
+}
+
+// MustVariable is NewVariable that panics on error; it is intended for
+// statically authored controllers where a bad definition is a programming
+// error.
+func MustVariable(name string, min, max float64, terms ...Term) Variable {
+	v, err := NewVariable(name, min, max, terms...)
+	if err != nil {
+		panic("fuzzy: " + err.Error())
+	}
+	return v
+}
+
+type validatable interface{ Validate() error }
+
+// Validate checks the universe bounds, term names, and term shapes.
+func (v Variable) Validate() error {
+	if v.Name == "" {
+		return fmt.Errorf("variable has empty name")
+	}
+	if math.IsNaN(v.Min) || math.IsNaN(v.Max) || math.IsInf(v.Min, 0) || math.IsInf(v.Max, 0) {
+		return fmt.Errorf("variable %q has non-finite universe [%v, %v]", v.Name, v.Min, v.Max)
+	}
+	if v.Min >= v.Max {
+		return fmt.Errorf("variable %q has empty universe [%v, %v]", v.Name, v.Min, v.Max)
+	}
+	if len(v.Terms) == 0 {
+		return fmt.Errorf("variable %q has no terms", v.Name)
+	}
+	seen := make(map[string]bool, len(v.Terms))
+	for i, t := range v.Terms {
+		if t.Name == "" {
+			return fmt.Errorf("variable %q: term %d has empty name", v.Name, i)
+		}
+		if seen[t.Name] {
+			return fmt.Errorf("variable %q: duplicate term %q", v.Name, t.Name)
+		}
+		seen[t.Name] = true
+		if t.MF == nil {
+			return fmt.Errorf("variable %q: term %q has nil membership function", v.Name, t.Name)
+		}
+		if val, ok := t.MF.(validatable); ok {
+			if err := val.Validate(); err != nil {
+				return fmt.Errorf("variable %q: term %q: %w", v.Name, t.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Clamp returns x restricted to the universe [Min, Max].
+func (v Variable) Clamp(x float64) float64 {
+	switch {
+	case x < v.Min:
+		return v.Min
+	case x > v.Max:
+		return v.Max
+	default:
+		return x
+	}
+}
+
+// Fuzzify returns the membership grade of x in each term, in term order.
+// x is clamped to the universe first.
+func (v Variable) Fuzzify(x float64) []float64 {
+	x = v.Clamp(x)
+	grades := make([]float64, len(v.Terms))
+	for i, t := range v.Terms {
+		grades[i] = t.MF.Grade(x)
+	}
+	return grades
+}
+
+// TermIndex returns the index of the named term, or -1 if absent.
+func (v Variable) TermIndex(name string) int {
+	for i, t := range v.Terms {
+		if t.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// AggregatedGrade evaluates the Mamdani output set
+// max_k min(strength[k], mu_k(x)) at x, i.e. the union of all output terms,
+// each clipped at its activation strength. strength must have one entry per
+// term.
+func (v Variable) AggregatedGrade(x float64, strength []float64) float64 {
+	agg := 0.0
+	for i, t := range v.Terms {
+		s := strength[i]
+		if s <= agg { // this term cannot raise the running max
+			continue
+		}
+		if clipped := math.Min(s, t.MF.Grade(x)); clipped > agg {
+			agg = clipped
+		}
+	}
+	return agg
+}

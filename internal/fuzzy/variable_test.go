@@ -1,0 +1,190 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// speedVar builds the paper's Sp variable (Fig. 5a).
+func speedVar(t testing.TB) Variable {
+	t.Helper()
+	v, err := NewVariable("Sp", 0, 120,
+		Term{Name: "Sl", MF: Tri(0, 0, 60)},
+		Term{Name: "Mi", MF: Tri(60, 60, 60)},
+		Term{Name: "Fa", MF: RightShoulder(60, 120)},
+	)
+	if err != nil {
+		t.Fatalf("speedVar: %v", err)
+	}
+	return v
+}
+
+func TestNewVariableValidation(t *testing.T) {
+	okTerm := Term{Name: "a", MF: Tri(0, 1, 1)}
+	tests := []struct {
+		name    string
+		varName string
+		min     float64
+		max     float64
+		terms   []Term
+		wantErr bool
+	}{
+		{name: "valid", varName: "v", min: 0, max: 1, terms: []Term{okTerm}},
+		{name: "empty name", varName: "", min: 0, max: 1, terms: []Term{okTerm}, wantErr: true},
+		{name: "empty universe", varName: "v", min: 1, max: 1, terms: []Term{okTerm}, wantErr: true},
+		{name: "inverted universe", varName: "v", min: 2, max: 1, terms: []Term{okTerm}, wantErr: true},
+		{name: "NaN bound", varName: "v", min: math.NaN(), max: 1, terms: []Term{okTerm}, wantErr: true},
+		{name: "no terms", varName: "v", min: 0, max: 1, wantErr: true},
+		{name: "unnamed term", varName: "v", min: 0, max: 1, terms: []Term{{MF: Tri(0, 1, 1)}}, wantErr: true},
+		{name: "nil MF", varName: "v", min: 0, max: 1, terms: []Term{{Name: "a"}}, wantErr: true},
+		{
+			name: "duplicate term", varName: "v", min: 0, max: 1,
+			terms: []Term{okTerm, {Name: "a", MF: Tri(1, 1, 1)}}, wantErr: true,
+		},
+		{
+			name: "invalid MF shape", varName: "v", min: 0, max: 1,
+			terms: []Term{{Name: "bad", MF: Triangular{LeftWidth: -1}}}, wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewVariable(tt.varName, tt.min, tt.max, tt.terms...)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewVariable error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustVariablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustVariable with invalid spec did not panic")
+		}
+	}()
+	MustVariable("", 0, 1)
+}
+
+func TestClamp(t *testing.T) {
+	v := speedVar(t)
+	tests := []struct{ x, want float64 }{
+		{x: -5, want: 0},
+		{x: 0, want: 0},
+		{x: 60, want: 60},
+		{x: 120, want: 120},
+		{x: 500, want: 120},
+	}
+	for _, tt := range tests {
+		if got := v.Clamp(tt.x); got != tt.want {
+			t.Errorf("Clamp(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestFuzzify(t *testing.T) {
+	v := speedVar(t)
+	tests := []struct {
+		name string
+		x    float64
+		want []float64
+	}{
+		{name: "slow peak", x: 0, want: []float64{1, 0, 0}},
+		{name: "crossover Sl-Mi", x: 30, want: []float64{0.5, 0.5, 0}},
+		{name: "middle peak", x: 60, want: []float64{0, 1, 0}},
+		{name: "crossover Mi-Fa", x: 90, want: []float64{0, 0.5, 0.5}},
+		{name: "fast plateau", x: 120, want: []float64{0, 0, 1}},
+		{name: "clamped above", x: 300, want: []float64{0, 0, 1}},
+		{name: "clamped below", x: -10, want: []float64{1, 0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := v.Fuzzify(tt.x)
+			if len(got) != len(tt.want) {
+				t.Fatalf("Fuzzify(%v) returned %d grades, want %d", tt.x, len(got), len(tt.want))
+			}
+			for i := range got {
+				if math.Abs(got[i]-tt.want[i]) > 1e-12 {
+					t.Errorf("Fuzzify(%v)[%d] = %v, want %v", tt.x, i, got[i], tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTermIndex(t *testing.T) {
+	v := speedVar(t)
+	tests := []struct {
+		term string
+		want int
+	}{
+		{term: "Sl", want: 0},
+		{term: "Mi", want: 1},
+		{term: "Fa", want: 2},
+		{term: "Nope", want: -1},
+		{term: "", want: -1},
+	}
+	for _, tt := range tests {
+		if got := v.TermIndex(tt.term); got != tt.want {
+			t.Errorf("TermIndex(%q) = %d, want %d", tt.term, got, tt.want)
+		}
+	}
+}
+
+func TestAggregatedGrade(t *testing.T) {
+	v := speedVar(t)
+	tests := []struct {
+		name     string
+		x        float64
+		strength []float64
+		want     float64
+	}{
+		{name: "no activation", x: 60, strength: []float64{0, 0, 0}, want: 0},
+		{name: "full single term at peak", x: 60, strength: []float64{0, 1, 0}, want: 1},
+		{name: "clipped term", x: 60, strength: []float64{0, 0.4, 0}, want: 0.4},
+		{name: "max of two terms", x: 30, strength: []float64{1, 0.2, 0}, want: 0.5},
+		{name: "clip below grade", x: 30, strength: []float64{0.3, 1, 0}, want: 0.5},
+		{name: "inactive term ignored", x: 0, strength: []float64{0, 1, 1}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := v.AggregatedGrade(tt.x, tt.strength); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("AggregatedGrade(%v, %v) = %v, want %v", tt.x, tt.strength, got, tt.want)
+			}
+		})
+	}
+}
+
+// Property: the speed partition is Ruspini (grades sum to 1) across the
+// whole universe — the standard reading of the paper's Fig. 5.
+func TestQuickRuspiniPartition(t *testing.T) {
+	v := speedVar(t)
+	f := func(raw float64) bool {
+		x := math.Mod(math.Abs(raw), 120)
+		sum := 0.0
+		for _, g := range v.Fuzzify(x) {
+			sum += g
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: aggregated grade never exceeds the largest strength, and is 0
+// when all strengths are 0.
+func TestQuickAggregatedGradeBounded(t *testing.T) {
+	v := speedVar(t)
+	f := func(raw, s0, s1, s2 float64) bool {
+		x := math.Mod(math.Abs(raw), 120)
+		clampUnit := func(s float64) float64 { return math.Mod(math.Abs(s), 1) }
+		strength := []float64{clampUnit(s0), clampUnit(s1), clampUnit(s2)}
+		maxS := math.Max(strength[0], math.Max(strength[1], strength[2]))
+		g := v.AggregatedGrade(x, strength)
+		return g >= 0 && g <= maxS+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package plot renders experiment series as ASCII line charts for the
+// terminal and as CSV for external tooling. It is deliberately small: the
+// repository's figures are percentage-vs-load curves, and the charts only
+// need to make the shapes (orderings, crossovers) visible in a terminal.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"facsp/internal/stats"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart configures an ASCII rendering.
+type Chart struct {
+	// Title is printed above the plot.
+	Title string
+	// Width and Height are the plot area size in characters (excluding
+	// axes). Zero values default to 72x20.
+	Width  int
+	Height int
+	// YMin and YMax fix the y range; if both are zero the range is
+	// computed from the data and padded.
+	YMin float64
+	YMax float64
+	// XLabel and YLabel annotate the axes.
+	XLabel string
+	YLabel string
+}
+
+// Render draws the series onto w.
+func (c Chart) Render(w io.Writer, series ...stats.Series) error {
+	width := c.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 20
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := c.YMin, c.YMax
+	autoY := c.YMin == 0 && c.YMax == 0
+	if autoY {
+		yMin, yMax = math.Inf(1), math.Inf(-1)
+	}
+	points := 0
+	for _, s := range series {
+		for _, p := range s.Points {
+			points++
+			xMin = math.Min(xMin, p.X)
+			xMax = math.Max(xMax, p.X)
+			if autoY {
+				yMin = math.Min(yMin, p.Y)
+				yMax = math.Max(yMax, p.Y)
+			}
+		}
+	}
+	if points == 0 {
+		return fmt.Errorf("plot: series contain no points")
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if autoY {
+		pad := (yMax - yMin) * 0.05
+		if pad == 0 {
+			pad = 1
+		}
+		yMin -= pad
+		yMax += pad
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		marker := markers[si%len(markers)]
+		// Draw line segments between consecutive points so crossovers are
+		// visible even with sparse sampling.
+		pts := append([]stats.Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		var prevCol, prevRow int
+		for pi, p := range pts {
+			col := int(math.Round((p.X - xMin) / (xMax - xMin) * float64(width-1)))
+			row := height - 1 - int(math.Round((p.Y-yMin)/(yMax-yMin)*float64(height-1)))
+			col = clampInt(col, 0, width-1)
+			row = clampInt(row, 0, height-1)
+			if pi > 0 {
+				drawSegment(grid, prevCol, prevRow, col, row, '.')
+			}
+			grid[row][col] = marker
+			prevCol, prevRow = col, row
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", c.Title); err != nil {
+			return err
+		}
+	}
+	yLo := strconv.FormatFloat(yMin, 'f', 1, 64)
+	yHi := strconv.FormatFloat(yMax, 'f', 1, 64)
+	labelW := len(yHi)
+	if len(yLo) > labelW {
+		labelW = len(yLo)
+	}
+	for i, line := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yHi)
+		case height - 1:
+			label = fmt.Sprintf("%*s", labelW, yLo)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s  %-*g%*g\n", strings.Repeat(" ", labelW), width/2, xMin, width-width/2, xMax); err != nil {
+		return err
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		if _, err := fmt.Fprintf(w, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel); err != nil {
+			return err
+		}
+	}
+	for si, s := range series {
+		if _, err := fmt.Fprintf(w, "%s  %c %s\n", strings.Repeat(" ", labelW), markers[si%len(markers)], s.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clampInt(v, lo, hi int) int {
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// drawSegment draws a Bresenham-style line of filler characters between
+// two grid cells, leaving existing markers intact.
+func drawSegment(grid [][]byte, x0, y0, x1, y1 int, filler byte) {
+	dx := absInt(x1 - x0)
+	dy := -absInt(y1 - y0)
+	sx := 1
+	if x0 > x1 {
+		sx = -1
+	}
+	sy := 1
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	for {
+		if grid[y0][x0] == ' ' {
+			grid[y0][x0] = filler
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// WriteCSV emits the series as tidy CSV: one row per point with columns
+// series,x,y.
+func WriteCSV(w io.Writer, series ...stats.Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		name := `"` + strings.ReplaceAll(s.Name, `"`, `""`) + `"`
+		for _, p := range s.Points {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", name, p.X, p.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

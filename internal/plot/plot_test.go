@@ -1,0 +1,118 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"facsp/internal/stats"
+)
+
+func sampleSeries() []stats.Series {
+	a := stats.Series{Name: "FACS"}
+	b := stats.Series{Name: "SCC"}
+	for x := 0.0; x <= 100; x += 10 {
+		a.Add(x, 100-x*0.35)
+		b.Add(x, 92-x*0.1)
+	}
+	return []stats.Series{a, b}
+}
+
+func TestRenderBasics(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Title: "Fig. 7", XLabel: "requests", YLabel: "% accepted"}
+	if err := c.Render(&sb, sampleSeries()...); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Fig. 7", "FACS", "SCC", "requests", "% accepted", "*", "o", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + 20 rows + axis + x labels + axis labels + 2 legend rows.
+	if len(lines) < 24 {
+		t.Errorf("output has %d lines, want >= 24", len(lines))
+	}
+}
+
+func TestRenderCustomSize(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{Width: 30, Height: 8}
+	if err := c.Render(&sb, sampleSeries()...); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	lines := strings.Split(sb.String(), "\n")
+	plotRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotRows++
+		}
+	}
+	if plotRows != 8 {
+		t.Errorf("plot rows = %d, want 8", plotRows)
+	}
+}
+
+func TestRenderFixedYRange(t *testing.T) {
+	var sb strings.Builder
+	c := Chart{YMin: 0, YMax: 100, Height: 10, Width: 40}
+	s := stats.Series{Name: "s"}
+	s.Add(0, 50)
+	s.Add(10, 50)
+	if err := c.Render(&sb, s); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "100.0") {
+		t.Errorf("fixed y max not rendered:\n%s", sb.String())
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := (Chart{}).Render(&sb); err == nil {
+		t.Error("no series accepted")
+	}
+	if err := (Chart{}).Render(&sb, stats.Series{Name: "empty"}); err == nil {
+		t.Error("empty series accepted")
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	var sb strings.Builder
+	s := stats.Series{Name: "dot"}
+	s.Add(5, 5)
+	if err := (Chart{}).Render(&sb, s); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	if !strings.Contains(sb.String(), "*") {
+		t.Error("marker missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	a := stats.Series{Name: "curve \"x\""}
+	a.Add(1, 2)
+	a.Add(3, 4.5)
+	if err := WriteCSV(&sb, a); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got := sb.String()
+	want := "series,x,y\n\"curve \"\"x\"\"\",1,2\n\"curve \"\"x\"\"\",3,4.5\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestMarkersCycle(t *testing.T) {
+	var sb strings.Builder
+	many := make([]stats.Series, 10)
+	for i := range many {
+		many[i].Name = "s"
+		many[i].Add(float64(i), float64(i))
+	}
+	if err := (Chart{}).Render(&sb, many...); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+}

@@ -1,0 +1,209 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used by every stochastic component of the repository.
+//
+// All simulator and experiment code takes an explicit *Source rather than
+// using a process-global generator, so that every figure in EXPERIMENTS.md
+// is reproducible bit-for-bit from its seed. The generator is xoshiro256**
+// (Blackman & Vigna), seeded through SplitMix64 so that correlated seeds
+// (0, 1, 2, ...) still yield decorrelated streams.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random number generator.
+//
+// A Source is not safe for concurrent use; derive one per goroutine with
+// Split. The zero value is not usable — construct a Source with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed. Two Sources created with the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the Source to the stream identified by seed.
+func (s *Source) Reseed(seed uint64) {
+	// SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+	// xoshiro256** requires a state that is not all zero; SplitMix64
+	// guarantees that for any input.
+	sm := seed
+	for i := range s.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		s.s[i] = z ^ (z >> 31)
+	}
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+
+	return result
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Split derives a new, statistically independent Source from s, advancing s.
+// Use it to hand child components their own streams so that inserting a new
+// consumer does not perturb the draws seen by existing ones.
+func (s *Source) Split() *Source {
+	// Mix two outputs through SplitMix64 to decorrelate the child stream
+	// from the parent's continuation.
+	seed := s.Uint64() ^ rotl(s.Uint64(), 32)
+	return New(seed)
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation, with a rejection
+	// loop to remove modulo bias entirely.
+	bound := uint64(n)
+	for {
+		v := s.Uint64()
+		hi, lo := mul64(v, bound)
+		if lo >= bound || lo >= uint64(-bound)%bound {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+
+	t := aHi*bLo + (aLo*bLo)>>32
+	lo = a * b
+	hi = aHi*bHi + t>>32 + (t&mask+aLo*bHi)>>32
+	return hi, lo
+}
+
+// Uniform returns a uniform value in [lo, hi). It panics if hi < lo.
+func (s *Source) Uniform(lo, hi float64) float64 {
+	if hi < lo {
+		panic("rng: Uniform called with hi < lo")
+	}
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Bool returns true with probability p (clamped to [0, 1]).
+func (s *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.Float64() < p
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It panics if mean <= 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp called with mean <= 0")
+	}
+	// Inverse-CDF sampling; 1-Float64() avoids log(0).
+	return -mean * math.Log(1-s.Float64())
+}
+
+// Poisson returns a Poisson-distributed count with the given mean (lambda).
+// It panics if lambda < 0.
+func (s *Source) Poisson(lambda float64) int {
+	switch {
+	case lambda < 0:
+		panic("rng: Poisson called with lambda < 0")
+	case lambda == 0:
+		return 0
+	case lambda < 30:
+		// Knuth's product method — exact and fast for small lambda.
+		limit := math.Exp(-lambda)
+		n := 0
+		for p := s.Float64(); p > limit; p *= s.Float64() {
+			n++
+		}
+		return n
+	default:
+		// Split the mean and sum two independent draws. Recursion depth
+		// is O(log lambda), and the sum of independent Poissons is
+		// Poisson with summed means.
+		half := lambda / 2
+		return s.Poisson(half) + s.Poisson(lambda-half)
+	}
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, via the Marsaglia polar method.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q == 0 || q >= 1 {
+			continue
+		}
+		return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := s.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Pick returns a uniformly random index into weights, interpreting each
+// entry as a relative selection weight. It panics if weights is empty, if
+// any weight is negative, or if all weights are zero.
+func (s *Source) Pick(weights []float64) int {
+	if len(weights) == 0 {
+		panic("rng: Pick called with no weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("rng: Pick called with negative weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("rng: Pick called with zero total weight")
+	}
+	target := s.Float64() * total
+	for i, w := range weights {
+		target -= w
+		if target < 0 {
+			return i
+		}
+	}
+	return len(weights) - 1 // floating-point slack lands on the last entry
+}

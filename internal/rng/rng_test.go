@@ -1,0 +1,397 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("draw %d: sources with equal seeds diverged: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical 64-bit draws out of 1000", same)
+	}
+}
+
+func TestReseedRestartsStream(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Reseed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after Reseed: got %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(9)
+	child := parent.Split()
+	// The child stream must differ from the parent's continuation.
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("parent and split child matched on %d of 1000 draws", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	c1 := New(11).Split()
+	c2 := New(11).Split()
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() != c2.Uint64() {
+			t.Fatalf("draw %d: children of identically seeded parents diverged", i)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(4)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnRangeAndCoverage(t *testing.T) {
+	s := New(5)
+	const n = 10
+	seen := make([]int, n)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Intn(%d) out of range: %d", n, v)
+		}
+		seen[v]++
+	}
+	for v, c := range seen {
+		if c == 0 {
+			t.Fatalf("Intn(%d) never produced %d in 10000 draws", n, v)
+		}
+	}
+}
+
+func TestIntnUnbiased(t *testing.T) {
+	s := New(6)
+	const n, draws = 7, 700000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.03*want {
+			t.Fatalf("Intn(%d): value %d appeared %d times, want ~%.0f", n, v, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	for _, n := range []int{0, -1, -100} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Intn(%d) did not panic", n)
+				}
+			}()
+			New(1).Intn(n)
+		}()
+	}
+}
+
+func TestUniform(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 10000; i++ {
+		v := s.Uniform(-3, 5)
+		if v < -3 || v >= 5 {
+			t.Fatalf("Uniform(-3,5) out of range: %v", v)
+		}
+	}
+}
+
+func TestUniformDegenerate(t *testing.T) {
+	s := New(8)
+	if v := s.Uniform(2, 2); v != 2 {
+		t.Fatalf("Uniform(2,2) = %v, want 2", v)
+	}
+}
+
+func TestUniformPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uniform(5,1) did not panic")
+		}
+	}()
+	New(1).Uniform(5, 1)
+}
+
+func TestBool(t *testing.T) {
+	s := New(10)
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{p: 0, want: 0},
+		{p: 1, want: 1},
+		{p: -0.5, want: 0},
+		{p: 1.5, want: 1},
+		{p: 0.25, want: 0.25},
+		{p: 0.9, want: 0.9},
+	}
+	for _, tt := range tests {
+		const n = 100000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if s.Bool(tt.p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-tt.want) > 0.01 {
+			t.Errorf("Bool(%v) rate = %v, want ~%v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(12)
+	for _, mean := range []float64{0.5, 3, 180} {
+		const n = 100000
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := s.Exp(mean)
+			if v < 0 {
+				t.Fatalf("Exp(%v) produced negative value %v", mean, v)
+			}
+			sum += v
+		}
+		got := sum / n
+		if math.Abs(got-mean) > 0.02*mean {
+			t.Errorf("Exp(%v) sample mean = %v", mean, got)
+		}
+	}
+}
+
+func TestExpPanicsOnNonPositiveMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	s := New(13)
+	for _, lambda := range []float64{0.5, 4, 25, 100} {
+		const n = 50000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < n; i++ {
+			v := float64(s.Poisson(lambda))
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		if math.Abs(mean-lambda) > 0.05*lambda+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+		if math.Abs(variance-lambda) > 0.10*lambda+0.1 {
+			t.Errorf("Poisson(%v) variance = %v", lambda, variance)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	s := New(14)
+	for i := 0; i < 100; i++ {
+		if v := s.Poisson(0); v != 0 {
+			t.Fatalf("Poisson(0) = %d, want 0", v)
+		}
+	}
+}
+
+func TestPoissonPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Poisson(-1) did not panic")
+		}
+	}()
+	New(1).Poisson(-1)
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(15)
+	const n = 200000
+	mean, stddev := 12.0, 3.0
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := s.Normal(mean, stddev)
+		sum += v
+		sumSq += v * v
+	}
+	m := sum / n
+	sd := math.Sqrt(sumSq/n - m*m)
+	if math.Abs(m-mean) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~%v", m, mean)
+	}
+	if math.Abs(sd-stddev) > 0.05 {
+		t.Errorf("Normal stddev = %v, want ~%v", sd, stddev)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(16)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := s.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make(map[int]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPickRespectsWeights(t *testing.T) {
+	s := New(17)
+	weights := []float64{1, 0, 3}
+	const n = 100000
+	counts := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		counts[s.Pick(weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight entry picked %d times", counts[1])
+	}
+	got := float64(counts[2]) / float64(counts[0])
+	if math.Abs(got-3) > 0.15 {
+		t.Errorf("weight-3 / weight-1 pick ratio = %v, want ~3", got)
+	}
+}
+
+func TestPickPanics(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []float64
+	}{
+		{name: "empty", weights: nil},
+		{name: "negative", weights: []float64{1, -1}},
+		{name: "all zero", weights: []float64{0, 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Pick(%v) did not panic", tt.weights)
+				}
+			}()
+			New(1).Pick(tt.weights)
+		})
+	}
+}
+
+func TestQuickFloat64AlwaysInUnit(t *testing.T) {
+	f := func(seed uint64, skip uint8) bool {
+		s := New(seed)
+		for i := 0; i < int(skip); i++ {
+			s.Uint64()
+		}
+		v := s.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntnAlwaysInRange(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		v := New(seed).Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSplitDeterminism(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := New(seed).Split()
+		b := New(seed).Split()
+		for i := 0; i < 8; i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Float64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Exp(180)
+	}
+}

@@ -1,0 +1,304 @@
+package scc
+
+import (
+	"testing"
+
+	"facsp/internal/cac"
+	"facsp/internal/hexgrid"
+)
+
+func newController(t testing.TB) *Controller {
+	t.Helper()
+	c, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// reqAt builds a new-call request positioned at the centre of the given
+// cell, heading at the given angle relative to the BS.
+func reqAt(c *Controller, cell hexgrid.Coord, id uint64, bw, speed, angle float64) cac.Request {
+	x, y := c.layout.Center(cell)
+	return cac.Request{
+		ID: id, X: x, Y: y,
+		Speed: speed, Angle: angle,
+		Bandwidth: bw, RealTime: bw > 1,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{name: "zero capacity", mut: func(c *Config) { c.Capacity = 0 }},
+		{name: "zero radius", mut: func(c *Config) { c.CellRadius = 0 }},
+		{name: "zero windows", mut: func(c *Config) { c.Windows = 0 }},
+		{name: "zero window length", mut: func(c *Config) { c.WindowSec = 0 }},
+		{name: "target above one", mut: func(c *Config) { c.UtilizationTarget = 1.1 }},
+		{name: "target zero", mut: func(c *Config) { c.UtilizationTarget = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mut(&cfg)
+			if _, err := New(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestAdmitIntoEmptyNetwork(t *testing.T) {
+	c := newController(t)
+	centre := hexgrid.Coord{}
+	d := c.Admit(centre, reqAt(c, centre, 1, 10, 60, 0))
+	if !d.Accept {
+		t.Fatalf("empty network rejected a video call: %+v", d)
+	}
+	if got := c.Occupancy(centre); got != 10 {
+		t.Errorf("occupancy = %v, want 10", got)
+	}
+	if got := c.ActiveCount(); got != 1 {
+		t.Errorf("active = %d, want 1", got)
+	}
+}
+
+func TestPhysicalCapacityBound(t *testing.T) {
+	c := newController(t)
+	centre := hexgrid.Coord{}
+	var id uint64
+	admitted := 0.0
+	for i := 0; i < 100; i++ {
+		id++
+		// Stationary users: all demand stays in the centre cell.
+		if d := c.Admit(centre, reqAt(c, centre, id, 5, 0, 0)); d.Accept {
+			admitted += 5
+		}
+	}
+	if admitted > c.Capacity() {
+		t.Fatalf("admitted %v BU into a %v BU cell", admitted, c.Capacity())
+	}
+	if got := c.Occupancy(centre); got != admitted {
+		t.Errorf("occupancy = %v, want %v", got, admitted)
+	}
+}
+
+func TestShadowBlocksWhenTargetCellLoaded(t *testing.T) {
+	// Fill a neighbour cell, then ask to admit a fast mobile heading
+	// straight into it: the shadow check must refuse even though the
+	// origin cell is empty.
+	c := newController(t)
+	centre := hexgrid.Coord{}
+	east := hexgrid.Coord{Q: 1, R: 0}
+
+	// Fill the east cell through the handoff path, which bypasses the
+	// new-call reservation headroom and reaches physical capacity.
+	var id uint64
+	for i := 0; i < 8; i++ {
+		id++
+		h := reqAt(c, east, id, 5, 0, 0)
+		h.Handoff = true
+		if d := c.Admit(east, h); !d.Accept {
+			t.Fatalf("loading east cell failed at %d: %+v", i, d)
+		}
+	}
+	if got := c.Occupancy(east); got != 40 {
+		t.Fatalf("east occupancy = %v, want 40", got)
+	}
+
+	// 120 km/h due east: crosses into the east cell within the first
+	// projection window (1732m centre spacing, 33 m/s * 60 s = 2000 m).
+	id++
+	d := c.Admit(centre, reqAt(c, centre, id, 5, 120, 0))
+	if d.Accept {
+		t.Fatal("fast mobile heading into a full cell was admitted")
+	}
+	if got := c.Occupancy(centre); got != 0 {
+		t.Errorf("failed admission changed occupancy to %v", got)
+	}
+
+	// A slow mobile in the centre is also refused: the full east cell's
+	// stationary (maximally uncertain) users cast their penumbra over the
+	// adjacent centre cell.
+	id++
+	if d := c.Admit(centre, reqAt(c, centre, id, 5, 3, 0)); d.Accept {
+		t.Errorf("slow mobile admitted under the penumbra of a full neighbour: %+v", d)
+	}
+
+	// Once the east cell drains, the slow mobile fits.
+	for rid := uint64(1); rid <= 8; rid++ {
+		if err := c.Release(east, reqAt(c, east, rid, 5, 0, 0)); err != nil {
+			t.Fatalf("draining east: %v", err)
+		}
+	}
+	id++
+	if d := c.Admit(centre, reqAt(c, centre, id, 5, 3, 0)); !d.Accept {
+		t.Errorf("slow mobile rejected despite empty network: %+v", d)
+	}
+}
+
+func TestHandoffUsesReservations(t *testing.T) {
+	// Handoffs are checked against physical occupancy only, so a handoff
+	// succeeds where a new call's shadow check would refuse.
+	cfg := DefaultConfig()
+	cfg.Headroom = 20 // new calls blocked above 20 BU projected
+	cfg.AdaptExp = 0  // fixed headroom for a deterministic bound
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centre := hexgrid.Coord{}
+	var id uint64
+	for i := 0; i < 4; i++ {
+		id++
+		if d := c.Admit(centre, reqAt(c, centre, id, 5, 0, 0)); !d.Accept {
+			t.Fatalf("fill call %d rejected: %+v", i, d)
+		}
+	}
+	// 20 BU used: a new 5-BU call breaches the 20-BU target...
+	id++
+	if d := c.Admit(centre, reqAt(c, centre, id, 5, 0, 0)); d.Accept {
+		t.Fatal("new call admitted above utilization target")
+	}
+	// ...but a handoff is served from reserved headroom.
+	id++
+	h := reqAt(c, centre, id, 5, 0, 0)
+	h.Handoff = true
+	if d := c.Admit(centre, h); !d.Accept {
+		t.Fatalf("handoff rejected despite physical room: %+v", d)
+	}
+}
+
+func TestHandoffStillCapacityBound(t *testing.T) {
+	c := newController(t)
+	centre := hexgrid.Coord{}
+	var id uint64
+	for i := 0; i < 8; i++ {
+		id++
+		h := reqAt(c, centre, id, 5, 0, 0)
+		h.Handoff = true
+		if d := c.Admit(centre, h); !d.Accept {
+			t.Fatalf("fill call %d rejected", i)
+		}
+	}
+	id++
+	h := reqAt(c, centre, id, 5, 0, 0)
+	h.Handoff = true
+	if d := c.Admit(centre, h); d.Accept {
+		t.Fatal("handoff admitted beyond physical capacity")
+	}
+}
+
+func TestReleaseEndOfCall(t *testing.T) {
+	c := newController(t)
+	centre := hexgrid.Coord{}
+	req := reqAt(c, centre, 1, 10, 30, 0)
+	if d := c.Admit(centre, req); !d.Accept {
+		t.Fatal("admit failed")
+	}
+	if err := c.Release(centre, req); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if got := c.Occupancy(centre); got != 0 {
+		t.Errorf("occupancy = %v, want 0", got)
+	}
+	if got := c.ActiveCount(); got != 0 {
+		t.Errorf("active = %d, want 0", got)
+	}
+}
+
+func TestHandoffMoveKeepsShadow(t *testing.T) {
+	// Admit at centre, handoff to east, release at centre (the simulator's
+	// make-before-break order): the mobile must remain tracked, now at
+	// east.
+	c := newController(t)
+	centre := hexgrid.Coord{}
+	east := hexgrid.Coord{Q: 1, R: 0}
+
+	req := reqAt(c, centre, 7, 5, 60, 0)
+	if d := c.Admit(centre, req); !d.Accept {
+		t.Fatal("admit failed")
+	}
+	h := reqAt(c, east, 7, 5, 60, 0)
+	h.Handoff = true
+	if d := c.Admit(east, h); !d.Accept {
+		t.Fatal("handoff failed")
+	}
+	if err := c.Release(centre, req); err != nil {
+		t.Fatalf("Release old cell: %v", err)
+	}
+	if got := c.ActiveCount(); got != 1 {
+		t.Errorf("active after handoff = %d, want 1", got)
+	}
+	if got := c.Occupancy(east); got != 5 {
+		t.Errorf("east occupancy = %v, want 5", got)
+	}
+	if got := c.Occupancy(centre); got != 0 {
+		t.Errorf("centre occupancy = %v, want 0", got)
+	}
+}
+
+func TestReleaseUnderflow(t *testing.T) {
+	c := newController(t)
+	if err := c.Release(hexgrid.Coord{}, reqAt(c, hexgrid.Coord{}, 1, 5, 0, 0)); err == nil {
+		t.Error("release from empty cell did not error")
+	}
+}
+
+func TestInvalidRequestRejected(t *testing.T) {
+	c := newController(t)
+	d := c.Admit(hexgrid.Coord{}, cac.Request{Bandwidth: 0})
+	if d.Accept {
+		t.Error("zero-bandwidth request accepted")
+	}
+}
+
+func TestSchemeName(t *testing.T) {
+	if got := newController(t).SchemeName(); got != "SCC" {
+		t.Errorf("SchemeName = %q", got)
+	}
+}
+
+func TestProjectedDemandFollowsTrajectory(t *testing.T) {
+	c := newController(t)
+	centre := hexgrid.Coord{}
+	east := hexgrid.Coord{Q: 1, R: 0}
+	// A fast mobile heading east stops loading the centre's future
+	// windows and starts loading the east cell's.
+	if d := c.Admit(centre, reqAt(c, centre, 1, 10, 120, 0)); !d.Accept {
+		t.Fatal("admit failed")
+	}
+	c.mu.Lock()
+	nowCentre := c.projectedDemandLocked(centre, 0, 1)
+	futureCentre := c.projectedDemandLocked(centre, 60, 1)
+	futureEast := c.projectedDemandLocked(east, 60, 1)
+	c.mu.Unlock()
+	if nowCentre != 10 {
+		t.Errorf("window-0 centre demand = %v, want 10", nowCentre)
+	}
+	// The centre is adjacent to the projected cell, so it keeps only the
+	// penumbra: spread 0.5 * uncertainty 1/(1+120/30) * 10 BU = 1 BU.
+	if futureCentre != 1 {
+		t.Errorf("window-60s centre demand = %v, want penumbra 1", futureCentre)
+	}
+	if futureEast != 10 {
+		t.Errorf("window-60s east demand = %v, want umbra 10", futureEast)
+	}
+}
+
+func TestStationaryProjectionStaysPut(t *testing.T) {
+	c := newController(t)
+	centre := hexgrid.Coord{}
+	if d := c.Admit(centre, reqAt(c, centre, 1, 10, 0, 0)); !d.Accept {
+		t.Fatal("admit failed")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, dt := range []float64{0, 30, 60, 90} {
+		if got := c.projectedDemandLocked(centre, dt, 1); got != 10 {
+			t.Errorf("stationary demand at dt=%v is %v, want 10", dt, got)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package stats provides the small measurement toolkit used by the
+// simulator and the experiment harness: streaming mean/variance, normal
+// confidence intervals, time-weighted averages, and (x, y) series for the
+// figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Running accumulates a stream of observations with Welford's algorithm,
+// giving numerically stable mean and variance without storing samples.
+// The zero value is an empty accumulator ready for use.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (r *Running) Add(x float64) {
+	r.n++
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the number of observations.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean returns the sample mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Variance returns the unbiased sample variance (0 with fewer than two
+// observations).
+func (r *Running) Variance() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (r *Running) StdDev() float64 { return math.Sqrt(r.Variance()) }
+
+// StdErr returns the standard error of the mean.
+func (r *Running) StdErr() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.StdDev() / math.Sqrt(float64(r.n))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval around the mean. With fewer than two observations it is 0.
+func (r *Running) CI95() float64 { return 1.96 * r.StdErr() }
+
+// Merge folds another accumulator into r (parallel Welford merge).
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := float64(r.n + o.n)
+	delta := o.mean - r.mean
+	r.m2 += o.m2 + delta*delta*float64(r.n)*float64(o.n)/n
+	r.mean += delta * float64(o.n) / n
+	r.n += o.n
+}
+
+// TimeWeighted accumulates a piecewise-constant signal's time average,
+// e.g. cell occupancy in BU-seconds. The zero value is empty; the first
+// Observe sets the starting point.
+type TimeWeighted struct {
+	started  bool
+	lastT    float64
+	lastV    float64
+	area     float64
+	duration float64
+}
+
+// Observe records that the signal took value v from the previous
+// observation time until now. Observations must be non-decreasing in time.
+func (w *TimeWeighted) Observe(now, v float64) error {
+	if !w.started {
+		w.started = true
+		w.lastT = now
+		w.lastV = v
+		return nil
+	}
+	if now < w.lastT {
+		return fmt.Errorf("stats: time went backwards: %v < %v", now, w.lastT)
+	}
+	dt := now - w.lastT
+	w.area += w.lastV * dt
+	w.duration += dt
+	w.lastT = now
+	w.lastV = v
+	return nil
+}
+
+// Mean returns the time-weighted mean of the signal over the observed
+// window (0 if the window is empty).
+func (w *TimeWeighted) Mean() float64 {
+	if w.duration == 0 {
+		return 0
+	}
+	return w.area / w.duration
+}
+
+// Duration returns the observed window length.
+func (w *TimeWeighted) Duration() float64 { return w.duration }
+
+// Point is one (x, y) sample of a figure series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named curve, e.g. "FACS-P, speed=30 km/h" in Fig. 8.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// YAt returns the y value at the given x, or an error when the series has
+// no such x (exact match).
+func (s *Series) YAt(x float64) (float64, error) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, nil
+		}
+	}
+	return 0, fmt.Errorf("stats: series %q has no point at x=%v", s.Name, x)
+}
+
+// SortByX orders the points by increasing x.
+func (s *Series) SortByX() {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// MinMaxY returns the y range of the series. An empty series returns
+// (0, 0).
+func (s *Series) MinMaxY() (lo, hi float64) {
+	if len(s.Points) == 0 {
+		return 0, 0
+	}
+	lo, hi = s.Points[0].Y, s.Points[0].Y
+	for _, p := range s.Points[1:] {
+		lo = math.Min(lo, p.Y)
+		hi = math.Max(hi, p.Y)
+	}
+	return lo, hi
+}
+
+// Crossover returns the x interval [x1, x2] between adjacent sample points
+// where series a transitions from above b to below b (a-b changes sign
+// from positive to negative), scanning in x order. It returns an error if
+// the two series are not sampled at identical x values or no such
+// crossing exists. Used to locate the paper's Fig. 7 / Fig. 10 crossings.
+func Crossover(a, b Series) (x1, x2 float64, err error) {
+	if len(a.Points) != len(b.Points) {
+		return 0, 0, fmt.Errorf("stats: series %q and %q have different lengths", a.Name, b.Name)
+	}
+	prev := 0.0
+	havePrev := false
+	for i := range a.Points {
+		if a.Points[i].X != b.Points[i].X {
+			return 0, 0, fmt.Errorf("stats: series %q and %q sampled at different x", a.Name, b.Name)
+		}
+		diff := a.Points[i].Y - b.Points[i].Y
+		if havePrev && prev > 0 && diff <= 0 {
+			return a.Points[i-1].X, a.Points[i].X, nil
+		}
+		if !havePrev || diff != 0 {
+			prev = diff
+			havePrev = true
+		}
+	}
+	return 0, 0, fmt.Errorf("stats: series %q never crosses below %q", a.Name, b.Name)
+}

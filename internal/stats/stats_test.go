@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"facsp/internal/rng"
+)
+
+func TestRunningEmpty(t *testing.T) {
+	var r Running
+	if r.N() != 0 || r.Mean() != 0 || r.Variance() != 0 || r.CI95() != 0 {
+		t.Errorf("zero accumulator not empty: %+v", r)
+	}
+}
+
+func TestRunningKnownValues(t *testing.T) {
+	var r Running
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		r.Add(x)
+	}
+	if got := r.N(); got != 8 {
+		t.Errorf("N = %d, want 8", got)
+	}
+	if got := r.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sum of squared deviations = 32; unbiased variance = 32/7.
+	if got := r.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7)
+	}
+	if got := r.StdDev(); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+}
+
+func TestRunningSingleValue(t *testing.T) {
+	var r Running
+	r.Add(42)
+	if r.Mean() != 42 || r.Variance() != 0 {
+		t.Errorf("single value: mean=%v var=%v", r.Mean(), r.Variance())
+	}
+}
+
+func TestRunningCI95ShrinksWithN(t *testing.T) {
+	src := rng.New(5)
+	var small, large Running
+	for i := 0; i < 30; i++ {
+		small.Add(src.Normal(10, 2))
+	}
+	for i := 0; i < 3000; i++ {
+		large.Add(src.Normal(10, 2))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI95 did not shrink: n=30 gives %v, n=3000 gives %v", small.CI95(), large.CI95())
+	}
+	if math.Abs(large.Mean()-10) > 0.2 {
+		t.Errorf("large-sample mean = %v, want ~10", large.Mean())
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	src := rng.New(6)
+	var whole, left, right Running
+	for i := 0; i < 1000; i++ {
+		x := src.Normal(3, 7)
+		whole.Add(x)
+		if i%2 == 0 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	merged := left
+	merged.Merge(right)
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", merged.N(), whole.N())
+	}
+	if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 {
+		t.Errorf("merged mean %v != whole mean %v", merged.Mean(), whole.Mean())
+	}
+	if math.Abs(merged.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged variance %v != whole variance %v", merged.Variance(), whole.Variance())
+	}
+}
+
+func TestRunningMergeEmpty(t *testing.T) {
+	var a, b Running
+	a.Add(1)
+	a.Add(3)
+	before := a
+	a.Merge(b) // merging empty changes nothing
+	if a != before {
+		t.Error("merging empty accumulator changed state")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.Mean() != 2 || b.N() != 2 {
+		t.Errorf("merge into empty: %+v", b)
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	// Signal: 10 on [0,2), 20 on [2,3), 0 on [3,5).
+	for _, obs := range []struct{ at, v float64 }{
+		{at: 0, v: 10}, {at: 2, v: 20}, {at: 3, v: 0}, {at: 5, v: 99},
+	} {
+		if err := w.Observe(obs.at, obs.v); err != nil {
+			t.Fatalf("Observe(%v, %v): %v", obs.at, obs.v, err)
+		}
+	}
+	want := (10*2 + 20*1 + 0*2) / 5.0
+	if got := w.Mean(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Mean = %v, want %v", got, want)
+	}
+	if got := w.Duration(); got != 5 {
+		t.Errorf("Duration = %v, want 5", got)
+	}
+}
+
+func TestTimeWeightedEmpty(t *testing.T) {
+	var w TimeWeighted
+	if w.Mean() != 0 || w.Duration() != 0 {
+		t.Error("empty TimeWeighted not zero")
+	}
+	// A single observation opens the window but has no area yet.
+	if err := w.Observe(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if w.Mean() != 0 {
+		t.Errorf("single observation mean = %v, want 0", w.Mean())
+	}
+}
+
+func TestTimeWeightedBackwardsTime(t *testing.T) {
+	var w TimeWeighted
+	if err := w.Observe(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Observe(4, 1); err == nil {
+		t.Error("backwards time accepted")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "test"
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(2, 20)
+	if y, err := s.YAt(2); err != nil || y != 20 {
+		t.Errorf("YAt(2) = %v, %v", y, err)
+	}
+	if _, err := s.YAt(99); err == nil {
+		t.Error("YAt(99) did not error")
+	}
+	s.SortByX()
+	for i, want := range []float64{1, 2, 3} {
+		if s.Points[i].X != want {
+			t.Errorf("after sort, point %d has x=%v, want %v", i, s.Points[i].X, want)
+		}
+	}
+	lo, hi := s.MinMaxY()
+	if lo != 10 || hi != 30 {
+		t.Errorf("MinMaxY = (%v, %v), want (10, 30)", lo, hi)
+	}
+}
+
+func TestSeriesEmptyMinMax(t *testing.T) {
+	var s Series
+	lo, hi := s.MinMaxY()
+	if lo != 0 || hi != 0 {
+		t.Errorf("empty MinMaxY = (%v, %v)", lo, hi)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	a := Series{Name: "a", Points: []Point{{X: 0, Y: 10}, {X: 10, Y: 8}, {X: 20, Y: 5}, {X: 30, Y: 2}}}
+	b := Series{Name: "b", Points: []Point{{X: 0, Y: 5}, {X: 10, Y: 6}, {X: 20, Y: 6}, {X: 30, Y: 6}}}
+	x1, x2, err := Crossover(a, b)
+	if err != nil {
+		t.Fatalf("Crossover: %v", err)
+	}
+	if x1 != 10 || x2 != 20 {
+		t.Errorf("crossover at [%v, %v], want [10, 20]", x1, x2)
+	}
+}
+
+func TestCrossoverErrors(t *testing.T) {
+	a := Series{Name: "a", Points: []Point{{X: 0, Y: 1}, {X: 1, Y: 2}}}
+	b := Series{Name: "b", Points: []Point{{X: 0, Y: 0}}}
+	if _, _, err := Crossover(a, b); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	c := Series{Name: "c", Points: []Point{{X: 0, Y: 0}, {X: 5, Y: 0}}}
+	if _, _, err := Crossover(a, c); err == nil {
+		t.Error("x mismatch accepted")
+	}
+	// a stays above d forever: no crossover.
+	d := Series{Name: "d", Points: []Point{{X: 0, Y: 0}, {X: 1, Y: 0}}}
+	if _, _, err := Crossover(a, d); err == nil {
+		t.Error("missing crossover accepted")
+	}
+}
+
+// Property: Running.Mean matches the naive mean, and variance is never
+// negative.
+func TestQuickRunningMatchesNaive(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		src := rng.New(seed)
+		count := int(n%100) + 1
+		var r Running
+		sum := 0.0
+		xs := make([]float64, 0, count)
+		for i := 0; i < count; i++ {
+			x := src.Normal(0, 100)
+			xs = append(xs, x)
+			sum += x
+			r.Add(x)
+		}
+		naive := sum / float64(count)
+		if math.Abs(r.Mean()-naive) > 1e-6 {
+			return false
+		}
+		return r.Variance() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging a split stream equals accumulating the whole stream.
+func TestQuickMergeEquivalence(t *testing.T) {
+	f := func(seed uint64, n uint8, cut uint8) bool {
+		src := rng.New(seed)
+		count := int(n%64) + 2
+		k := int(cut) % count
+		var whole, a, b Running
+		for i := 0; i < count; i++ {
+			x := src.Float64() * 1000
+			whole.Add(x)
+			if i < k {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-6 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

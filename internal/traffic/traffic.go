@@ -1,0 +1,146 @@
+// Package traffic models the paper's workload: three service classes
+// (text, voice, video) with fixed bandwidth demands, a configurable class
+// mix, Poisson call arrivals, and exponential call holding times.
+//
+// The defaults are the parameters of Section 4 of the paper: 70% text at
+// 1 BU, 20% voice at 5 BU, 10% video at 10 BU.
+package traffic
+
+import (
+	"fmt"
+
+	"facsp/internal/rng"
+)
+
+// Class is a connection service class.
+type Class int
+
+// The paper's three service classes.
+const (
+	Text Class = iota + 1
+	Voice
+	Video
+)
+
+// Classes lists all service classes in a stable order.
+func Classes() []Class { return []Class{Text, Voice, Video} }
+
+// String returns the lower-case class name.
+func (c Class) String() string {
+	switch c {
+	case Text:
+		return "text"
+	case Voice:
+		return "voice"
+	case Video:
+		return "video"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a known class.
+func (c Class) Valid() bool { return c == Text || c == Voice || c == Video }
+
+// Bandwidth returns the class's requested size in bandwidth units
+// (Section 4: 1, 5 and 10 BU).
+func (c Class) Bandwidth() float64 {
+	switch c {
+	case Text:
+		return 1
+	case Voice:
+		return 5
+	case Video:
+		return 10
+	default:
+		return 0
+	}
+}
+
+// RealTime reports whether the class is delay-sensitive. The paper's
+// differentiated-service stage routes voice and video to the real-time
+// counter (RTC) and text to the non-real-time counter (NRTC).
+func (c Class) RealTime() bool { return c == Voice || c == Video }
+
+// Mix is a probability distribution over service classes.
+type Mix struct {
+	// TextP, VoiceP and VideoP are the class probabilities; they must be
+	// non-negative and sum to 1 (within a small tolerance).
+	TextP  float64
+	VoiceP float64
+	VideoP float64
+}
+
+// DefaultMix returns the paper's 70/20/10 class mix.
+func DefaultMix() Mix { return Mix{TextP: 0.7, VoiceP: 0.2, VideoP: 0.1} }
+
+// Validate checks that the mix is a probability distribution.
+func (m Mix) Validate() error {
+	if m.TextP < 0 || m.VoiceP < 0 || m.VideoP < 0 {
+		return fmt.Errorf("traffic: mix has negative probability: %+v", m)
+	}
+	sum := m.TextP + m.VoiceP + m.VideoP
+	if sum < 1-1e-9 || sum > 1+1e-9 {
+		return fmt.Errorf("traffic: mix probabilities sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+// Sample draws a class from the mix.
+func (m Mix) Sample(src *rng.Source) Class {
+	u := src.Float64()
+	switch {
+	case u < m.TextP:
+		return Text
+	case u < m.TextP+m.VoiceP:
+		return Voice
+	default:
+		return Video
+	}
+}
+
+// MeanBandwidth returns the expected per-call bandwidth of the mix in BU.
+func (m Mix) MeanBandwidth() float64 {
+	return m.TextP*Text.Bandwidth() + m.VoiceP*Voice.Bandwidth() + m.VideoP*Video.Bandwidth()
+}
+
+// PoissonArrivals is a homogeneous Poisson arrival process.
+type PoissonArrivals struct {
+	// Rate is the arrival intensity in calls per unit time. Must be
+	// positive.
+	Rate float64
+}
+
+// Next returns the interarrival time to the next call.
+func (p PoissonArrivals) Next(src *rng.Source) float64 {
+	if p.Rate <= 0 {
+		panic(fmt.Sprintf("traffic: PoissonArrivals rate %v must be positive", p.Rate))
+	}
+	return src.Exp(1 / p.Rate)
+}
+
+// Times returns the first n arrival times of the process starting at 0.
+func (p PoissonArrivals) Times(src *rng.Source, n int) []float64 {
+	out := make([]float64, 0, n)
+	t := 0.0
+	for i := 0; i < n; i++ {
+		t += p.Next(src)
+		out = append(out, t)
+	}
+	return out
+}
+
+// Holding models exponential call holding times.
+type Holding struct {
+	// Mean is the mean call duration in simulation seconds. Must be
+	// positive.
+	Mean float64
+}
+
+// Next draws a holding time.
+func (h Holding) Next(src *rng.Source) float64 {
+	if h.Mean <= 0 {
+		panic(fmt.Sprintf("traffic: Holding mean %v must be positive", h.Mean))
+	}
+	return src.Exp(h.Mean)
+}

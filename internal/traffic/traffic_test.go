@@ -1,0 +1,224 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"facsp/internal/rng"
+)
+
+func TestClassProperties(t *testing.T) {
+	tests := []struct {
+		class    Class
+		name     string
+		bw       float64
+		realTime bool
+	}{
+		{class: Text, name: "text", bw: 1, realTime: false},
+		{class: Voice, name: "voice", bw: 5, realTime: true},
+		{class: Video, name: "video", bw: 10, realTime: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.class.String(); got != tt.name {
+				t.Errorf("String = %q, want %q", got, tt.name)
+			}
+			if got := tt.class.Bandwidth(); got != tt.bw {
+				t.Errorf("Bandwidth = %v, want %v", got, tt.bw)
+			}
+			if got := tt.class.RealTime(); got != tt.realTime {
+				t.Errorf("RealTime = %v, want %v", got, tt.realTime)
+			}
+			if !tt.class.Valid() {
+				t.Error("Valid = false")
+			}
+		})
+	}
+}
+
+func TestInvalidClass(t *testing.T) {
+	c := Class(99)
+	if c.Valid() {
+		t.Error("Class(99).Valid() = true")
+	}
+	if got := c.Bandwidth(); got != 0 {
+		t.Errorf("invalid class bandwidth = %v, want 0", got)
+	}
+	if got := c.String(); got != "Class(99)" {
+		t.Errorf("invalid class String = %q", got)
+	}
+}
+
+func TestClassesStable(t *testing.T) {
+	cs := Classes()
+	want := []Class{Text, Voice, Video}
+	if len(cs) != len(want) {
+		t.Fatalf("Classes() has %d entries", len(cs))
+	}
+	for i := range want {
+		if cs[i] != want[i] {
+			t.Errorf("Classes()[%d] = %v, want %v", i, cs[i], want[i])
+		}
+	}
+}
+
+func TestDefaultMix(t *testing.T) {
+	m := DefaultMix()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("DefaultMix invalid: %v", err)
+	}
+	// Paper Section 4: mean bandwidth = 0.7*1 + 0.2*5 + 0.1*10 = 2.7 BU.
+	if got := m.MeanBandwidth(); math.Abs(got-2.7) > 1e-12 {
+		t.Errorf("MeanBandwidth = %v, want 2.7", got)
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mix     Mix
+		wantErr bool
+	}{
+		{name: "default", mix: DefaultMix()},
+		{name: "degenerate", mix: Mix{TextP: 1}},
+		{name: "does not sum", mix: Mix{TextP: 0.5, VoiceP: 0.2, VideoP: 0.2}, wantErr: true},
+		{name: "negative", mix: Mix{TextP: 1.5, VoiceP: -0.5}, wantErr: true},
+		{name: "zero", mix: Mix{}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.mix.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMixSampleFrequencies(t *testing.T) {
+	m := DefaultMix()
+	src := rng.New(7)
+	const n = 200000
+	counts := map[Class]int{}
+	for i := 0; i < n; i++ {
+		c := m.Sample(src)
+		if !c.Valid() {
+			t.Fatalf("Sample returned invalid class %v", c)
+		}
+		counts[c]++
+	}
+	check := func(c Class, want float64) {
+		got := float64(counts[c]) / n
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("class %v frequency = %v, want ~%v", c, got, want)
+		}
+	}
+	check(Text, 0.7)
+	check(Voice, 0.2)
+	check(Video, 0.1)
+}
+
+func TestMixSampleDegenerate(t *testing.T) {
+	m := Mix{VideoP: 1}
+	src := rng.New(9)
+	for i := 0; i < 1000; i++ {
+		if c := m.Sample(src); c != Video {
+			t.Fatalf("degenerate mix sampled %v", c)
+		}
+	}
+}
+
+func TestPoissonArrivalsMeanRate(t *testing.T) {
+	p := PoissonArrivals{Rate: 0.25} // one call per 4 time units
+	src := rng.New(11)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		dt := p.Next(src)
+		if dt < 0 {
+			t.Fatalf("negative interarrival %v", dt)
+		}
+		sum += dt
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.08 {
+		t.Errorf("mean interarrival = %v, want ~4", mean)
+	}
+}
+
+func TestPoissonArrivalsTimes(t *testing.T) {
+	p := PoissonArrivals{Rate: 1}
+	src := rng.New(12)
+	times := p.Times(src, 100)
+	if len(times) != 100 {
+		t.Fatalf("got %d times", len(times))
+	}
+	prev := 0.0
+	for i, at := range times {
+		if at <= prev {
+			t.Fatalf("arrival %d at %v not after previous %v", i, at, prev)
+		}
+		prev = at
+	}
+}
+
+func TestPoissonArrivalsPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero rate did not panic")
+		}
+	}()
+	PoissonArrivals{}.Next(rng.New(1))
+}
+
+func TestHoldingMean(t *testing.T) {
+	h := Holding{Mean: 180}
+	src := rng.New(13)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += h.Next(src)
+	}
+	mean := sum / n
+	if math.Abs(mean-180) > 3 {
+		t.Errorf("mean holding = %v, want ~180", mean)
+	}
+}
+
+func TestHoldingPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero mean did not panic")
+		}
+	}()
+	Holding{}.Next(rng.New(1))
+}
+
+// Property: samples from any valid mix are always valid classes, and a
+// class's bandwidth is positive exactly when the class is valid.
+func TestQuickMixSampleValid(t *testing.T) {
+	f := func(seed uint64, a, b uint8) bool {
+		// Build a random valid mix from two cut points.
+		x := float64(a) / 255
+		y := float64(b) / 255
+		if x > y {
+			x, y = y, x
+		}
+		m := Mix{TextP: x, VoiceP: y - x, VideoP: 1 - y}
+		if err := m.Validate(); err != nil {
+			return false
+		}
+		src := rng.New(seed)
+		for i := 0; i < 32; i++ {
+			c := m.Sample(src)
+			if !c.Valid() || c.Bandwidth() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package wire defines the JSON-lines protocol spoken between
+// cmd/facs-server (a base-station admission daemon) and its clients. One
+// request per line, one response per line, over a plain TCP stream.
+//
+// The protocol is deliberately schema-first and versioned so that
+// heterogeneous clients (handset simulators, load generators, neighbouring
+// base stations) can interoperate with a long-lived daemon.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"facsp/internal/cac"
+	"facsp/internal/traffic"
+)
+
+// Version is the protocol version; servers reject other versions.
+const Version = 1
+
+// Op is the request operation.
+type Op string
+
+// Supported operations.
+const (
+	// OpAdmit asks the BS to admit a connection.
+	OpAdmit Op = "admit"
+	// OpRelease returns a connection's bandwidth.
+	OpRelease Op = "release"
+	// OpStatus asks for occupancy/capacity without changing state.
+	OpStatus Op = "status"
+)
+
+// Request is one client message.
+type Request struct {
+	// V is the protocol version (must equal Version).
+	V int `json:"v"`
+	// Op selects the operation (admit, release, status).
+	Op Op `json:"op"`
+	// ID identifies the connection across admit/release.
+	ID uint64 `json:"id,omitempty"`
+	// Class is the service class name: "text", "voice" or "video".
+	Class string `json:"class,omitempty"`
+	// SpeedKmh is the user speed in km/h.
+	SpeedKmh float64 `json:"speed_kmh,omitempty"`
+	// AngleDeg is the trajectory angle relative to the BS bearing.
+	AngleDeg float64 `json:"angle_deg,omitempty"`
+	// Handoff marks an on-going call entering from a neighbour cell.
+	Handoff bool `json:"handoff,omitempty"`
+	// Priority is the optional requesting-connection priority level.
+	Priority int `json:"priority,omitempty"`
+}
+
+// Response is one server message.
+type Response struct {
+	// V is the protocol version.
+	V int `json:"v"`
+	// OK distinguishes protocol-level success from Err.
+	OK bool `json:"ok"`
+	// Err carries the error message when OK is false.
+	Err string `json:"err,omitempty"`
+	// Accept is the admission verdict (admit only).
+	Accept bool `json:"accept,omitempty"`
+	// Score is the controller's confidence in [-1, 1].
+	Score float64 `json:"score,omitempty"`
+	// Outcome is the linguistic outcome (A, WA, NRNA, WR, R, ...).
+	Outcome string `json:"outcome,omitempty"`
+	// Occupancy and Capacity report the cell state in BU.
+	Occupancy float64 `json:"occupancy"`
+	// Capacity is the cell's total bandwidth.
+	Capacity float64 `json:"capacity"`
+	// Scheme names the admission scheme serving the cell.
+	Scheme string `json:"scheme,omitempty"`
+}
+
+// ParseClass maps a wire class name to a traffic class.
+func ParseClass(name string) (traffic.Class, error) {
+	switch name {
+	case "text":
+		return traffic.Text, nil
+	case "voice":
+		return traffic.Voice, nil
+	case "video":
+		return traffic.Video, nil
+	default:
+		return 0, fmt.Errorf("wire: unknown class %q (want text, voice or video)", name)
+	}
+}
+
+// Validate checks a request's protocol-level invariants.
+func (r Request) Validate() error {
+	if r.V != Version {
+		return fmt.Errorf("wire: protocol version %d, want %d", r.V, Version)
+	}
+	switch r.Op {
+	case OpAdmit, OpRelease:
+		if _, err := ParseClass(r.Class); err != nil {
+			return err
+		}
+		if r.SpeedKmh < 0 {
+			return fmt.Errorf("wire: negative speed %v", r.SpeedKmh)
+		}
+		if r.Priority < 0 {
+			return fmt.Errorf("wire: negative priority %d", r.Priority)
+		}
+	case OpStatus:
+		// No payload.
+	default:
+		return fmt.Errorf("wire: unknown op %q", r.Op)
+	}
+	return nil
+}
+
+// CACRequest converts a validated wire request into the controller
+// contract type.
+func (r Request) CACRequest() (cac.Request, error) {
+	class, err := ParseClass(r.Class)
+	if err != nil {
+		return cac.Request{}, err
+	}
+	return cac.Request{
+		ID:        r.ID,
+		Speed:     r.SpeedKmh,
+		Angle:     r.AngleDeg,
+		Bandwidth: class.Bandwidth(),
+		RealTime:  class.RealTime(),
+		Handoff:   r.Handoff,
+		Priority:  r.Priority,
+	}, nil
+}
+
+// Encoder writes newline-delimited JSON messages.
+type Encoder struct {
+	w *bufio.Writer
+}
+
+// NewEncoder wraps w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: bufio.NewWriter(w)} }
+
+// Encode writes one message and flushes.
+func (e *Encoder) Encode(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if _, err := e.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return e.w.Flush()
+}
+
+// Decoder reads newline-delimited JSON messages with a bounded line size
+// (64 KiB) so a misbehaving peer cannot exhaust server memory.
+type Decoder struct {
+	s *bufio.Scanner
+}
+
+// NewDecoder wraps r.
+func NewDecoder(r io.Reader) *Decoder {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 4096), 64<<10)
+	return &Decoder{s: s}
+}
+
+// Decode reads one message into v. It returns io.EOF at end of stream.
+func (d *Decoder) Decode(v any) error {
+	if !d.s.Scan() {
+		if err := d.s.Err(); err != nil {
+			return err
+		}
+		return io.EOF
+	}
+	if err := json.Unmarshal(d.s.Bytes(), v); err != nil {
+		return fmt.Errorf("wire: unmarshal %q: %w", d.s.Text(), err)
+	}
+	return nil
+}

@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"facsp/internal/traffic"
+)
+
+func validAdmit() Request {
+	return Request{V: Version, Op: OpAdmit, ID: 1, Class: "voice", SpeedKmh: 60, AngleDeg: 10}
+}
+
+func TestParseClass(t *testing.T) {
+	tests := []struct {
+		name    string
+		want    traffic.Class
+		wantErr bool
+	}{
+		{name: "text", want: traffic.Text},
+		{name: "voice", want: traffic.Voice},
+		{name: "video", want: traffic.Video},
+		{name: "VOICE", wantErr: true},
+		{name: "", wantErr: true},
+		{name: "fax", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseClass(tt.name)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseClass(%q) error = %v", tt.name, err)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseClass(%q) = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mut     func(*Request)
+		wantErr bool
+	}{
+		{name: "valid admit", mut: func(*Request) {}},
+		{name: "valid release", mut: func(r *Request) { r.Op = OpRelease }},
+		{name: "valid status", mut: func(r *Request) { *r = Request{V: Version, Op: OpStatus} }},
+		{name: "wrong version", mut: func(r *Request) { r.V = 2 }, wantErr: true},
+		{name: "zero version", mut: func(r *Request) { r.V = 0 }, wantErr: true},
+		{name: "bad op", mut: func(r *Request) { r.Op = "reboot" }, wantErr: true},
+		{name: "bad class", mut: func(r *Request) { r.Class = "fax" }, wantErr: true},
+		{name: "negative speed", mut: func(r *Request) { r.SpeedKmh = -5 }, wantErr: true},
+		{name: "negative priority", mut: func(r *Request) { r.Priority = -1 }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := validAdmit()
+			tt.mut(&r)
+			err := r.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCACRequest(t *testing.T) {
+	r := validAdmit()
+	r.Handoff = true
+	r.Priority = 2
+	req, err := r.CACRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Bandwidth != 5 || !req.RealTime || !req.Handoff || req.Priority != 2 || req.ID != 1 {
+		t.Errorf("CACRequest = %+v", req)
+	}
+	r.Class = "bogus"
+	if _, err := r.CACRequest(); err == nil {
+		t.Error("bogus class accepted")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	want := []Request{
+		validAdmit(),
+		{V: Version, Op: OpStatus},
+		{V: Version, Op: OpRelease, ID: 9, Class: "video"},
+	}
+	for _, r := range want {
+		if err := enc.Encode(r); err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+	}
+	dec := NewDecoder(&buf)
+	for i := range want {
+		var got Request
+		if err := dec.Decode(&got); err != nil {
+			t.Fatalf("Decode %d: %v", i, err)
+		}
+		if got != want[i] {
+			t.Errorf("message %d = %+v, want %+v", i, got, want[i])
+		}
+	}
+	var extra Request
+	if err := dec.Decode(&extra); !errors.Is(err, io.EOF) {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	dec := NewDecoder(strings.NewReader("{not json}\n"))
+	var r Request
+	if err := dec.Decode(&r); err == nil {
+		t.Error("malformed line accepted")
+	}
+}
+
+func TestDecodeBoundedLine(t *testing.T) {
+	// A single line beyond the 64 KiB bound must fail rather than grow
+	// without limit.
+	huge := strings.Repeat("x", 128<<10)
+	dec := NewDecoder(strings.NewReader(huge))
+	var r Request
+	if err := dec.Decode(&r); err == nil {
+		t.Error("oversized line accepted")
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	want := Response{V: Version, OK: true, Accept: true, Score: 0.42, Outcome: "WA", Occupancy: 12, Capacity: 40, Scheme: "FACS-P"}
+	if err := enc.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	if err := NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Response = %+v, want %+v", got, want)
+	}
+}
