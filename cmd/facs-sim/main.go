@@ -6,9 +6,17 @@
 //	facs-sim -fig 7 -csv fig7.csv    # also write tidy CSV
 //	facs-sim -fig all -reps 30       # every figure, 30 seeds per point
 //	facs-sim -fig drops              # the QoS (call-dropping) experiment
+//	facs-sim -fig 10 -workers 16     # shard the sweep over 16 workers
+//	facs-sim -fig 10 -surface 33     # precomputed decision surfaces
 //
 // Figures: 7 (FACS vs SCC), 8 (FACS-P by speed), 9 (FACS-P by angle),
 // 10 (FACS-P vs FACS), drops (dropped-call percentage, FACS-P vs FACS).
+//
+// Sweeps are sharded: every (load, replication) cell runs as an independent
+// simulation with a deterministic RNG substream, so -workers changes only
+// throughput — the curves are bit-identical for any worker count and seed.
+// -surface N trades a small, bounded quantization error for a much faster
+// admission hot path (see EXPERIMENTS.md).
 package main
 
 import (
@@ -38,7 +46,8 @@ func run(args []string) error {
 		loads   = fs.String("loads", "", "comma-separated x axis, e.g. 10,25,50,100 (default: the paper grid)")
 		reps    = fs.Int("reps", 20, "replications (seeds) per point")
 		seed    = fs.Uint64("seed", 0, "base seed")
-		workers = fs.Int("workers", 0, "parallel workers (default GOMAXPROCS)")
+		workers = fs.Int("workers", 0, "parallel shard workers (default GOMAXPROCS; any value yields identical curves)")
+		surface = fs.Int("surface", 0, "run controllers on precomputed decision surfaces with this per-axis resolution (0 = exact inference)")
 		csvPath = fs.String("csv", "", "also write tidy CSV to this path ('-' for stdout)")
 		noChart = fs.Bool("no-chart", false, "suppress the ASCII chart")
 		withCI  = fs.Bool("ci", false, "print a per-point table with 95% confidence half-widths")
@@ -47,7 +56,12 @@ func run(args []string) error {
 		return err
 	}
 
-	opts := experiment.Options{Replications: *reps, BaseSeed: *seed, Workers: *workers}
+	opts := experiment.Options{
+		Replications:      *reps,
+		BaseSeed:          *seed,
+		Workers:           *workers,
+		SurfaceResolution: *surface,
+	}
 	if *loads != "" {
 		parsed, err := parseLoads(*loads)
 		if err != nil {

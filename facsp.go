@@ -20,10 +20,23 @@
 //	curves, err := facsp.RunFigure("10", facsp.ExperimentOptions{})
 //
 // regenerates Fig. 10 (FACS-P vs FACS); see EXPERIMENTS.md for every
-// figure. The building blocks live in internal packages: the generic
-// Mamdani engine (internal/fuzzy), the controllers (internal/core), the
-// comparators (internal/scc, internal/baseline), and the event-driven
-// simulator (internal/cellsim).
+// figure. Sweeps are sharded across a worker pool (ExperimentOptions.
+// Workers) with deterministic per-shard RNG substreams, so curves are
+// bit-identical for any worker count.
+//
+// # Surface cache
+//
+// For admission-rate workloads, the Mamdani pipeline can be compiled into a
+// precomputed decision surface answered by multilinear interpolation —
+// orders of magnitude faster per Admit, at a small bounded quantization
+// error (see EXPERIMENTS.md):
+//
+//	ctrl, err := facsp.NewFACSP(facsp.WithSurfaceCache(0)) // 0 = default resolution
+//
+// The building blocks live in internal packages: the generic Mamdani
+// engine (internal/fuzzy), the controllers (internal/core), the comparators
+// (internal/scc, internal/baseline), and the event-driven simulator
+// (internal/cellsim).
 package facsp
 
 import (
@@ -77,6 +90,27 @@ func DefaultConfig() Config { return core.DefaultConfig() }
 
 // DefaultPConfig returns the calibrated FACS-P configuration.
 func DefaultPConfig() PConfig { return core.DefaultPConfig() }
+
+// DefaultSurfaceResolution is the per-axis grid resolution used by
+// WithSurfaceCache when no explicit resolution is given.
+const DefaultSurfaceResolution = core.DefaultSurfaceResolution
+
+// WithSurfaceCache returns the default FACS-P configuration with the
+// precomputed decision-surface cache enabled: FLC1 and FLC2 are compiled
+// once into quantized lookup tables (shared process-wide) and Admit answers
+// by multilinear interpolation instead of a full Mamdani inference pass.
+// A non-positive resolution selects DefaultSurfaceResolution.
+//
+//	ctrl, err := facsp.NewFACSP(facsp.WithSurfaceCache(0))
+//
+// To combine with other overrides, or to enable the cache on the previous
+// FACS system, use the config methods directly:
+//
+//	cfg := facsp.DefaultPConfig().WithSurfaceCache(65)
+//	old := facsp.DefaultConfig().WithSurfaceCache(65)
+func WithSurfaceCache(resolution int) PConfig {
+	return core.DefaultPConfig().WithSurfaceCache(resolution)
+}
 
 // NewRequest builds an admission request for a service class: speed in
 // km/h, angle in degrees between the user's heading and the bearing to the

@@ -80,6 +80,43 @@ func TestConstructorsWithConfig(t *testing.T) {
 	}
 }
 
+func TestWithSurfaceCache(t *testing.T) {
+	cfg := WithSurfaceCache(0)
+	if cfg.SurfaceResolution != DefaultSurfaceResolution {
+		t.Errorf("WithSurfaceCache(0) resolution = %d, want %d", cfg.SurfaceResolution, DefaultSurfaceResolution)
+	}
+	ctrl, err := NewFACSP(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := NewFACSP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cached controller behaves like the exact one on a clear-cut case:
+	// an ideal request into an empty cell is admitted, and bookkeeping
+	// works the same.
+	req := NewRequest(Voice, 80, 0)
+	for _, c := range []Controller{ctrl, exact} {
+		d := c.Admit(req)
+		if !d.Accept {
+			t.Fatalf("%T rejected an ideal request into an empty cell: %+v", c, d)
+		}
+		if err := c.Release(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The cache also composes with the previous FACS system via the config
+	// method.
+	fc, err := NewFACS(DefaultConfig().WithSurfaceCache(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := fc.Admit(req); !d.Accept {
+		t.Fatalf("surface-cached FACS rejected an ideal request: %+v", d)
+	}
+}
+
 func TestBaselineConstructors(t *testing.T) {
 	if _, err := NewGuardChannel(40, 10); err != nil {
 		t.Errorf("NewGuardChannel: %v", err)

@@ -1,0 +1,3 @@
+module facsp
+
+go 1.24

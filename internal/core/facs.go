@@ -28,6 +28,26 @@ type Config struct {
 	Defuzzifier fuzzy.Defuzzifier
 	// Samples overrides the defuzzification integration resolution.
 	Samples int
+	// SurfaceResolution, when positive, compiles FLC1 and FLC2 into
+	// precomputed decision surfaces (fuzzy.Surface) with this many base
+	// ticks per input axis and answers Admit by multilinear interpolation
+	// instead of a full Mamdani pass — orders of magnitude faster, with a
+	// small, bounded interpolation error (see EXPERIMENTS.md). The soft
+	// Outcome label is then derived from the interpolated score's dominant
+	// output term rather than the rule-activation trace. 0 keeps exact
+	// inference.
+	SurfaceResolution int
+}
+
+// WithSurfaceCache returns a copy of the config with the decision-surface
+// cache enabled at the given per-axis resolution; a non-positive resolution
+// selects DefaultSurfaceResolution.
+func (c Config) WithSurfaceCache(resolution int) Config {
+	if resolution <= 0 {
+		resolution = DefaultSurfaceResolution
+	}
+	c.SurfaceResolution = resolution
+	return c
 }
 
 // DefaultConfig returns the paper's simulation configuration.
@@ -45,6 +65,9 @@ func (c Config) validate() error {
 	}
 	if c.Threshold < ARMin || c.Threshold > ARMax {
 		return fmt.Errorf("core: threshold %v outside A/R universe [%v, %v]", c.Threshold, ARMin, ARMax)
+	}
+	if c.SurfaceResolution < 0 || c.SurfaceResolution == 1 {
+		return fmt.Errorf("core: surface resolution %d must be 0 (exact) or >= 2", c.SurfaceResolution)
 	}
 	return nil
 }
@@ -79,7 +102,11 @@ type Decision struct {
 type FACS struct {
 	flc1 *fuzzy.Engine
 	flc2 *fuzzy.Engine
-	cfg  Config
+	// surf1 and surf2 are the precomputed decision surfaces standing in for
+	// flc1/flc2 when cfg.SurfaceResolution > 0; nil means exact inference.
+	surf1 *fuzzy.Surface
+	surf2 *fuzzy.Surface
+	cfg   Config
 
 	mu   sync.Mutex
 	used float64
@@ -103,7 +130,14 @@ func NewFACS(cfg Config) (*FACS, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building FLC2: %w", err)
 	}
-	return &FACS{flc1: flc1, flc2: flc2, cfg: cfg}, nil
+	f := &FACS{flc1: flc1, flc2: flc2, cfg: cfg}
+	if cfg.SurfaceResolution > 0 {
+		f.surf1, f.surf2, err = surfacePair(flc1, flc2, cfg.SurfaceResolution, cfg.Samples, cfg.Defuzzifier)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling decision surfaces: %w", err)
+		}
+	}
+	return f, nil
 }
 
 // SchemeName implements cac.Named.
@@ -126,26 +160,23 @@ func (f *FACS) Evaluate(req cac.Request, counterBU float64) (Decision, error) {
 	if err := req.Validate(); err != nil {
 		return Decision{}, err
 	}
-	cv, err := f.flc1.Infer(req.Speed, req.Angle, req.Bandwidth)
-	if err != nil {
-		return Decision{}, fmt.Errorf("core: FLC1: %w", err)
-	}
 	// Scale occupancy into the Cs universe so that non-default capacities
 	// keep the paper's linguistic meaning of Small/Middle/Full.
 	cs := counterBU * CounterMax / f.cfg.Capacity
-	res, err := f.flc2.InferDetail(cv, req.Bandwidth, cs)
+	cv, score, outcome, err := inferScore(f.flc1, f.flc2, f.surf1, f.surf2,
+		req.Speed, req.Angle, req.Bandwidth, cs)
 	if err != nil {
-		return Decision{}, fmt.Errorf("core: FLC2: %w", err)
+		return Decision{}, err
 	}
 	d := Decision{
 		Decision: cac.Decision{
-			Score:   res.Crisp,
-			Outcome: f.flc2.Output().Terms[res.BestTerm].Name,
+			Score:   score,
+			Outcome: outcome,
 		},
 		Cv:        cv,
 		Threshold: f.cfg.Threshold,
 	}
-	d.Accept = res.Crisp > f.cfg.Threshold
+	d.Accept = score > f.cfg.Threshold
 	return d, nil
 }
 

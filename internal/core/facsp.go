@@ -47,6 +47,22 @@ type PConfig struct {
 	Defuzzifier fuzzy.Defuzzifier
 	// Samples overrides the defuzzification integration resolution.
 	Samples int
+	// SurfaceResolution, when positive, compiles FLC1 and FLC2 into
+	// precomputed decision surfaces (fuzzy.Surface) with this many base
+	// ticks per input axis; Admit then answers by multilinear interpolation
+	// instead of a full Mamdani pass. See Config.SurfaceResolution.
+	SurfaceResolution int
+}
+
+// WithSurfaceCache returns a copy of the config with the decision-surface
+// cache enabled at the given per-axis resolution; a non-positive resolution
+// selects DefaultSurfaceResolution.
+func (c PConfig) WithSurfaceCache(resolution int) PConfig {
+	if resolution <= 0 {
+		resolution = DefaultSurfaceResolution
+	}
+	c.SurfaceResolution = resolution
+	return c
 }
 
 // DefaultPConfig returns the FACS-P configuration used for the paper's
@@ -84,6 +100,9 @@ func (c PConfig) validate() error {
 	if c.PriorityStep < 0 {
 		return fmt.Errorf("core: priority step %v must be non-negative", c.PriorityStep)
 	}
+	if c.SurfaceResolution < 0 || c.SurfaceResolution == 1 {
+		return fmt.Errorf("core: surface resolution %d must be 0 (exact) or >= 2", c.SurfaceResolution)
+	}
 	return nil
 }
 
@@ -104,7 +123,11 @@ func (c PConfig) engineOptions() []fuzzy.Option {
 type FACSP struct {
 	flc1 *fuzzy.Engine
 	flc2 *fuzzy.Engine
-	cfg  PConfig
+	// surf1 and surf2 are the precomputed decision surfaces standing in for
+	// flc1/flc2 when cfg.SurfaceResolution > 0; nil means exact inference.
+	surf1 *fuzzy.Surface
+	surf2 *fuzzy.Surface
+	cfg   PConfig
 
 	mu   sync.Mutex
 	rtc  float64 // BU held by on-going real-time connections
@@ -129,7 +152,14 @@ func NewFACSP(cfg PConfig) (*FACSP, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: building FLC2: %w", err)
 	}
-	return &FACSP{flc1: flc1, flc2: flc2, cfg: cfg}, nil
+	f := &FACSP{flc1: flc1, flc2: flc2, cfg: cfg}
+	if cfg.SurfaceResolution > 0 {
+		f.surf1, f.surf2, err = surfacePair(flc1, flc2, cfg.SurfaceResolution, cfg.Samples, cfg.Defuzzifier)
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling decision surfaces: %w", err)
+		}
+	}
+	return f, nil
 }
 
 // SchemeName implements cac.Named.
@@ -160,16 +190,13 @@ func (f *FACSP) Evaluate(req cac.Request, rtcBU, nrtcBU float64) (Decision, erro
 	if err := req.Validate(); err != nil {
 		return Decision{}, err
 	}
-	cv, err := f.flc1.Infer(req.Speed, req.Angle, req.Bandwidth)
-	if err != nil {
-		return Decision{}, fmt.Errorf("core: FLC1: %w", err)
-	}
 	// The Cs input sees the combined occupancy, scaled into the paper's
 	// 0-40 universe.
 	cs := (rtcBU + nrtcBU) * CounterMax / f.cfg.Capacity
-	res, err := f.flc2.InferDetail(cv, req.Bandwidth, cs)
+	cv, score, outcome, err := inferScore(f.flc1, f.flc2, f.surf1, f.surf2,
+		req.Speed, req.Angle, req.Bandwidth, cs)
 	if err != nil {
-		return Decision{}, fmt.Errorf("core: FLC2: %w", err)
+		return Decision{}, err
 	}
 
 	// Recompute the threshold against the supplied counters rather than
@@ -190,13 +217,13 @@ func (f *FACSP) Evaluate(req cac.Request, rtcBU, nrtcBU float64) (Decision, erro
 
 	d := Decision{
 		Decision: cac.Decision{
-			Score:   res.Crisp,
-			Outcome: f.flc2.Output().Terms[res.BestTerm].Name,
+			Score:   score,
+			Outcome: outcome,
 		},
 		Cv:        cv,
 		Threshold: theta,
 	}
-	d.Accept = res.Crisp > theta
+	d.Accept = score > theta
 	return d, nil
 }
 

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+
+	"facsp/internal/fuzzy"
+)
+
+// DefaultSurfaceResolution is the per-axis base resolution used when a
+// decision-surface cache is enabled without an explicit resolution (see
+// Config.SurfaceResolution and PConfig.SurfaceResolution).
+const DefaultSurfaceResolution = fuzzy.DefaultSurfaceResolution
+
+// surfaceKey identifies one shareable compiled surface. The paper's FLC1
+// and FLC2 are static rule bases, so two controllers with the same
+// resolution, integration density and defuzzifier value produce
+// bit-identical surfaces; compiling once per process and sharing the
+// immutable result is what keeps per-cell controller construction cheap in
+// the experiment runner (thousands of controllers per sweep).
+type surfaceKey struct {
+	engine     string
+	resolution int
+	samples    int
+	// defuzz is the configured defuzzifier value (nil = default Centroid).
+	// Only comparable defuzzifiers are cached — value equality must imply
+	// behavioural equality, which holds for the stateless defuzzifiers in
+	// internal/fuzzy.
+	defuzz fuzzy.Defuzzifier
+}
+
+var surfaceCache = struct {
+	mu sync.Mutex
+	m  map[surfaceKey]*surfaceEntry
+}{m: make(map[surfaceKey]*surfaceEntry)}
+
+type surfaceEntry struct {
+	once sync.Once
+	s    *fuzzy.Surface
+	err  error
+}
+
+// compileSurface compiles engine's decision surface at the given per-axis
+// resolution. Compilations are shared through the process-wide cache keyed
+// by defuzzifier value; defuzzifiers of non-comparable types cannot be
+// keyed and compile privately.
+func compileSurface(e *fuzzy.Engine, resolution, samples int, defuzz fuzzy.Defuzzifier) (*fuzzy.Surface, error) {
+	if defuzz != nil && !reflect.TypeOf(defuzz).Comparable() {
+		return fuzzy.NewSurface(e, resolution)
+	}
+	key := surfaceKey{engine: e.Name(), resolution: resolution, samples: samples, defuzz: defuzz}
+	surfaceCache.mu.Lock()
+	ent, ok := surfaceCache.m[key]
+	if !ok {
+		ent = &surfaceEntry{}
+		surfaceCache.m[key] = ent
+	}
+	surfaceCache.mu.Unlock()
+	ent.once.Do(func() { ent.s, ent.err = fuzzy.NewSurface(e, resolution) })
+	return ent.s, ent.err
+}
+
+// inferScore runs the FLC1 -> FLC2 pipeline for one request, exact or
+// surface-backed per stage, and returns the correction value, the crisp A/R
+// score, and the soft outcome label. The exact path labels the outcome with
+// the most-activated rule consequent (the inference trace); the surface
+// path, which has no trace, labels it with the output term dominant at the
+// interpolated score — identical wherever the score is unambiguous.
+func inferScore(flc1, flc2 *fuzzy.Engine, surf1, surf2 *fuzzy.Surface,
+	speed, angle, bandwidth, cs float64) (cv, score float64, outcome string, err error) {
+
+	if surf1 != nil {
+		cv, err = surf1.Infer(speed, angle, bandwidth)
+	} else {
+		cv, err = flc1.Infer(speed, angle, bandwidth)
+	}
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("core: FLC1: %w", err)
+	}
+
+	if surf2 != nil {
+		score, err = surf2.Infer(cv, bandwidth, cs)
+		if err != nil {
+			return 0, 0, "", fmt.Errorf("core: FLC2: %w", err)
+		}
+		out := surf2.Output()
+		if ti := out.DominantTerm(score); ti >= 0 {
+			outcome = out.Terms[ti].Name
+		}
+		return cv, score, outcome, nil
+	}
+	res, err := flc2.InferDetail(cv, bandwidth, cs)
+	if err != nil {
+		return 0, 0, "", fmt.Errorf("core: FLC2: %w", err)
+	}
+	return cv, res.Crisp, flc2.Output().Terms[res.BestTerm].Name, nil
+}
+
+// surfacePair compiles the FLC1/FLC2 surfaces for a controller whose config
+// requested SurfaceResolution > 0.
+func surfacePair(flc1, flc2 *fuzzy.Engine, resolution, samples int, defuzz fuzzy.Defuzzifier) (s1, s2 *fuzzy.Surface, err error) {
+	if samples <= 0 {
+		samples = fuzzy.DefaultSamples
+	}
+	if s1, err = compileSurface(flc1, resolution, samples, defuzz); err != nil {
+		return nil, nil, err
+	}
+	if s2, err = compileSurface(flc2, resolution, samples, defuzz); err != nil {
+		return nil, nil, err
+	}
+	return s1, s2, nil
+}

@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"facsp/internal/rng"
+)
+
+// The sharded runner's contract: curves are a pure function of Options —
+// never of worker count, GOMAXPROCS (exercised via `go test -cpu 1,4,8`),
+// or scheduling order. These tests also run under -race in CI, which is
+// what proves the shard cells are truly disjoint.
+
+func detOpts(workers int) Options {
+	return Options{Loads: []int{5, 12}, Replications: 4, Workers: workers, BaseSeed: 99}
+}
+
+func curveFingerprint(t *testing.T, workers int) Curve {
+	t.Helper()
+	c, err := RunCurve("det", singleCellConfig, FACSFactory(), AcceptedPct, detOpts(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestRunCurveIdenticalAcrossWorkerCounts(t *testing.T) {
+	base := curveFingerprint(t, 1)
+	for _, workers := range []int{2, 4, 8, 64} {
+		got := curveFingerprint(t, workers)
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("curve with %d workers differs from 1 worker:\n 1: %+v\n%2d: %+v",
+				workers, base, workers, got)
+		}
+	}
+}
+
+func TestRunFigureIdenticalAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	run := func(workers int) []Curve {
+		opts := Options{Loads: []int{10, 30}, Replications: 3, Workers: workers}
+		curves, err := Fig10(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return curves
+	}
+	base := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); !reflect.DeepEqual(base, got) {
+			t.Errorf("Fig10 with %d workers differs from 1 worker", workers)
+		}
+	}
+}
+
+func TestShardSeedsAreCoordinateFunctions(t *testing.T) {
+	// The seed of a shard depends only on (BaseSeed, loadIndex, replication):
+	// inserting a load point must not perturb the streams of existing cells
+	// at the same indices, and distinct cells must get distinct seeds.
+	seen := make(map[uint64][2]int)
+	for li := 0; li < 50; li++ {
+		for rep := 0; rep < 50; rep++ {
+			s := rng.Substream(7, uint64(li), uint64(rep))
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("shards (%d,%d) and %v share seed %d", li, rep, prev, s)
+			}
+			seen[s] = [2]int{li, rep}
+		}
+	}
+	if rng.Substream(1, 2, 3) == rng.Substream(1, 3, 2) {
+		t.Error("Substream is not position-sensitive")
+	}
+	if rng.Substream(1, 2, 3) == rng.Substream(2, 2, 3) {
+		t.Error("Substream ignores the base seed")
+	}
+}
+
+func TestRunShardedErrorDeterministic(t *testing.T) {
+	// The reported error is the first in shard order regardless of which
+	// worker hit it first.
+	opts := Options{Loads: []int{1, 2, 3}, Replications: 2, Workers: 8}
+	boom := func(sh Shard) (float64, error) {
+		if sh.LoadIndex >= 1 {
+			return 0, errShard{sh}
+		}
+		return 1, nil
+	}
+	for i := 0; i < 5; i++ {
+		_, err := runSharded(opts, boom)
+		if err == nil {
+			t.Fatal("expected error")
+		}
+		want := "experiment: load 2 replication 0"
+		if got := err.Error(); len(got) < len(want) || got[:len(want)] != want {
+			t.Fatalf("error %q does not start with %q", got, want)
+		}
+	}
+}
+
+type errShard struct{ sh Shard }
+
+func (e errShard) Error() string { return "boom" }
+
+func TestRunCurveRejectsInvalidSurfaceResolution(t *testing.T) {
+	// Invalid resolutions must come back as errors from the public sweep
+	// entry points, not as panics inside a worker goroutine.
+	for _, res := range []int{-1, 1} {
+		opts := detOpts(2)
+		opts.SurfaceResolution = res
+		if _, err := RunCurve("bad", singleCellConfig, opts.facspFactory(), AcceptedPct, opts); err == nil {
+			t.Errorf("surface resolution %d accepted", res)
+		}
+		if _, err := Fig10(opts); err == nil {
+			t.Errorf("Fig10 accepted surface resolution %d", res)
+		}
+	}
+}
+
+func TestRunCurveSurfaceOption(t *testing.T) {
+	// The surface-cached sweep must run end to end and stay deterministic;
+	// its values may differ slightly from exact inference.
+	opts := detOpts(4)
+	opts.SurfaceResolution = 17
+	run := func() Curve {
+		c, err := RunCurve("surf", singleCellConfig, opts.facspFactory(), AcceptedPct, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("surface-cached sweep is not deterministic")
+	}
+	for i, p := range a.Points {
+		if p.Y < 0 || p.Y > 100 {
+			t.Errorf("point %d acceptance %v outside [0,100]", i, p.Y)
+		}
+	}
+}

@@ -5,15 +5,16 @@
 //
 // Every runner sweeps the paper's x axis (number of requesting
 // connections), replicates each point across seeds, and returns named
-// curves with 95% confidence half-widths. Replications run on a worker
-// pool but results are reduced in a fixed order, so output is
-// deterministic for a given Options.
+// curves with 95% confidence half-widths. Sweeps are sharded: every
+// (load-point, replication) cell is an independent simulation with its own
+// deterministic RNG substream (rng.Substream), executed on a bounded worker
+// pool and reduced in fixed order — so curves are bit-identical for a given
+// Options regardless of Workers or GOMAXPROCS.
 package experiment
 
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"facsp/internal/cac"
 	"facsp/internal/cellsim"
@@ -31,17 +32,34 @@ type Options struct {
 	Loads []int
 	// Replications is the number of seeds per point (default 20).
 	Replications int
-	// Workers bounds the worker pool (default GOMAXPROCS).
+	// Workers bounds the worker pool (default GOMAXPROCS). Results are
+	// bit-identical for any value; Workers only changes throughput.
 	Workers int
 	// BaseSeed offsets all run seeds, for independent repetitions of a
-	// whole experiment.
+	// whole experiment. Every shard's seed is derived from it with
+	// rng.Substream.
 	BaseSeed uint64
+	// SurfaceResolution, when positive, runs the fuzzy controllers on
+	// precomputed decision surfaces at this per-axis resolution instead of
+	// exact Mamdani inference (see core.Config.SurfaceResolution) — much
+	// faster, at a small quantization error. 0 keeps exact inference, which
+	// is what the published figure shapes are validated against.
+	SurfaceResolution int
 }
 
 // DefaultLoads is the x axis used for the figures: dense enough around the
 // paper's crossover points (25 for Fig. 10, 50 for Fig. 7).
 func DefaultLoads() []int {
 	return []int{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 70, 80, 90, 100}
+}
+
+// validate rejects option values that would otherwise surface as panics
+// deep inside a worker goroutine.
+func (o Options) validate() error {
+	if o.SurfaceResolution < 0 || o.SurfaceResolution == 1 {
+		return fmt.Errorf("experiment: surface resolution %d must be 0 (exact) or >= 2", o.SurfaceResolution)
+	}
+	return nil
 }
 
 func (o Options) withDefaults() Options {
@@ -80,13 +98,18 @@ func AcceptedPct(r cellsim.Result) float64 { return r.AcceptedPct() }
 // admitted calls later dropped at a handoff.
 func DropPct(r cellsim.Result) float64 { return r.DropPct() }
 
-// FACSFactory returns a per-cell FACS admitter factory.
-func FACSFactory() AdmitterFactory {
+// FACSFactory returns a per-cell FACS admitter factory with the default
+// configuration.
+func FACSFactory() AdmitterFactory { return FACSFactoryWith(core.DefaultConfig()) }
+
+// FACSFactoryWith returns a per-cell FACS admitter factory for cfg. The
+// config must be valid: factories are wired statically into figure runners,
+// so a bad one is a programming error and panics at first use.
+func FACSFactoryWith(cfg core.Config) AdmitterFactory {
 	return func() cellsim.Admitter {
 		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
-			f, err := core.NewFACS(core.DefaultConfig())
+			f, err := core.NewFACS(cfg)
 			if err != nil {
-				// Static configuration: failure is a programming error.
 				panic("experiment: " + err.Error())
 			}
 			return f
@@ -94,17 +117,37 @@ func FACSFactory() AdmitterFactory {
 	}
 }
 
-// FACSPFactory returns a per-cell FACS-P admitter factory.
-func FACSPFactory() AdmitterFactory {
+// FACSPFactory returns a per-cell FACS-P admitter factory with the default
+// configuration.
+func FACSPFactory() AdmitterFactory { return FACSPFactoryWith(core.DefaultPConfig()) }
+
+// FACSPFactoryWith returns a per-cell FACS-P admitter factory for cfg.
+func FACSPFactoryWith(cfg core.PConfig) AdmitterFactory {
 	return func() cellsim.Admitter {
 		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
-			f, err := core.NewFACSP(core.DefaultPConfig())
+			f, err := core.NewFACSP(cfg)
 			if err != nil {
 				panic("experiment: " + err.Error())
 			}
 			return f
 		})
 	}
+}
+
+// facsFactory returns the FACS factory honouring the options' surface
+// setting.
+func (o Options) facsFactory() AdmitterFactory {
+	cfg := core.DefaultConfig()
+	cfg.SurfaceResolution = o.SurfaceResolution
+	return FACSFactoryWith(cfg)
+}
+
+// facspFactory returns the FACS-P factory honouring the options' surface
+// setting.
+func (o Options) facspFactory() AdmitterFactory {
+	cfg := core.DefaultPConfig()
+	cfg.SurfaceResolution = o.SurfaceResolution
+	return FACSPFactoryWith(cfg)
 }
 
 // SCCFactory returns a network-level shadow-cluster admitter factory.
@@ -122,54 +165,28 @@ func SCCFactory() AdmitterFactory {
 // figure runners use it to pin speeds/angles and choose the cluster setup.
 type ConfigFunc func(load int, seed uint64) cellsim.Config
 
-// RunCurve sweeps the loads for one scheme and returns its curve.
+// RunCurve sweeps the loads for one scheme and returns its curve. Shards
+// run in parallel (Options.Workers) with deterministic per-shard RNG
+// substreams; the curve is bit-identical for any worker count.
 func RunCurve(name string, cfg ConfigFunc, factory AdmitterFactory, metric Metric, opts Options) (Curve, error) {
+	if err := opts.validate(); err != nil {
+		return Curve{}, fmt.Errorf("curve %q: %w", name, err)
+	}
 	o := opts.withDefaults()
 
-	type job struct{ li, rep int }
-	jobs := make(chan job)
-	results := make([][]float64, len(o.Loads))
-	for i := range results {
-		results[i] = make([]float64, o.Replications)
-	}
-	errs := make([]error, o.Workers)
-
-	var wg sync.WaitGroup
-	for w := 0; w < o.Workers; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for j := range jobs {
-				seed := o.BaseSeed + uint64(j.rep)*1000003 + uint64(j.li)
-				sim, err := cellsim.New(cfg(o.Loads[j.li], seed), factory())
-				if err != nil {
-					if errs[worker] == nil {
-						errs[worker] = err
-					}
-					continue
-				}
-				res, err := sim.Run()
-				if err != nil {
-					if errs[worker] == nil {
-						errs[worker] = err
-					}
-					continue
-				}
-				results[j.li][j.rep] = metric(res)
-			}
-		}(w)
-	}
-	for li := range o.Loads {
-		for rep := 0; rep < o.Replications; rep++ {
-			jobs <- job{li: li, rep: rep}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	for _, err := range errs {
+	results, err := runSharded(o, func(sh Shard) (float64, error) {
+		sim, err := cellsim.New(cfg(sh.Load, sh.Seed), factory())
 		if err != nil {
-			return Curve{}, fmt.Errorf("experiment: curve %q: %w", name, err)
+			return 0, err
 		}
+		res, err := sim.Run()
+		if err != nil {
+			return 0, err
+		}
+		return metric(res), nil
+	})
+	if err != nil {
+		return Curve{}, fmt.Errorf("experiment: curve %q: %w", name, err)
 	}
 
 	curve := Curve{Series: stats.Series{Name: name}}
@@ -206,7 +223,7 @@ func homogeneousConfig(load int, seed uint64) cellsim.Config {
 // and the Shadow Cluster Concept. Expected shape: FACS above SCC below
 // ~50 requesting connections, below SCC above it.
 func Fig7(opts Options) ([]Curve, error) {
-	facs, err := RunCurve("FACS", singleCellConfig, FACSFactory(), AcceptedPct, opts)
+	facs, err := RunCurve("FACS", singleCellConfig, opts.facsFactory(), AcceptedPct, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -236,7 +253,7 @@ func Fig8(opts Options) ([]Curve, error) {
 			c.Speed = cellsim.Fixed(sp)
 			return c
 		}
-		curve, err := RunCurve(fmt.Sprintf("%g km/h", sp), cfg, FACSPFactory(), AcceptedPct, opts)
+		curve, err := RunCurve(fmt.Sprintf("%g km/h", sp), cfg, opts.facspFactory(), AcceptedPct, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -267,7 +284,7 @@ func Fig9(opts Options) ([]Curve, error) {
 			c.Static = true
 			return c
 		}
-		curve, err := RunCurve(fmt.Sprintf("angle=%g", an), cfg, FACSPFactory(), AcceptedPct, opts)
+		curve, err := RunCurve(fmt.Sprintf("angle=%g", an), cfg, opts.facspFactory(), AcceptedPct, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -281,11 +298,11 @@ func Fig9(opts Options) ([]Curve, error) {
 // FACS-P above FACS below ~25 requesting connections, below FACS above it,
 // with the gap widening toward 100.
 func Fig10(opts Options) ([]Curve, error) {
-	facsp, err := RunCurve("FACS-P (proposed)", homogeneousConfig, FACSPFactory(), AcceptedPct, opts)
+	facsp, err := RunCurve("FACS-P (proposed)", homogeneousConfig, opts.facspFactory(), AcceptedPct, opts)
 	if err != nil {
 		return nil, err
 	}
-	facs, err := RunCurve("FACS (previous)", homogeneousConfig, FACSFactory(), AcceptedPct, opts)
+	facs, err := RunCurve("FACS (previous)", homogeneousConfig, opts.facsFactory(), AcceptedPct, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -297,11 +314,11 @@ func Fig10(opts Options) ([]Curve, error) {
 // paper's conclusion that the proposed system "keeps a higher QoS of
 // on-going connections" with a number the paper itself never plots.
 func Drops(opts Options) ([]Curve, error) {
-	facsp, err := RunCurve("FACS-P drop%", homogeneousConfig, FACSPFactory(), DropPct, opts)
+	facsp, err := RunCurve("FACS-P drop%", homogeneousConfig, opts.facspFactory(), DropPct, opts)
 	if err != nil {
 		return nil, err
 	}
-	facs, err := RunCurve("FACS drop%", homogeneousConfig, FACSFactory(), DropPct, opts)
+	facs, err := RunCurve("FACS drop%", homogeneousConfig, opts.facsFactory(), DropPct, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -313,23 +330,16 @@ func Drops(opts Options) ([]Curve, error) {
 // adaptive threshold as new calls. The gap in dropped-call percentage is
 // the value of "priority of on-going connections" by itself.
 func AblationHandoffPriority(opts Options) ([]Curve, error) {
-	withPriority, err := RunCurve("handoff priority (default)", homogeneousConfig, FACSPFactory(), DropPct, opts)
+	withPriority, err := RunCurve("handoff priority (default)", homogeneousConfig, opts.facspFactory(), DropPct, opts)
 	if err != nil {
 		return nil, err
 	}
-	noPriority := func() cellsim.Admitter {
-		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
-			cfg := core.DefaultPConfig()
-			// Handoffs must clear the same bar as a new call into an
-			// empty-ish cell: no reserved leniency.
-			cfg.HandoffThreshold = core.DefaultThreshold
-			f, err := core.NewFACSP(cfg)
-			if err != nil {
-				panic("experiment: " + err.Error())
-			}
-			return f
-		})
-	}
+	noCfg := core.DefaultPConfig()
+	// Handoffs must clear the same bar as a new call into an empty-ish
+	// cell: no reserved leniency.
+	noCfg.HandoffThreshold = core.DefaultThreshold
+	noCfg.SurfaceResolution = opts.SurfaceResolution
+	noPriority := FACSPFactoryWith(noCfg)
 	without, err := RunCurve("no handoff priority", homogeneousConfig, noPriority, DropPct, opts)
 	if err != nil {
 		return nil, err
@@ -341,21 +351,14 @@ func AblationHandoffPriority(opts Options) ([]Curve, error) {
 // height defuzzifier on the full Fig. 10 workload: how much of the curve
 // is shaped by the defuzzification choice DESIGN.md discusses.
 func AblationDefuzzifier(opts Options) ([]Curve, error) {
-	centroid, err := RunCurve("centroid defuzzifier", homogeneousConfig, FACSPFactory(), AcceptedPct, opts)
+	centroid, err := RunCurve("centroid defuzzifier", homogeneousConfig, opts.facspFactory(), AcceptedPct, opts)
 	if err != nil {
 		return nil, err
 	}
-	height := func() cellsim.Admitter {
-		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
-			cfg := core.DefaultPConfig()
-			cfg.Defuzzifier = fuzzy.Height{}
-			f, err := core.NewFACSP(cfg)
-			if err != nil {
-				panic("experiment: " + err.Error())
-			}
-			return f
-		})
-	}
+	heightCfg := core.DefaultPConfig()
+	heightCfg.Defuzzifier = fuzzy.Height{}
+	heightCfg.SurfaceResolution = opts.SurfaceResolution
+	height := FACSPFactoryWith(heightCfg)
 	heightCurve, err := RunCurve("height defuzzifier", homogeneousConfig, height, AcceptedPct, opts)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"facsp/internal/rng"
+)
+
+// Shard identifies one independent cell of an experiment sweep: a (load
+// point, replication) pair together with the deterministic seed of its RNG
+// substream. Shards are the unit of parallelism; each one is a complete,
+// self-contained simulation run.
+type Shard struct {
+	// LoadIndex is the index into Options.Loads.
+	LoadIndex int
+	// Load is the number of requesting connections at this point.
+	Load int
+	// Replication is the seed replication index at this point.
+	Replication int
+	// Seed is the shard's substream seed, a pure function of
+	// (Options.BaseSeed, LoadIndex, Replication) — never of worker
+	// identity or scheduling order.
+	Seed uint64
+}
+
+// ShardFunc executes one shard and returns its metric value.
+type ShardFunc func(Shard) (float64, error)
+
+// runSharded executes every (load, replication) shard of o on a bounded
+// worker pool and returns the metric values indexed [loadIndex][replication].
+//
+// Determinism: a shard's seed comes from rng.Substream over its coordinates
+// alone, and each result lands in its own cell of the result matrix, so the
+// returned values are bit-identical regardless of Workers, GOMAXPROCS, or
+// scheduling interleave. The first error in shard order (not completion
+// order) is returned, also deterministically.
+func runSharded(o Options, fn ShardFunc) ([][]float64, error) {
+	results := make([][]float64, len(o.Loads))
+	for i := range results {
+		results[i] = make([]float64, o.Replications)
+	}
+	total := len(o.Loads) * o.Replications
+	if total == 0 {
+		return results, nil
+	}
+	errs := make([]error, total)
+
+	workers := o.Workers
+	if workers > total {
+		workers = total
+	}
+
+	// Work-stealing by atomic counter: shards are claimed in index order,
+	// so early results appear early, but nothing about placement affects
+	// values — only throughput.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				li, rep := i/o.Replications, i%o.Replications
+				sh := Shard{
+					LoadIndex:   li,
+					Load:        o.Loads[li],
+					Replication: rep,
+					Seed:        rng.Substream(o.BaseSeed, uint64(li), uint64(rep)),
+				}
+				v, err := fn(sh)
+				if err != nil {
+					errs[i] = fmt.Errorf("experiment: load %d replication %d: %w", sh.Load, rep, err)
+					continue
+				}
+				results[li][rep] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

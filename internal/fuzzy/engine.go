@@ -40,6 +40,15 @@ type Engine struct {
 	and     TNorm
 	defuzz  Defuzzifier
 	samples int
+
+	// Centroid fast path: output-term membership grades pre-evaluated on the
+	// integration grid, so defuzzification is table lookups instead of
+	// interface-dispatched Grade calls. sampleX[i] is the i-th midpoint
+	// sample over the output universe; gradeTab[i*len(output.Terms)+t] is
+	// term t's grade there. Populated only for the Centroid defuzzifier;
+	// the numbers it produces are bit-identical to Centroid.Defuzz.
+	sampleX  []float64
+	gradeTab []float64
 }
 
 // Option configures an Engine at construction time.
@@ -99,7 +108,77 @@ func NewEngine(name string, inputs []Variable, output Variable, rules []Rule, op
 	if e.defuzz == nil {
 		return nil, fmt.Errorf("fuzzy: engine %q: nil defuzzifier", name)
 	}
+	if _, centroid := e.defuzz.(Centroid); centroid {
+		e.buildGradeTable()
+	}
 	return e, nil
+}
+
+// buildGradeTable precomputes the output-term grades on the integration
+// grid used by the centroid fast path.
+func (e *Engine) buildGradeTable() {
+	nt := len(e.output.Terms)
+	dx := (e.output.Max - e.output.Min) / float64(e.samples)
+	e.sampleX = make([]float64, e.samples)
+	e.gradeTab = make([]float64, e.samples*nt)
+	for i := 0; i < e.samples; i++ {
+		x := e.output.Min + (float64(i)+0.5)*dx
+		e.sampleX[i] = x
+		for t, term := range e.output.Terms {
+			e.gradeTab[i*nt+t] = term.MF.Grade(x)
+		}
+	}
+}
+
+// defuzzify dispatches to the centroid fast path when available, otherwise
+// to the configured Defuzzifier.
+func (e *Engine) defuzzify(strength []float64) (float64, error) {
+	if e.gradeTab == nil {
+		return e.defuzz.Defuzz(e.output, strength, e.samples)
+	}
+	// Only activated output terms can contribute to the max; with the
+	// paper's rule bases that is typically 2-5 of 9 terms.
+	var activeT [32]int
+	var activeS [32]float64
+	na := 0
+	for t, s := range strength {
+		if s > 0 {
+			if na == len(activeT) {
+				// Implausibly wide activation; take the general path.
+				return e.defuzz.Defuzz(e.output, strength, e.samples)
+			}
+			activeT[na], activeS[na] = t, s
+			na++
+		}
+	}
+	if na == 0 {
+		return 0, ErrNoRuleFired
+	}
+
+	nt := len(e.output.Terms)
+	var moment, area float64
+	for i, x := range e.sampleX {
+		base := i * nt
+		mu := 0.0
+		for k := 0; k < na; k++ {
+			s := activeS[k]
+			if s <= mu { // this term cannot raise the running max
+				continue
+			}
+			if g := e.gradeTab[base+activeT[k]]; g < s {
+				s = g
+			}
+			if s > mu {
+				mu = s
+			}
+		}
+		moment += x * mu
+		area += mu
+	}
+	if area == 0 {
+		return 0, ErrNoRuleFired
+	}
+	return moment / area, nil
 }
 
 // MustEngine is NewEngine that panics on error, for statically authored
@@ -149,10 +228,18 @@ func (e *Engine) Infer(inputs ...float64) (float64, error) {
 	return res.Crisp, nil
 }
 
-// InferDetail is Infer returning the full inference trace.
+// InferDetail is Infer returning the full inference trace. Inputs are
+// clamped to their universes (an out-of-range crisp value is simply the
+// nearest edge, as the paper treats out-of-range measurements); NaN carries
+// no such nearest value and is rejected.
 func (e *Engine) InferDetail(inputs ...float64) (Result, error) {
 	if len(inputs) != len(e.inputs) {
 		return Result{}, fmt.Errorf("fuzzy: engine %q: got %d inputs, want %d", e.name, len(inputs), len(e.inputs))
+	}
+	for i, x := range inputs {
+		if math.IsNaN(x) {
+			return Result{}, fmt.Errorf("fuzzy: engine %q: input %d (%s) is NaN", e.name, i, e.inputs[i].Name)
+		}
 	}
 
 	// Fuzzify every input once; rules then index into the grade tables.
@@ -186,7 +273,7 @@ func (e *Engine) InferDetail(inputs ...float64) (Result, error) {
 		}
 	}
 
-	crisp, err := e.defuzz.Defuzz(e.output, termStrength, e.samples)
+	crisp, err := e.defuzzify(termStrength)
 	if err != nil {
 		return Result{}, fmt.Errorf("fuzzy: engine %q: %w", e.name, err)
 	}

@@ -33,6 +33,16 @@ type Supported interface {
 	Support() (lo, hi float64)
 }
 
+// PiecewiseLinear is implemented by membership functions whose grade is
+// piecewise linear in x. Breakpoints returns every x at which the slope may
+// change; values outside a variable's universe (including the infinities of
+// shoulder terms) are permitted, consumers clamp or drop them. Surface
+// compilation aligns its grid to these points so interpolation never cuts
+// across a kink.
+type PiecewiseLinear interface {
+	Breakpoints() []float64
+}
+
 // Triangular is the paper's f(x; x0, a0, a1) membership function: grade 1 at
 // Center, falling linearly to 0 at Center-LeftWidth and Center+RightWidth.
 //
@@ -46,9 +56,10 @@ type Triangular struct {
 }
 
 var (
-	_ MF        = Triangular{}
-	_ Peaked    = Triangular{}
-	_ Supported = Triangular{}
+	_ MF              = Triangular{}
+	_ Peaked          = Triangular{}
+	_ Supported       = Triangular{}
+	_ PiecewiseLinear = Triangular{}
 )
 
 // Tri returns a Triangular membership function with the given center and
@@ -99,6 +110,11 @@ func (t Triangular) Support() (lo, hi float64) {
 	return t.Center - t.LeftWidth, t.Center + t.RightWidth
 }
 
+// Breakpoints implements PiecewiseLinear.
+func (t Triangular) Breakpoints() []float64 {
+	return []float64{t.Center - t.LeftWidth, t.Center, t.Center + t.RightWidth}
+}
+
 // Trapezoidal is the paper's g(x; x0, x1, a0, a1) membership function:
 // grade 1 on the plateau [Left, Right], rising linearly from
 // Left-LeftWidth and falling linearly to Right+RightWidth.
@@ -114,9 +130,10 @@ type Trapezoidal struct {
 }
 
 var (
-	_ MF        = Trapezoidal{}
-	_ Peaked    = Trapezoidal{}
-	_ Supported = Trapezoidal{}
+	_ MF              = Trapezoidal{}
+	_ Peaked          = Trapezoidal{}
+	_ Supported       = Trapezoidal{}
+	_ PiecewiseLinear = Trapezoidal{}
 )
 
 // Trap returns a Trapezoidal membership function with plateau [left, right]
@@ -180,6 +197,12 @@ func (t Trapezoidal) Peak() float64 {
 // Support implements Supported.
 func (t Trapezoidal) Support() (lo, hi float64) {
 	return t.Left - t.LeftWidth, t.Right + t.RightWidth
+}
+
+// Breakpoints implements PiecewiseLinear. Shoulder plateaus contribute their
+// infinite edge as is; consumers restrict to the universe.
+func (t Trapezoidal) Breakpoints() []float64 {
+	return []float64{t.Left - t.LeftWidth, t.Left, t.Right, t.Right + t.RightWidth}
 }
 
 // LeftShoulder returns a trapezoid with grade 1 on (-inf-like) plateau up to

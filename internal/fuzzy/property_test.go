@@ -1,0 +1,157 @@
+package fuzzy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property-based tests of the Mamdani engine invariants the rest of the
+// repository leans on: membership grades stay in [0,1], defuzzified output
+// stays inside the consequent universe, and degenerate inputs (NaN,
+// out-of-universe crisp values) are rejected or clamped deterministically.
+
+// quickCfg spreads generated float64 arguments over a wide range including
+// far-out-of-universe values.
+func quickCfg() *quick.Config { return &quick.Config{MaxCount: 500} }
+
+func TestPropertyGradesClamped(t *testing.T) {
+	e := tipperEngine(t)
+	vars := append(e.Inputs(), e.Output())
+	prop := func(x float64, scale uint8) bool {
+		// Stretch inputs across several universes' worth of range.
+		x = (x - 0.5) * float64(scale)
+		for _, v := range vars {
+			for _, g := range v.Fuzzify(x) {
+				if math.IsNaN(g) || g < 0 || g > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOutputInsideConsequentUniverse(t *testing.T) {
+	e := tipperEngine(t)
+	out := e.Output()
+	prop := func(service, food float64, scale uint8) bool {
+		service = (service - 0.5) * float64(scale)
+		food = (food - 0.5) * float64(scale)
+		crisp, err := e.Infer(service, food)
+		if err != nil {
+			return false // complete rule base: some rule always fires
+		}
+		return crisp >= out.Min && crisp <= out.Max
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRuleStrengthsClamped(t *testing.T) {
+	e := tipperEngine(t)
+	prop := func(service, food float64) bool {
+		res, err := e.InferDetail(service*10, food*10)
+		if err != nil {
+			return false
+		}
+		for _, s := range res.RuleStrength {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				return false
+			}
+		}
+		for _, s := range res.TermStrength {
+			if math.IsNaN(s) || s < 0 || s > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOutOfUniverseEqualsEdge(t *testing.T) {
+	// Clamping is deterministic: any input beyond an edge must produce
+	// exactly the edge's output.
+	e := tipperEngine(t)
+	atEdge, err := e.Infer(10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(excess float64) bool {
+		if math.IsNaN(excess) {
+			return true
+		}
+		beyond := 10 + math.Abs(excess)
+		got, err := e.Infer(beyond, beyond)
+		return err == nil && got == atEdge
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+	// Infinities clamp too.
+	if got, err := e.Infer(math.Inf(1), math.Inf(1)); err != nil || got != atEdge {
+		t.Errorf("Infer(+Inf, +Inf) = %v, %v; want %v, nil", got, err, atEdge)
+	}
+}
+
+func TestPropertyNaNRejected(t *testing.T) {
+	e := tipperEngine(t)
+	for _, in := range [][2]float64{
+		{math.NaN(), 5},
+		{5, math.NaN()},
+		{math.NaN(), math.NaN()},
+	} {
+		if _, err := e.Infer(in[0], in[1]); err == nil {
+			t.Errorf("Infer(%v, %v) accepted NaN", in[0], in[1])
+		}
+		if _, err := e.InferDetail(in[0], in[1]); err == nil {
+			t.Errorf("InferDetail(%v, %v) accepted NaN", in[0], in[1])
+		}
+	}
+}
+
+func TestPropertySurfaceMatchesEngineInvariants(t *testing.T) {
+	e, s := tipperSurface(t, 21)
+	out := e.Output()
+	prop := func(service, food float64, scale uint8) bool {
+		service = (service - 0.5) * float64(scale)
+		food = (food - 0.5) * float64(scale)
+		crisp, err := s.Infer(service, food)
+		if err != nil {
+			return false
+		}
+		return crisp >= out.Min && crisp <= out.Max
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroidFastPathMatchesGeneralPath(t *testing.T) {
+	// The table-backed centroid must be bit-identical to Centroid.Defuzz.
+	e := tipperEngine(t)
+	if e.gradeTab == nil {
+		t.Fatal("default engine did not build the centroid grade table")
+	}
+	prop := func(service, food float64) bool {
+		res, err := e.InferDetail(service*10, food*10)
+		if err != nil {
+			return false
+		}
+		want, err := Centroid{}.Defuzz(e.output, res.TermStrength, e.samples)
+		if err != nil {
+			return false
+		}
+		return res.Crisp == want
+	}
+	if err := quick.Check(prop, quickCfg()); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+package fuzzy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Inferencer is the read side shared by Engine and Surface: anything that
+// maps crisp inputs to a crisp output. Controllers program against it so an
+// exact Mamdani pass and a precomputed surface are interchangeable.
+type Inferencer interface {
+	Infer(inputs ...float64) (float64, error)
+}
+
+var (
+	_ Inferencer = (*Engine)(nil)
+	_ Inferencer = (*Surface)(nil)
+)
+
+const (
+	// DefaultSurfaceResolution is the per-axis base tick count used when a
+	// surface is requested without an explicit resolution. Together with
+	// breakpoint alignment it keeps the interpolation error of the paper's
+	// controllers well below the softness of their linguistic scales.
+	DefaultSurfaceResolution = 33
+
+	// maxSurfaceDims bounds the input dimensionality of a Surface; the
+	// interpolation loop visits 2^d corners and keeps its per-call state on
+	// the stack up to this arity.
+	maxSurfaceDims = 8
+
+	// maxSurfacePoints caps the precomputed grid so a mistyped resolution
+	// fails fast instead of exhausting memory.
+	maxSurfacePoints = 1 << 24
+)
+
+// Surface is a quantized decision surface: an Engine's crisp output
+// precomputed on an N-dimensional grid over its input universes, answered at
+// query time by multilinear interpolation.
+//
+// The grid on each axis is the union of a uniform partition and the
+// breakpoints of every membership function on that axis, so the kinks of the
+// piecewise-linear fuzzification land exactly on grid planes instead of
+// being smeared across a cell. Construction costs one full inference per
+// grid point; lookups afterwards cost 2^d multiply-adds and no allocation,
+// which is what makes admission-rate workloads tractable (see
+// core.Config.SurfaceResolution and EXPERIMENTS.md).
+//
+// A Surface is immutable and safe for concurrent use.
+type Surface struct {
+	name    string
+	axes    [][]float64 // sorted tick positions per input dimension
+	strides []int       // row-major strides, last axis fastest
+	vals    []float64   // crisp output at every grid point
+	output  Variable
+}
+
+// NewSurface precomputes the decision surface of e with at least resolution
+// uniform ticks per input axis (plus every membership-function breakpoint).
+// A resolution below 2 is an error; the engine's inference errors, if any,
+// surface here rather than at query time.
+func NewSurface(e *Engine, resolution int) (*Surface, error) {
+	if e == nil {
+		return nil, fmt.Errorf("fuzzy: NewSurface of nil engine")
+	}
+	if resolution < 2 {
+		return nil, fmt.Errorf("fuzzy: surface for %q: resolution %d below 2", e.name, resolution)
+	}
+	if len(e.inputs) > maxSurfaceDims {
+		return nil, fmt.Errorf("fuzzy: surface for %q: %d inputs exceeds the %d-dimension limit",
+			e.name, len(e.inputs), maxSurfaceDims)
+	}
+
+	axes := make([][]float64, len(e.inputs))
+	points := 1
+	for i, v := range e.inputs {
+		axes[i] = axisTicks(v, resolution)
+		points *= len(axes[i])
+		if points > maxSurfacePoints {
+			return nil, fmt.Errorf("fuzzy: surface for %q exceeds %d grid points", e.name, maxSurfacePoints)
+		}
+	}
+	strides := make([]int, len(axes))
+	strides[len(axes)-1] = 1
+	for i := len(axes) - 2; i >= 0; i-- {
+		strides[i] = strides[i+1] * len(axes[i+1])
+	}
+
+	vals := make([]float64, points)
+	point := make([]float64, len(axes))
+	idx := make([]int, len(axes))
+	for p := range vals {
+		for i := range idx {
+			point[i] = axes[i][idx[i]]
+		}
+		crisp, err := e.Infer(point...)
+		if err != nil {
+			return nil, fmt.Errorf("fuzzy: surface for %q at %v: %w", e.name, point, err)
+		}
+		vals[p] = crisp
+
+		// Advance the odometer, rightmost axis fastest (row-major order).
+		for i := len(idx) - 1; i >= 0; i-- {
+			idx[i]++
+			if idx[i] < len(axes[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+	}
+
+	return &Surface{
+		name:    e.name,
+		axes:    axes,
+		strides: strides,
+		vals:    vals,
+		output:  e.output,
+	}, nil
+}
+
+// axisTicks builds one axis of the grid: resolution uniform ticks over the
+// universe, plus every in-universe membership breakpoint, sorted and deduped.
+func axisTicks(v Variable, resolution int) []float64 {
+	ticks := make([]float64, 0, resolution+4*len(v.Terms))
+	span := v.Max - v.Min
+	for i := 0; i < resolution; i++ {
+		ticks = append(ticks, v.Min+span*float64(i)/float64(resolution-1))
+	}
+	for _, t := range v.Terms {
+		pl, ok := t.MF.(PiecewiseLinear)
+		if !ok {
+			continue
+		}
+		for _, b := range pl.Breakpoints() {
+			if b > v.Min && b < v.Max { // universe edges are already ticks
+				ticks = append(ticks, b)
+			}
+		}
+	}
+	sort.Float64s(ticks)
+
+	// Collapse duplicates (shared breakpoints, breakpoints landing on
+	// uniform ticks) within a span-relative epsilon.
+	eps := span * 1e-12
+	out := ticks[:1]
+	for _, x := range ticks[1:] {
+		if x-out[len(out)-1] > eps {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Name returns the name of the engine the surface was compiled from.
+func (s *Surface) Name() string { return s.name }
+
+// NumInputs returns the surface's input arity.
+func (s *Surface) NumInputs() int { return len(s.axes) }
+
+// Points returns the total number of precomputed grid points.
+func (s *Surface) Points() int { return len(s.vals) }
+
+// Output returns the output variable of the compiled engine.
+func (s *Surface) Output() Variable { return s.output }
+
+// Infer implements Inferencer by multilinear interpolation over the
+// precomputed grid. Inputs are clamped to each axis's universe, matching
+// Engine; NaN inputs are rejected.
+func (s *Surface) Infer(inputs ...float64) (float64, error) {
+	if len(inputs) != len(s.axes) {
+		return 0, fmt.Errorf("fuzzy: surface %q: got %d inputs, want %d", s.name, len(inputs), len(s.axes))
+	}
+	var lo [maxSurfaceDims]int
+	var frac [maxSurfaceDims]float64
+	for i, x := range inputs {
+		if math.IsNaN(x) {
+			return 0, fmt.Errorf("fuzzy: surface %q: input %d is NaN", s.name, i)
+		}
+		ax := s.axes[i]
+		last := len(ax) - 1
+		switch {
+		case x <= ax[0]:
+			lo[i], frac[i] = 0, 0
+		case x >= ax[last]:
+			lo[i], frac[i] = last-1, 1
+		default:
+			// j is the first tick >= x, so x lies in (ax[j-1], ax[j]].
+			j := sort.SearchFloat64s(ax, x)
+			lo[i] = j - 1
+			frac[i] = (x - ax[j-1]) / (ax[j] - ax[j-1])
+		}
+	}
+
+	d := len(s.axes)
+	out := 0.0
+	for corner := 0; corner < 1<<d; corner++ {
+		w := 1.0
+		off := 0
+		for i := 0; i < d; i++ {
+			if corner&(1<<i) != 0 {
+				w *= frac[i]
+				off += (lo[i] + 1) * s.strides[i]
+			} else {
+				w *= 1 - frac[i]
+				off += lo[i] * s.strides[i]
+			}
+			if w == 0 {
+				break
+			}
+		}
+		if w != 0 {
+			out += w * s.vals[off]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,179 @@
+package fuzzy
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func tipperSurface(t testing.TB, resolution int) (*Engine, *Surface) {
+	t.Helper()
+	e := tipperEngine(t)
+	s, err := NewSurface(e, resolution)
+	if err != nil {
+		t.Fatalf("NewSurface: %v", err)
+	}
+	return e, s
+}
+
+func TestSurfaceExactOnGridPoints(t *testing.T) {
+	e, s := tipperSurface(t, 11)
+	// Every grid tick is a precomputed point: interpolation must return the
+	// engine's value exactly there, including on the inserted breakpoints.
+	// Resolution 11 over [0,10] puts uniform ticks on the integers, and the
+	// tipper breakpoints (0, 5, 10) coincide with them.
+	for _, service := range []float64{0, 1, 2, 5, 7, 10} {
+		for _, food := range []float64{0, 2, 5, 10} {
+			want, err := e.Infer(service, food)
+			if err != nil {
+				t.Fatalf("engine at (%v, %v): %v", service, food, err)
+			}
+			got, err := s.Infer(service, food)
+			if err != nil {
+				t.Fatalf("surface at (%v, %v): %v", service, food, err)
+			}
+			if got != want {
+				t.Errorf("surface at grid point (%v, %v) = %v, engine = %v", service, food, got, want)
+			}
+		}
+	}
+}
+
+func TestSurfaceInterpolatesWithinUniverse(t *testing.T) {
+	_, s := tipperSurface(t, 11)
+	out := s.Output()
+	for service := 0.0; service <= 10; service += 0.173 {
+		for food := 0.0; food <= 10; food += 0.211 {
+			got, err := s.Infer(service, food)
+			if err != nil {
+				t.Fatalf("surface at (%v, %v): %v", service, food, err)
+			}
+			if got < out.Min || got > out.Max {
+				t.Fatalf("surface at (%v, %v) = %v outside output universe [%v, %v]",
+					service, food, got, out.Min, out.Max)
+			}
+		}
+	}
+}
+
+func TestSurfaceClampsLikeEngine(t *testing.T) {
+	e, s := tipperSurface(t, 11)
+	// Out-of-universe inputs clamp to the edge, matching Engine semantics.
+	cases := [][2]float64{{-5, 5}, {15, 5}, {5, -1}, {5, 11}, {1e6, -1e6}}
+	for _, c := range cases {
+		want, err := e.Infer(c[0], c[1])
+		if err != nil {
+			t.Fatalf("engine at %v: %v", c, err)
+		}
+		got, err := s.Infer(c[0], c[1])
+		if err != nil {
+			t.Fatalf("surface at %v: %v", c, err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("surface clamp at %v = %v, engine = %v", c, got, want)
+		}
+	}
+}
+
+func TestSurfaceRejectsNaN(t *testing.T) {
+	_, s := tipperSurface(t, 5)
+	if _, err := s.Infer(math.NaN(), 5); err == nil {
+		t.Error("NaN input accepted")
+	}
+	if _, err := s.Infer(5, math.NaN()); err == nil {
+		t.Error("NaN input accepted")
+	}
+}
+
+func TestSurfaceWrongArity(t *testing.T) {
+	_, s := tipperSurface(t, 5)
+	if _, err := s.Infer(1); err == nil {
+		t.Error("1 input accepted by a 2-input surface")
+	}
+	if _, err := s.Infer(1, 2, 3); err == nil {
+		t.Error("3 inputs accepted by a 2-input surface")
+	}
+}
+
+func TestSurfaceAccessors(t *testing.T) {
+	e, s := tipperSurface(t, 11)
+	if s.Name() != e.Name() {
+		t.Errorf("Name = %q, want %q", s.Name(), e.Name())
+	}
+	if s.NumInputs() != 2 {
+		t.Errorf("NumInputs = %d", s.NumInputs())
+	}
+	// 11 uniform ticks plus in-universe breakpoints, deduped: at least the
+	// uniform grid on each axis.
+	if s.Points() < 11*11 {
+		t.Errorf("Points = %d, want >= 121", s.Points())
+	}
+	if s.Output().Name != "tip" {
+		t.Errorf("Output = %q", s.Output().Name)
+	}
+}
+
+func TestSurfaceConvergesWithResolution(t *testing.T) {
+	e := tipperEngine(t)
+	coarse, err := NewSurface(e, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := NewSurface(e, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr := func(s *Surface) float64 {
+		worst := 0.0
+		for service := 0.0; service <= 10; service += 0.37 {
+			for food := 0.0; food <= 10; food += 0.41 {
+				want, err := e.Infer(service, food)
+				if err != nil {
+					t.Fatalf("engine: %v", err)
+				}
+				got, err := s.Infer(service, food)
+				if err != nil {
+					t.Fatalf("surface: %v", err)
+				}
+				if d := math.Abs(got - want); d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst
+	}
+	ce, fe := maxErr(coarse), maxErr(fine)
+	if fe >= ce {
+		t.Errorf("refining the grid did not reduce the max error: res 5 -> %v, res 41 -> %v", ce, fe)
+	}
+	// The tipper output spans [0, 30]; a 41-tick grid must be accurate to a
+	// small fraction of that span.
+	if fe > 0.5 {
+		t.Errorf("res-41 max error %v exceeds 0.5 on a [0,30] universe", fe)
+	}
+}
+
+func TestNewSurfaceValidation(t *testing.T) {
+	e := tipperEngine(t)
+	if _, err := NewSurface(nil, 5); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewSurface(e, 1); err == nil {
+		t.Error("resolution 1 accepted")
+	}
+	if _, err := NewSurface(e, -3); err == nil {
+		t.Error("negative resolution accepted")
+	}
+	if _, err := NewSurface(e, 1 << 13); err == nil || !strings.Contains(err.Error(), "grid points") {
+		t.Errorf("oversized grid not rejected: %v", err)
+	}
+}
+
+func TestSurfaceIsInferencer(t *testing.T) {
+	e, s := tipperSurface(t, 5)
+	for _, inf := range []Inferencer{e, s} {
+		if _, err := inf.Infer(5, 5); err != nil {
+			t.Errorf("%T.Infer: %v", inf, err)
+		}
+	}
+}

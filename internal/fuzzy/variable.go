@@ -105,6 +105,22 @@ func (v Variable) Fuzzify(x float64) []float64 {
 	return grades
 }
 
+// DominantTerm returns the index of the term with the highest membership
+// grade at x (ties go to the earliest term), or -1 when every grade is zero.
+// x is clamped to the universe first. Surface-backed controllers use it to
+// label a crisp score with its linguistic outcome without an inference
+// trace.
+func (v Variable) DominantTerm(x float64) int {
+	x = v.Clamp(x)
+	best, bestGrade := -1, 0.0
+	for i, t := range v.Terms {
+		if g := t.MF.Grade(x); g > bestGrade {
+			best, bestGrade = i, g
+		}
+	}
+	return best
+}
+
 // TermIndex returns the index of the named term, or -1 if absent.
 func (v Variable) TermIndex(name string) int {
 	for i, t := range v.Terms {

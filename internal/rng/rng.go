@@ -41,6 +41,29 @@ func (s *Source) Reseed(seed uint64) {
 	}
 }
 
+// mix64 is the SplitMix64 finalizer: a bijective avalanche of all 64 bits.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Substream derives the seed of the deterministic substream identified by a
+// base seed and a path of coordinate ids (e.g. load index, replication).
+// The derivation is position-sensitive — Substream(b, 1, 2) differs from
+// Substream(b, 2, 1) — and avalanched, so adjacent coordinates yield
+// decorrelated streams. Sharded runners use it so that every (figure,
+// load-point, replication) cell draws the same stream no matter which
+// worker executes it or in what order.
+func Substream(base uint64, ids ...uint64) uint64 {
+	s := mix64(base)
+	for _, id := range ids {
+		s += 0x9e3779b97f4a7c15 // golden-ratio increment keeps zero ids distinct per level
+		s = mix64(s ^ mix64(id))
+	}
+	return s
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (s *Source) Uint64() uint64 {
 	result := rotl(s.s[1]*5, 7) * 9
