@@ -6,16 +6,61 @@
 //
 //	facs-server -addr :4077 -scheme facsp
 //	facs-server -scheme guard -capacity 40 -guard 8
+//	facs-server -scheme adapt            # adaptive bandwidth degradation
+//	facs-server -scheme adapt-fuzzy      # degradation gated by the fuzzy pipeline
 //
-// Protocol (one JSON object per line):
+// Schemes: facsp (FACS-P, the paper's proposal), facs (the previous fuzzy
+// system), guard (cutoff priority), sharing (complete sharing), adapt and
+// adapt-fuzzy (adaptive bandwidth degradation, internal/adapt).
+//
+// # Wire protocol
+//
+// One JSON object per line in each direction (internal/wire, version 1).
+// Requests carry "v" (must be 1) and "op": "admit", "release" or "status".
+//
+// Admit asks the cell to admit connection "id" of service class "class"
+// ("text", "voice" or "video"; the class fixes the requested bandwidth at
+// 1/5/10 BU). Optional fields: "speed_kmh" and "angle_deg" feed the fuzzy
+// schemes' mobility inputs, "handoff" marks an on-going call entering from
+// a neighbour cell (prioritised by facsp and the adapt schemes),
+// "priority" is the requesting-connection priority level, and "min_bu" is
+// the lowest bandwidth the connection tolerates when served by an adaptive
+// scheme:
 //
 //	-> {"v":1,"op":"admit","id":1,"class":"voice","speed_kmh":60,"angle_deg":10}
 //	<- {"v":1,"ok":true,"accept":true,"score":0.62,"outcome":"A","occupancy":5,"capacity":40,"scheme":"FACS-P"}
-//	-> {"v":1,"op":"release","id":1,"class":"voice"}
-//	-> {"v":1,"op":"status"}
 //
-// A disconnecting client automatically releases every bandwidth unit it
-// holds, so crashed handsets cannot leak cell capacity.
+// or, against an adapt cell already full with four on-going videos (each
+// squeezed one ladder step, 10 → 7 BU, freeing 12 BU for the 10 BU grant):
+//
+//	-> {"v":1,"op":"admit","id":5,"class":"video","handoff":true,"min_bu":5}
+//	<- {"v":1,"ok":true,"accept":true,"score":1,"outcome":"degraded-others","allocated":10,"occupancy":38,"capacity":40,"scheme":"adapt"}
+//
+// On an accepted admit, "allocated" is the bandwidth actually granted:
+// adaptive schemes may grant less than the class bandwidth (a degraded
+// admission) and may later change it mid-call; when absent, the full class
+// bandwidth was granted.
+//
+// Release returns the bandwidth of a connection previously admitted on
+// this session; status reports the cell state without changing it. Both
+// answer with the shared response fields only:
+//
+//	-> {"v":1,"op":"release","id":1,"class":"voice"}
+//	<- {"v":1,"ok":true,"occupancy":0,"capacity":40,"scheme":"FACS-P"}
+//	-> {"v":1,"op":"status"}
+//	<- {"v":1,"ok":true,"occupancy":0,"capacity":40,"scheme":"FACS-P"}
+//
+// Every response carries "occupancy", "capacity" and "scheme". Errors —
+// an unknown op or class, a bad version, a duplicate admit, a release of a
+// connection not admitted on the session — answer with "ok":false and the
+// message in "err":
+//
+//	<- {"v":1,"ok":false,"err":"bsd: connection 7 not admitted on this session","occupancy":0,"capacity":40,"scheme":"FACS-P"}
+//
+// A malformed line (unparseable JSON, oversized line) is answered once
+// with such an error reply, then the session is closed. A disconnecting
+// client automatically releases every bandwidth unit it holds, so crashed
+// handsets cannot leak cell capacity.
 package main
 
 import (
@@ -27,6 +72,7 @@ import (
 	"os/signal"
 	"syscall"
 
+	"facsp/internal/adapt"
 	"facsp/internal/baseline"
 	"facsp/internal/bsd"
 	"facsp/internal/cac"
@@ -44,7 +90,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("facs-server", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:4077", "listen address")
-		scheme   = fs.String("scheme", "facsp", "admission scheme: facsp, facs, guard, sharing")
+		scheme   = fs.String("scheme", "facsp", "admission scheme: facsp, facs, guard, sharing, adapt, adapt-fuzzy")
 		capacity = fs.Float64("capacity", 40, "cell capacity in bandwidth units")
 		guard    = fs.Float64("guard", 8, "guard band in BU (guard scheme only)")
 	)
@@ -95,7 +141,15 @@ func buildController(scheme string, capacity, guard float64) (cac.Controller, er
 		return baseline.NewGuardChannel(capacity, guard)
 	case "sharing":
 		return baseline.NewCompleteSharing(capacity)
+	case "adapt":
+		cfg := adapt.DefaultConfig()
+		cfg.Capacity = capacity
+		return adapt.New(cfg)
+	case "adapt-fuzzy":
+		cfg := adapt.DefaultConfig()
+		cfg.Capacity = capacity
+		return adapt.NewFuzzy(cfg, core.DefaultPConfig())
 	default:
-		return nil, fmt.Errorf("unknown scheme %q (have facsp, facs, guard, sharing)", scheme)
+		return nil, fmt.Errorf("unknown scheme %q (have facsp, facs, guard, sharing, adapt, adapt-fuzzy)", scheme)
 	}
 }

@@ -16,6 +16,8 @@ func TestBuildController(t *testing.T) {
 		{scheme: "facs", want: "FACS"},
 		{scheme: "guard", want: "guard-channel"},
 		{scheme: "sharing", want: "complete-sharing"},
+		{scheme: "adapt", want: "adapt"},
+		{scheme: "adapt-fuzzy", want: "adapt-fuzzy"},
 		{scheme: "mystery", wantErr: true},
 	}
 	for _, tt := range tests {
@@ -40,6 +42,9 @@ func TestBuildController(t *testing.T) {
 func TestBuildControllerInvalidParams(t *testing.T) {
 	if _, err := buildController("facsp", -1, 0); err == nil {
 		t.Error("negative capacity accepted")
+	}
+	if _, err := buildController("adapt", -1, 0); err == nil {
+		t.Error("negative adapt capacity accepted")
 	}
 	if _, err := buildController("guard", 40, 40); err == nil {
 		t.Error("guard == capacity accepted")

@@ -6,11 +6,17 @@
 //	facs-sim -fig 7 -csv fig7.csv    # also write tidy CSV
 //	facs-sim -fig all -reps 30       # every figure, 30 seeds per point
 //	facs-sim -fig drops              # the QoS (call-dropping) experiment
+//	facs-sim -fig adapt-drops        # adaptive bandwidth vs FACS-P vs guard
+//	facs-sim -fig adapt-ratio        # the degradation-ratio price it pays
 //	facs-sim -fig 10 -workers 16     # shard the sweep over 16 workers
 //	facs-sim -fig 10 -surface 33     # precomputed decision surfaces
 //
 // Figures: 7 (FACS vs SCC), 8 (FACS-P by speed), 9 (FACS-P by angle),
-// 10 (FACS-P vs FACS), drops (dropped-call percentage, FACS-P vs FACS).
+// 10 (FACS-P vs FACS), drops (dropped-call percentage, FACS-P vs FACS),
+// adapt-drops (dropped-call percentage, adapt/adapt-fuzzy vs FACS-P vs
+// guard-channel), adapt-ratio (mean received/requested bandwidth of the
+// adaptive schemes), plus the ablation-handoff and ablation-defuzz
+// sensitivity studies.
 //
 // Sweeps are sharded: every (load, replication) cell runs as an independent
 // simulation with a deterministic RNG substream, so -workers changes only
@@ -23,7 +29,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -42,7 +47,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("facs-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "10", "figure to regenerate: 7, 8, 9, 10, drops, or all")
+		fig     = fs.String("fig", "10", "figure to regenerate: "+figureList()+", or all")
 		loads   = fs.String("loads", "", "comma-separated x axis, e.g. 10,25,50,100 (default: the paper grid)")
 		reps    = fs.Int("reps", 20, "replications (seeds) per point")
 		seed    = fs.Uint64("seed", 0, "base seed")
@@ -73,13 +78,10 @@ func run(args []string) error {
 	figures := experiment.Figures()
 	var ids []string
 	if *fig == "all" {
-		for id := range figures {
-			ids = append(ids, id)
-		}
-		sort.Strings(ids)
+		ids = experiment.FigureIDs()
 	} else {
 		if figures[*fig] == nil {
-			return fmt.Errorf("unknown figure %q (have 7, 8, 9, 10, drops, all)", *fig)
+			return fmt.Errorf("unknown figure %q (have %s, all)", *fig, figureList())
 		}
 		ids = []string{*fig}
 	}
@@ -94,6 +96,12 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// figureList returns the known figure identifiers, sorted, for usage and
+// error text.
+func figureList() string {
+	return strings.Join(experiment.FigureIDs(), ", ")
 }
 
 func parseLoads(s string) ([]int, error) {
@@ -120,16 +128,25 @@ func emit(id string, curves []experiment.Curve, csvPath string, chart, withCI bo
 
 	if chart {
 		title := "Figure " + id
-		if id == "drops" {
+		yLabel := "percentage of accepted calls"
+		switch id {
+		case "drops":
 			title = "Dropped-call percentage (QoS of on-going connections)"
+			yLabel = "percentage of admitted calls dropped"
+		case "ablation-handoff":
+			title = "Dropped-call percentage (handoff-priority ablation)"
+			yLabel = "percentage of admitted calls dropped"
+		case "adapt-drops":
+			title = "Dropped-call percentage (adaptive bandwidth vs reservation)"
+			yLabel = "percentage of admitted calls dropped"
+		case "adapt-ratio":
+			title = "Degradation ratio (price of adaptive handoff protection)"
+			yLabel = "mean received/requested bandwidth (%)"
 		}
 		c := plot.Chart{
 			Title:  title,
 			XLabel: "number of requesting connections",
-			YLabel: "percentage of accepted calls",
-		}
-		if id == "drops" {
-			c.YLabel = "percentage of admitted calls dropped"
+			YLabel: yLabel,
 		}
 		if err := c.Render(os.Stdout, series...); err != nil {
 			return err

@@ -3,8 +3,10 @@
 // on-going connections (FACS-P) of Mino, Barolli, Durresi, Xhafa and
 // Koyama (IEEE ICDCS Workshops 2009), together with the systems it is
 // evaluated against — the previous FACS controller, the Shadow Cluster
-// Concept, and classic guard-channel baselines — and the cellular network
-// simulator that reproduces every figure of the paper's evaluation.
+// Concept, classic guard-channel baselines, and the adaptive
+// bandwidth-degradation schemes of Chowdhury, Jang and Haas — and the
+// cellular network simulator that reproduces every figure of the paper's
+// evaluation plus the cross-scheme head-to-heads.
 //
 // # Quick start
 //
@@ -33,16 +35,27 @@
 //
 //	ctrl, err := facsp.NewFACSP(facsp.WithSurfaceCache(0)) // 0 = default resolution
 //
+// # Adaptive bandwidth degradation
+//
+// Beyond the paper's schemes, NewAdapt and NewAdaptFuzzy build controllers
+// that protect handoffs by degrading the bandwidth of elastic on-going
+// calls in steps (e.g. 10 → 7 → 5 → 3 BU for video) instead of refusing
+// admissions, restoring them most-degraded-first as capacity frees up:
+//
+//	ctrl, err := facsp.NewAdapt() // cac semantics, per-connection IDs required
+//
 // The building blocks live in internal packages: the generic Mamdani
-// engine (internal/fuzzy), the controllers (internal/core), the comparators
-// (internal/scc, internal/baseline), and the event-driven simulator
-// (internal/cellsim).
+// engine (internal/fuzzy), the controllers (internal/core and
+// internal/adapt), the comparators (internal/scc, internal/baseline), and
+// the event-driven simulator (internal/cellsim).
 package facsp
 
 import (
 	"fmt"
 	"io"
+	"strings"
 
+	"facsp/internal/adapt"
 	"facsp/internal/baseline"
 	"facsp/internal/cac"
 	"facsp/internal/cellsim"
@@ -180,6 +193,41 @@ func NewFractionalGuard(capacity, threshold float64, seed uint64) (*baseline.Fra
 	return baseline.NewFractionalGuard(capacity, threshold, rng.New(seed))
 }
 
+// AdaptConfig re-exports the adaptive bandwidth-degradation scheme
+// configuration: the cell capacity, the per-class degradation ladders and
+// the depth budgets per arrival kind.
+type AdaptConfig = adapt.Config
+
+// DefaultAdaptConfig returns the adaptive scheme configuration used for
+// the repository's experiments: a 40 BU cell, video degradable
+// 10 → 7 → 5 → 3 BU, voice 5 → 4 → 3 → 2 BU, text inelastic, and the full
+// degradation budget reserved for handoffs.
+func DefaultAdaptConfig() AdaptConfig { return adapt.DefaultConfig() }
+
+// NewAdapt builds the adaptive bandwidth-degradation controller: handoffs
+// are admitted by squeezing elastic on-going calls down their degradation
+// ladders instead of being dropped, and degraded calls are restored
+// most-degraded-first as capacity frees up. Every live connection must
+// carry a distinct Request.ID. Pass an AdaptConfig to customise.
+func NewAdapt(cfg ...AdaptConfig) (*adapt.Controller, error) {
+	c := adapt.DefaultConfig()
+	if len(cfg) > 1 {
+		return nil, fmt.Errorf("facsp: NewAdapt takes at most one AdaptConfig")
+	}
+	if len(cfg) == 1 {
+		c = cfg[0]
+	}
+	return adapt.New(c)
+}
+
+// NewAdaptFuzzy builds the fuzzy adaptive controller: the degradation
+// machinery of NewAdapt gated by the FACS-P inference pipeline, with the
+// capacity reclaimable by degradation fed into the fuzzy priority stage as
+// extra headroom.
+func NewAdaptFuzzy(cfg AdaptConfig, pcfg PConfig) (*adapt.Fuzzy, error) {
+	return adapt.NewFuzzy(cfg, pcfg)
+}
+
 // SimConfig re-exports the cellular simulator configuration.
 type SimConfig = cellsim.Config
 
@@ -217,12 +265,15 @@ type ExperimentOptions = experiment.Options
 // Curve re-exports a named experiment curve with confidence intervals.
 type Curve = experiment.Curve
 
-// RunFigure regenerates one of the paper's figures: "7", "8", "9", "10",
-// or the QoS experiment "drops". See EXPERIMENTS.md for expected shapes.
+// RunFigure regenerates one of the paper's figures ("7", "8", "9", "10"),
+// the QoS experiment ("drops"), the adaptive-bandwidth head-to-heads
+// ("adapt-drops", "adapt-ratio") or an ablation study. See EXPERIMENTS.md
+// for the full catalogue and expected shapes.
 func RunFigure(id string, opts ExperimentOptions) ([]Curve, error) {
 	fig, ok := experiment.Figures()[id]
 	if !ok {
-		return nil, fmt.Errorf("facsp: unknown figure %q (have 7, 8, 9, 10, drops)", id)
+		return nil, fmt.Errorf("facsp: unknown figure %q (have %s)", id,
+			strings.Join(experiment.FigureIDs(), ", "))
 	}
 	return fig(opts)
 }

@@ -1,0 +1,396 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"facsp/internal/cac"
+)
+
+// eps absorbs float accumulation noise in capacity comparisons.
+const eps = 1e-9
+
+// Config parameterises an adaptive-bandwidth admission controller.
+type Config struct {
+	// Capacity is the base station's total bandwidth in BU (paper: 40).
+	Capacity float64
+	// Ladders maps a requested bandwidth (the class size, e.g. 10 BU for
+	// video) to its degradation ladder: the bandwidth levels the class can
+	// be served at, starting with the full rate and strictly decreasing.
+	// A request whose bandwidth has no ladder — or whose ladder has a
+	// single level — is inelastic and is never degraded.
+	Ladders map[float64][]float64
+	// DepthNew is the deepest ladder index on-going connections may be
+	// pushed to in order to admit a plain (non-real-time, non-handoff) new
+	// call. 0 means new calls are admitted only into free capacity.
+	DepthNew int
+	// DepthRTNew is the deepest ladder index on-going connections may be
+	// pushed to in order to admit a real-time new call; real-time arrivals
+	// are worth mildly squeezing elastic traffic for.
+	DepthRTNew int
+	// DepthHandoff is the deepest ladder index on-going connections may be
+	// pushed to in order to admit a handoff — and the deepest level the
+	// handoff itself may enter at when even degradation cannot fit its
+	// full rate. Handoffs carry the priority of on-going connections, so
+	// this is normally the full ladder.
+	DepthHandoff int
+}
+
+// DefaultConfig returns the configuration used for the repository's
+// experiments: the paper's 40 BU cell, degradation ladders for the video
+// (10 → 7 → 5 → 3 BU) and voice (5 → 4 → 3 → 2 BU) classes, an inelastic
+// text class, no degradation for plain new calls, one step for real-time
+// new calls, and the full ladder for handoffs.
+func DefaultConfig() Config {
+	return Config{
+		Capacity: 40,
+		Ladders: map[float64][]float64{
+			10: {10, 7, 5, 3},
+			5:  {5, 4, 3, 2},
+			1:  {1},
+		},
+		DepthNew:     0,
+		DepthRTNew:   1,
+		DepthHandoff: 3,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if !(c.Capacity > 0) { // also rejects NaN
+		return fmt.Errorf("adapt: capacity %v must be positive", c.Capacity)
+	}
+	if c.DepthNew < 0 || c.DepthRTNew < 0 || c.DepthHandoff < 0 {
+		return fmt.Errorf("adapt: degradation depths must be non-negative (new=%d, rt-new=%d, handoff=%d)",
+			c.DepthNew, c.DepthRTNew, c.DepthHandoff)
+	}
+	for full, ladder := range c.Ladders {
+		if len(ladder) == 0 {
+			return fmt.Errorf("adapt: empty ladder for bandwidth %v", full)
+		}
+		if ladder[0] != full {
+			return fmt.Errorf("adapt: ladder for bandwidth %v starts at %v, want the full rate", full, ladder[0])
+		}
+		for i, bu := range ladder {
+			if !(bu > 0) { // also rejects NaN
+				return fmt.Errorf("adapt: ladder for bandwidth %v has non-positive level %v", full, bu)
+			}
+			if i > 0 && !(bu < ladder[i-1]) {
+				return fmt.Errorf("adapt: ladder for bandwidth %v is not strictly decreasing at level %d", full, i)
+			}
+		}
+	}
+	return nil
+}
+
+// conn is the controller's per-connection state.
+type conn struct {
+	id       uint64
+	ladder   []float64 // effective levels, full rate first
+	level    int       // current ladder index (0 = undegraded)
+	realTime bool
+}
+
+func (cn *conn) alloc() float64 { return cn.ladder[cn.level] }
+
+// maxLevel returns the deepest level this connection may be pushed to
+// under the given depth budget.
+func (cn *conn) maxLevel(depth int) int {
+	if depth > len(cn.ladder)-1 {
+		return len(cn.ladder) - 1
+	}
+	return depth
+}
+
+// Controller is the crisp adaptive-bandwidth admission scheme. It
+// implements cac.Controller, cac.Named and cac.Adaptive, and is safe for
+// concurrent use.
+//
+// The controller keys per-connection state on Request.ID, so every live
+// connection at one cell must carry a distinct non-reused ID (the
+// simulator and the facs-server daemon both guarantee this).
+type Controller struct {
+	cfg Config
+
+	mu       sync.Mutex
+	conns    map[uint64]*conn
+	sorted   []*conn // conns in id order; nil after a membership change
+	total    float64 // BU currently allocated
+	observer cac.BandwidthObserver
+}
+
+var (
+	_ cac.Controller = (*Controller)(nil)
+	_ cac.Named      = (*Controller)(nil)
+	_ cac.Adaptive   = (*Controller)(nil)
+)
+
+// New builds an adaptive-bandwidth controller.
+func New(cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Copy the ladders so later mutation of the caller's map cannot skew
+	// live accounting.
+	ladders := make(map[float64][]float64, len(cfg.Ladders))
+	for full, ladder := range cfg.Ladders {
+		ladders[full] = append([]float64(nil), ladder...)
+	}
+	cfg.Ladders = ladders
+	return &Controller{cfg: cfg, conns: make(map[uint64]*conn)}, nil
+}
+
+// SchemeName implements cac.Named.
+func (c *Controller) SchemeName() string { return "adapt" }
+
+// Capacity implements cac.Controller.
+func (c *Controller) Capacity() float64 { return c.cfg.Capacity }
+
+// Occupancy implements cac.Controller: the BU currently allocated, after
+// any degradations.
+func (c *Controller) Occupancy() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// SetBandwidthObserver implements cac.Adaptive.
+func (c *Controller) SetBandwidthObserver(obs cac.BandwidthObserver) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.observer = obs
+}
+
+// Allocation returns the bandwidth currently granted to connection id,
+// and whether the connection is live at this cell.
+func (c *Controller) Allocation(id uint64) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cn, ok := c.conns[id]
+	if !ok {
+		return 0, false
+	}
+	return cn.alloc(), true
+}
+
+// Degraded returns the number of live connections currently served below
+// their full rate.
+func (c *Controller) Degraded() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, cn := range c.conns {
+		if cn.level > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ladderFor returns the request's effective degradation ladder: the class
+// ladder clamped at the request's MinBandwidth floor, or the single full
+// rate for inelastic classes.
+func (c *Controller) ladderFor(req cac.Request) []float64 {
+	ladder, ok := c.cfg.Ladders[req.Bandwidth]
+	if !ok {
+		return []float64{req.Bandwidth}
+	}
+	if req.MinBandwidth <= 0 {
+		return ladder
+	}
+	cut := len(ladder)
+	for cut > 1 && ladder[cut-1] < req.MinBandwidth-eps {
+		cut--
+	}
+	return ladder[:cut]
+}
+
+// depthFor returns the victim degradation depth budget for an arrival.
+func (c *Controller) depthFor(req cac.Request) int {
+	switch {
+	case req.Handoff:
+		return c.cfg.DepthHandoff
+	case req.RealTime:
+		return c.cfg.DepthRTNew
+	default:
+		return c.cfg.DepthNew
+	}
+}
+
+// Admit implements cac.Controller. Handoffs may trigger degradation of
+// on-going connections down to DepthHandoff — and may themselves enter at
+// a degraded level — before being refused; new calls are held to the much
+// shallower DepthNew/DepthRTNew budgets and always enter at full rate.
+func (c *Controller) Admit(req cac.Request) cac.Decision {
+	if err := req.Validate(); err != nil {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.admitLocked(req)
+}
+
+func (c *Controller) admitLocked(req cac.Request) cac.Decision {
+	if _, dup := c.conns[req.ID]; dup {
+		return cac.Decision{Accept: false, Score: -1,
+			Outcome: fmt.Sprintf("error: adapt: connection %d already admitted", req.ID)}
+	}
+	ladder := c.ladderFor(req)
+	depth := c.depthFor(req)
+	maxEntry := 0
+	if req.Handoff {
+		if maxEntry = depth; maxEntry > len(ladder)-1 {
+			maxEntry = len(ladder) - 1
+		}
+	}
+
+	for lvl := 0; lvl <= maxEntry; lvl++ {
+		need := ladder[lvl] - (c.cfg.Capacity - c.total)
+		degraded := false
+		if need > eps {
+			if c.reclaimableLocked(depth) < need-eps {
+				continue
+			}
+			c.degradeLocked(need, depth)
+			degraded = true
+		}
+		cn := &conn{id: req.ID, ladder: ladder, level: lvl, realTime: req.RealTime}
+		c.conns[req.ID] = cn
+		c.sorted = nil
+		c.total += cn.alloc()
+		outcome := "fits"
+		switch {
+		case lvl > 0:
+			outcome = "degraded-entry"
+		case degraded:
+			outcome = "degraded-others"
+		}
+		return cac.Decision{Accept: true, Score: 1, Outcome: outcome, Allocated: cn.alloc()}
+	}
+	return cac.Decision{Accept: false, Score: -1, Outcome: "capacity"}
+}
+
+// Release implements cac.Controller: it frees the connection's current
+// (possibly degraded) allocation and restores degraded connections,
+// most-degraded-first, into the freed capacity.
+func (c *Controller) Release(req cac.Request) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cn, ok := c.conns[req.ID]
+	if !ok {
+		return fmt.Errorf("adapt: release of unknown connection %d", req.ID)
+	}
+	c.total -= cn.alloc()
+	if c.total < 0 {
+		c.total = 0
+	}
+	delete(c.conns, req.ID)
+	c.sorted = nil
+	c.upgradeLocked()
+	return nil
+}
+
+// sortedConns returns the live connections in deterministic (id) order,
+// memoized between membership changes (several phases of one admission
+// walk the same set; degradations only change levels, not membership).
+func (c *Controller) sortedConns() []*conn {
+	if c.sorted == nil {
+		c.sorted = make([]*conn, 0, len(c.conns))
+		for _, cn := range c.conns {
+			c.sorted = append(c.sorted, cn)
+		}
+		sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i].id < c.sorted[j].id })
+	}
+	return c.sorted
+}
+
+// reclaimableLocked returns the bandwidth that degrading every on-going
+// connection down to the given depth budget would free. Connections
+// already degraded deeper than the budget contribute nothing (they are
+// never upgraded to satisfy an arrival).
+func (c *Controller) reclaimableLocked(depth int) float64 {
+	if depth <= 0 {
+		return 0
+	}
+	// Sorted-ID order keeps the float accumulation independent of map
+	// iteration order, preserving bit-reproducible runs even for ladder
+	// levels that are not exactly representable.
+	sum := 0.0
+	for _, cn := range c.sortedConns() {
+		if d := cn.alloc() - cn.ladder[cn.maxLevel(depth)]; d > 0 {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// degradeLocked frees at least need BU by degrading on-going connections
+// one ladder step at a time. Victim order spreads the pain fairly:
+// non-real-time before real-time, least-degraded first, then the step that
+// frees the most, then lowest ID — a deterministic order, so runs are
+// reproducible. Callers must have checked reclaimableLocked first.
+func (c *Controller) degradeLocked(need float64, depth int) {
+	conns := c.sortedConns()
+	freed := 0.0
+	for freed < need-eps {
+		var best *conn
+		bestStep := 0.0
+		for _, cn := range conns {
+			if cn.level >= cn.maxLevel(depth) {
+				continue
+			}
+			step := cn.alloc() - cn.ladder[cn.level+1]
+			if best == nil ||
+				(!cn.realTime && best.realTime) ||
+				(cn.realTime == best.realTime && cn.level < best.level) ||
+				(cn.realTime == best.realTime && cn.level == best.level && step > bestStep) {
+				best, bestStep = cn, step
+			}
+		}
+		if best == nil {
+			return // budget exhausted; callers pre-checked, so only float noise lands here
+		}
+		best.level++
+		freed += bestStep
+		c.total -= bestStep
+		if c.observer != nil {
+			c.observer(best.id, best.alloc())
+		}
+	}
+}
+
+// upgradeLocked restores degraded connections into free capacity, one
+// ladder step at a time, most-degraded-first (ties: real-time first, then
+// lowest ID), until no further step fits.
+func (c *Controller) upgradeLocked() {
+	conns := c.sortedConns()
+	for {
+		free := c.cfg.Capacity - c.total
+		var best *conn
+		bestStep := math.Inf(1)
+		for _, cn := range conns {
+			if cn.level == 0 {
+				continue
+			}
+			step := cn.ladder[cn.level-1] - cn.alloc()
+			if step > free+eps {
+				continue
+			}
+			if best == nil ||
+				cn.level > best.level ||
+				(cn.level == best.level && cn.realTime && !best.realTime) {
+				best, bestStep = cn, step
+			}
+		}
+		if best == nil {
+			return
+		}
+		best.level--
+		c.total += bestStep
+		if c.observer != nil {
+			c.observer(best.id, best.alloc())
+		}
+	}
+}

@@ -1,0 +1,411 @@
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"facsp/internal/cac"
+)
+
+// video/voice/text request helpers matching the default ladders.
+func video(id uint64, handoff bool) cac.Request {
+	return cac.Request{ID: id, Bandwidth: 10, RealTime: true, Handoff: handoff}
+}
+
+func voice(id uint64, handoff bool) cac.Request {
+	return cac.Request{ID: id, Bandwidth: 5, RealTime: true, Handoff: handoff}
+}
+
+func text(id uint64, handoff bool) cac.Request {
+	return cac.Request{ID: id, Bandwidth: 1, Handoff: handoff}
+}
+
+func newController(t *testing.T, capacity float64) *Controller {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Capacity = capacity
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustAdmit(t *testing.T, c cac.Controller, req cac.Request) cac.Decision {
+	t.Helper()
+	d := c.Admit(req)
+	if !d.Accept {
+		t.Fatalf("request %d (%v BU, handoff=%v) rejected: %s", req.ID, req.Bandwidth, req.Handoff, d.Outcome)
+	}
+	return d
+}
+
+func wantAlloc(t *testing.T, c *Controller, id uint64, want float64) {
+	t.Helper()
+	got, ok := c.Allocation(id)
+	if !ok {
+		t.Fatalf("connection %d not live", id)
+	}
+	if got != want {
+		t.Errorf("connection %d allocated %v BU, want %v", id, got, want)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Capacity: 0},
+		{Capacity: 40, DepthNew: -1},
+		{Capacity: 40, Ladders: map[float64][]float64{10: {}}},
+		{Capacity: 40, Ladders: map[float64][]float64{10: {9, 7}}},     // does not start at full rate
+		{Capacity: 40, Ladders: map[float64][]float64{10: {10, 10}}},   // not strictly decreasing
+		{Capacity: 40, Ladders: map[float64][]float64{10: {10, 7, 0}}}, // non-positive level
+		{Capacity: math.NaN()},
+		{Capacity: 40, Ladders: map[float64][]float64{10: {10, math.NaN()}}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestHandoffDegradesOngoingCalls(t *testing.T) {
+	c := newController(t, 20)
+	mustAdmit(t, c, video(1, false))
+	mustAdmit(t, c, video(2, false))
+	if got := c.Occupancy(); got != 20 {
+		t.Fatalf("occupancy %v, want 20", got)
+	}
+
+	// A guard channel at full occupancy would drop this handoff; the
+	// adaptive scheme squeezes the two on-going videos to 5 BU each.
+	d := mustAdmit(t, c, video(3, true))
+	if d.Allocated != 10 {
+		t.Errorf("handoff allocated %v BU, want full 10", d.Allocated)
+	}
+	if d.Outcome != "degraded-others" {
+		t.Errorf("outcome %q, want degraded-others", d.Outcome)
+	}
+	wantAlloc(t, c, 1, 5)
+	wantAlloc(t, c, 2, 5)
+	wantAlloc(t, c, 3, 10)
+	if got := c.Occupancy(); got != 20 {
+		t.Errorf("occupancy %v, want 20", got)
+	}
+	if got := c.Degraded(); got != 2 {
+		t.Errorf("degraded count %d, want 2", got)
+	}
+}
+
+func TestUpgradeOnReleaseMostDegradedFirst(t *testing.T) {
+	c := newController(t, 20)
+	mustAdmit(t, c, video(1, false))
+	mustAdmit(t, c, video(2, false))
+	mustAdmit(t, c, video(3, true)) // degrades 1 and 2 to 5 BU each
+
+	if err := c.Release(video(3, true)); err != nil {
+		t.Fatal(err)
+	}
+	wantAlloc(t, c, 1, 10)
+	wantAlloc(t, c, 2, 10)
+	if got := c.Degraded(); got != 0 {
+		t.Errorf("degraded count %d after release, want 0", got)
+	}
+	if got := c.Occupancy(); got != 20 {
+		t.Errorf("occupancy %v, want 20", got)
+	}
+}
+
+func TestPartialUpgradeIsFair(t *testing.T) {
+	// Only one upgrade step fits: it must go to the most-degraded call.
+	cfg := DefaultConfig()
+	cfg.Capacity = 15
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdmit(t, c, video(1, false)) // 10 BU
+	mustAdmit(t, c, voice(2, false)) // 5 BU, cell full
+	// Handoff video: needs 10; reclaimable depth-3 = (10-3)+(5-2) = 10.
+	mustAdmit(t, c, video(3, true))
+	a1, _ := c.Allocation(1)
+	a2, _ := c.Allocation(2)
+	if a1+a2 != 5 {
+		t.Fatalf("victims hold %v+%v BU, want 5 total", a1, a2)
+	}
+
+	// Release the voice victim: its few BU must restore the most-degraded
+	// remaining call first.
+	if err := c.Release(voice(2, false)); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := c.Allocation(1)
+	want, budget := a1, a2 // the freed BU must go into restoring call 1
+	for _, lvl := range []float64{3, 5, 7, 10} {
+		if lvl > want && lvl-want <= budget+1e-9 {
+			budget -= lvl - want
+			want = lvl
+		}
+	}
+	if got != want {
+		t.Errorf("victim 1 at %v BU after release, want %v", got, want)
+	}
+}
+
+func TestNewCallNeverDegrades(t *testing.T) {
+	c := newController(t, 20)
+	mustAdmit(t, c, video(1, false))
+	mustAdmit(t, c, video(2, false))
+
+	d := c.Admit(text(3, false))
+	if d.Accept {
+		t.Fatalf("plain new call admitted into a full cell: %+v", d)
+	}
+	if d.Outcome != "capacity" {
+		t.Errorf("outcome %q, want capacity", d.Outcome)
+	}
+	if got := c.Degraded(); got != 0 {
+		t.Errorf("plain new call degraded %d on-going calls", got)
+	}
+}
+
+func TestRealTimeNewCallDegradesOneStep(t *testing.T) {
+	c := newController(t, 20)
+	mustAdmit(t, c, video(1, false))
+	mustAdmit(t, c, video(2, false))
+
+	// DepthRTNew=1: one step per victim (10→7 twice frees 6 BU ≥ 5).
+	d := mustAdmit(t, c, voice(3, false))
+	if d.Allocated != 5 {
+		t.Errorf("voice allocated %v, want 5", d.Allocated)
+	}
+	wantAlloc(t, c, 1, 7)
+	wantAlloc(t, c, 2, 7)
+
+	// A second RT call needs 5 more, but depth 1 is exhausted.
+	if d := c.Admit(voice(4, false)); d.Accept {
+		t.Errorf("second voice admitted beyond the depth budget: %+v", d)
+	}
+}
+
+func TestReclaimableIgnoresDeeplyDegradedConns(t *testing.T) {
+	// Connections already degraded deeper than an arrival's depth budget
+	// must not subtract from the reclaimable estimate: only positive
+	// per-connection headroom counts.
+	c := newController(t, 40)
+	nrtVideo := func(id uint64, handoff bool) cac.Request {
+		return cac.Request{ID: id, Bandwidth: 10, Handoff: handoff}
+	}
+	for id := uint64(1); id <= 3; id++ {
+		mustAdmit(t, c, nrtVideo(id, false))
+	}
+	// Real-time video handoffs degrade the non-RT residents to the ladder
+	// bottom (3 BU, level 3 — past any depth-1 budget).
+	for id := uint64(4); id <= 6; id++ {
+		mustAdmit(t, c, video(id, true))
+	}
+	for id := uint64(1); id <= 3; id++ {
+		wantAlloc(t, c, id, 3)
+	}
+	if got := c.reclaimableLocked(1); got != 9 {
+		t.Fatalf("reclaimableLocked(1) = %v, want 9 (one step off each full-rate handoff)", got)
+	}
+	// A real-time video arrival (depth 1) fits by one-step squeezes of the
+	// three full-rate handoffs; the bottomed-out residents are left alone.
+	d := c.Admit(video(7, false))
+	if !d.Accept {
+		t.Fatalf("real-time arrival rejected (%s) although one-step squeezes fit it", d.Outcome)
+	}
+	for id := uint64(1); id <= 3; id++ {
+		wantAlloc(t, c, id, 3)
+	}
+	for id := uint64(4); id <= 6; id++ {
+		wantAlloc(t, c, id, 7)
+	}
+}
+
+func TestHandoffDegradedEntry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 12
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAdmit(t, c, video(1, false))
+
+	// Free 2 + reclaimable 7 < 10: full-rate entry is impossible, but the
+	// handoff can enter at 7 after degrading the resident video by 5.
+	d := mustAdmit(t, c, video(2, true))
+	if d.Allocated != 7 {
+		t.Errorf("handoff allocated %v BU, want degraded entry at 7", d.Allocated)
+	}
+	if d.Outcome != "degraded-entry" {
+		t.Errorf("outcome %q, want degraded-entry", d.Outcome)
+	}
+	wantAlloc(t, c, 1, 5)
+}
+
+func TestMinBandwidthClampsLadder(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Capacity = 13
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An inelastic 7 BU tenant (no ladder for bandwidth 7).
+	mustAdmit(t, c, cac.Request{ID: 1, Bandwidth: 7})
+
+	// 6 BU free. A video handoff tolerating 5 BU fits at its floor...
+	lenient := video(2, true)
+	lenient.MinBandwidth = 5
+	if d := mustAdmit(t, c, lenient); d.Allocated != 5 {
+		t.Errorf("handoff allocated %v BU, want 5", d.Allocated)
+	}
+	if err := c.Release(lenient); err != nil {
+		t.Fatal(err)
+	}
+	// ...but one that tolerates no less than 6 BU has no reachable level.
+	strict := video(3, true)
+	strict.MinBandwidth = 6
+	if d := c.Admit(strict); d.Accept {
+		t.Errorf("handoff with 6 BU floor admitted into 6 free BU: %+v", d)
+	}
+}
+
+func TestDuplicateAndUnknownIDs(t *testing.T) {
+	c := newController(t, 40)
+	mustAdmit(t, c, voice(7, false))
+	if d := c.Admit(voice(7, false)); d.Accept {
+		t.Error("duplicate ID admitted")
+	}
+	if err := c.Release(voice(99, false)); err == nil {
+		t.Error("release of unknown connection succeeded")
+	}
+	if d := c.Admit(cac.Request{ID: 8, Bandwidth: -1}); d.Accept {
+		t.Error("invalid request admitted")
+	}
+}
+
+func TestObserverSeesReallocations(t *testing.T) {
+	c := newController(t, 20)
+	type event struct {
+		id    uint64
+		alloc float64
+	}
+	var events []event
+	c.SetBandwidthObserver(func(id uint64, allocBU float64) {
+		events = append(events, event{id, allocBU})
+	})
+	mustAdmit(t, c, video(1, false))
+	mustAdmit(t, c, video(2, false))
+	mustAdmit(t, c, video(3, true)) // degrades 1 and 2
+	if len(events) == 0 {
+		t.Fatal("no degradation events observed")
+	}
+	degradeEvents := len(events)
+	if err := c.Release(video(3, true)); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == degradeEvents {
+		t.Fatal("no upgrade events observed")
+	}
+	// The final event per connection must match its live allocation.
+	final := map[uint64]float64{}
+	for _, e := range events {
+		final[e.id] = e.alloc
+	}
+	for id, want := range final {
+		if got, ok := c.Allocation(id); !ok || got != want {
+			t.Errorf("connection %d: observer saw %v BU, controller reports %v (live=%v)", id, want, got, ok)
+		}
+	}
+}
+
+func TestDeterministicVictimOrder(t *testing.T) {
+	run := func() []float64 {
+		c := newController(t, 40)
+		for id := uint64(1); id <= 4; id++ {
+			mustAdmit(t, c, video(id, false))
+		}
+		mustAdmit(t, c, video(5, true))
+		out := make([]float64, 0, 5)
+		for id := uint64(1); id <= 5; id++ {
+			a, _ := c.Allocation(id)
+			out = append(out, a)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("allocation %d differs across identical runs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestConcurrentAdmitRelease(t *testing.T) {
+	c := newController(t, 40)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := uint64(g*1000 + i)
+				req := video(id, i%2 == 0)
+				if d := c.Admit(req); d.Accept {
+					if err := c.Release(req); err != nil {
+						t.Errorf("release: %v", err)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.Occupancy(); got != 0 {
+		t.Errorf("occupancy %v after all releases, want 0", got)
+	}
+}
+
+func TestOccupancyMatchesAllocations(t *testing.T) {
+	c := newController(t, 40)
+	ids := []uint64{1, 2, 3, 4, 5, 6}
+	for _, id := range ids {
+		req := video(id, id%2 == 0)
+		if id%3 == 0 {
+			req = voice(id, id%2 == 0)
+		}
+		c.Admit(req)
+	}
+	sum := 0.0
+	live := 0
+	for _, id := range ids {
+		if a, ok := c.Allocation(id); ok {
+			sum += a
+			live++
+		}
+	}
+	if got := c.Occupancy(); got != sum {
+		t.Errorf("occupancy %v, sum of %d allocations %v", got, live, sum)
+	}
+}
+
+func ExampleController() {
+	c, _ := New(DefaultConfig()) // 40 BU cell
+	for id := uint64(1); id <= 4; id++ {
+		c.Admit(cac.Request{ID: id, Bandwidth: 10, RealTime: true})
+	}
+	// The cell is full; a video handoff would be dropped by every
+	// reservation scheme, but here the on-going calls are squeezed.
+	d := c.Admit(cac.Request{ID: 5, Bandwidth: 10, RealTime: true, Handoff: true})
+	fmt.Printf("handoff: accept=%v allocated=%v outcome=%s\n", d.Accept, d.Allocated, d.Outcome)
+	fmt.Printf("degraded on-going calls: %d\n", c.Degraded())
+	// Output:
+	// handoff: accept=true allocated=10 outcome=degraded-others
+	// degraded on-going calls: 4
+}

@@ -1,0 +1,31 @@
+// Package adapt implements call admission control based on adaptive
+// bandwidth allocation: instead of protecting on-going connections only by
+// refusing new ones (guard channels, FACS-P's adaptive threshold), the
+// controller degrades the bandwidth of elastic on-going connections in
+// discrete steps — e.g. 10 → 7 → 5 → 3 BU for a video call — to free
+// capacity for handoffs and real-time arrivals, and restores degraded
+// calls most-degraded-first as capacity is released.
+//
+// The scheme follows Chowdhury, Jang and Haas, "Call Admission Control
+// based on Adaptive Bandwidth Allocation for Wireless Networks"
+// (arXiv:1412.3630) and the follow-up "Priority based Bandwidth Adaptation
+// for Multi-class Traffic in Wireless Networks" (arXiv:1412.4322),
+// transplanted onto this repository's cac.Controller contract so the
+// cellular simulator can run it head-to-head against FACS, FACS-P, SCC and
+// the guard-channel baselines.
+//
+// Two controllers are provided:
+//
+//   - Controller is the crisp scheme: admission is governed purely by
+//     capacity plus the degradation machinery.
+//   - Fuzzy combines the degradation machinery with the paper's two-stage
+//     fuzzy pipeline (FLC1 → FLC2): the capacity reclaimable by
+//     degradation is fed into FLC2's counter-state input as extra
+//     headroom, so the fuzzy priority stage sees a cell that is
+//     effectively emptier than its raw occupancy.
+//
+// Both controllers implement cac.Adaptive: mid-call reallocations are
+// reported through a cac.BandwidthObserver, which is how cellsim tracks
+// the mean received/requested bandwidth QoS metric (the degradation
+// ratio).
+package adapt

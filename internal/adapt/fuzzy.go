@@ -1,0 +1,133 @@
+package adapt
+
+import (
+	"fmt"
+
+	"facsp/internal/cac"
+	"facsp/internal/core"
+)
+
+// Fuzzy is the fuzzy adaptive-bandwidth controller: the Controller's
+// degradation machinery gated by the paper's two-stage fuzzy pipeline
+// (FLC1 → FLC2 with FACS-P's load-adaptive threshold). The capacity that
+// degradation could reclaim is subtracted from the occupancy the fuzzy
+// stage sees — a post-scale on FLC2's counter-state (Cs) input — so a cell
+// full of elastic traffic still looks accommodating to the priority stage,
+// which is exactly the headroom the degradation machinery can make real.
+//
+// It implements cac.Controller, cac.Named and cac.Adaptive, and is safe
+// for concurrent use.
+type Fuzzy struct {
+	ctrl *Controller
+	eval *core.FACSP
+}
+
+var (
+	_ cac.Controller = (*Fuzzy)(nil)
+	_ cac.Named      = (*Fuzzy)(nil)
+	_ cac.Adaptive   = (*Fuzzy)(nil)
+)
+
+// NewFuzzy builds a fuzzy adaptive controller from a degradation config
+// and a FACS-P config for the inference pipeline. The FACS-P capacity is
+// overridden by cfg.Capacity so both stages agree on the cell size.
+func NewFuzzy(cfg Config, pcfg core.PConfig) (*Fuzzy, error) {
+	ctrl, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pcfg.Capacity = cfg.Capacity
+	eval, err := core.NewFACSP(pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("adapt: building fuzzy pipeline: %w", err)
+	}
+	return &Fuzzy{ctrl: ctrl, eval: eval}, nil
+}
+
+// SchemeName implements cac.Named.
+func (f *Fuzzy) SchemeName() string { return "adapt-fuzzy" }
+
+// Capacity implements cac.Controller.
+func (f *Fuzzy) Capacity() float64 { return f.ctrl.Capacity() }
+
+// Occupancy implements cac.Controller.
+func (f *Fuzzy) Occupancy() float64 { return f.ctrl.Occupancy() }
+
+// SetBandwidthObserver implements cac.Adaptive.
+func (f *Fuzzy) SetBandwidthObserver(obs cac.BandwidthObserver) {
+	f.ctrl.SetBandwidthObserver(obs)
+}
+
+// Allocation returns the bandwidth currently granted to connection id.
+func (f *Fuzzy) Allocation(id uint64) (float64, bool) { return f.ctrl.Allocation(id) }
+
+// Degraded returns the number of connections served below their full rate.
+func (f *Fuzzy) Degraded() int { return f.ctrl.Degraded() }
+
+// Admit implements cac.Controller: the request first clears the fuzzy
+// priority stage evaluated against the headroom-discounted occupancy, then
+// the degradation machinery actually makes room for it.
+func (f *Fuzzy) Admit(req cac.Request) cac.Decision {
+	if err := req.Validate(); err != nil {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+	}
+	f.ctrl.mu.Lock()
+	defer f.ctrl.mu.Unlock()
+
+	// Flag duplicates before the inference pass, so the error surface
+	// matches the crisp controller's regardless of load.
+	if _, dup := f.ctrl.conns[req.ID]; dup {
+		return cac.Decision{Accept: false, Score: -1,
+			Outcome: fmt.Sprintf("error: adapt: connection %d already admitted", req.ID)}
+	}
+
+	// Allocated BU per differentiated-service counter, then the post-scale:
+	// discount the occupancy by what degradation could reclaim for this
+	// arrival class, shrinking both counters proportionally. One pass in
+	// sorted-ID order computes both the counters and the reclaimable
+	// headroom, keeping the float accumulation — and so borderline fuzzy
+	// admissions — independent of map iteration order.
+	depth := f.ctrl.depthFor(req)
+	var rtc, nrtc, head float64
+	for _, cn := range f.ctrl.sortedConns() {
+		if cn.realTime {
+			rtc += cn.alloc()
+		} else {
+			nrtc += cn.alloc()
+		}
+		if depth > 0 {
+			if d := cn.alloc() - cn.ladder[cn.maxLevel(depth)]; d > 0 {
+				head += d
+			}
+		}
+	}
+	if total := rtc + nrtc; total > 0 {
+		scale := (total - head) / total
+		if scale < 0 {
+			scale = 0
+		}
+		rtc *= scale
+		nrtc *= scale
+	}
+
+	d, err := f.eval.Evaluate(req, rtc, nrtc)
+	if err != nil {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+	}
+	if !d.Accept {
+		return d.Decision
+	}
+	m := f.ctrl.admitLocked(req)
+	if m.Accept {
+		// Keep the machine's degradation outcome but report the fuzzy
+		// confidence; a plain fit keeps the linguistic outcome too.
+		m.Score = d.Score
+		if m.Outcome == "fits" {
+			m.Outcome = d.Outcome
+		}
+	}
+	return m
+}
+
+// Release implements cac.Controller.
+func (f *Fuzzy) Release(req cac.Request) error { return f.ctrl.Release(req) }

@@ -1,0 +1,148 @@
+package adapt
+
+import (
+	"testing"
+
+	"facsp/internal/cac"
+	"facsp/internal/core"
+)
+
+func newFuzzy(t *testing.T) *Fuzzy {
+	t.Helper()
+	f, err := NewFuzzy(DefaultConfig(), core.DefaultPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFuzzyBasicAdmitRelease(t *testing.T) {
+	f := newFuzzy(t)
+	if got := f.SchemeName(); got != "adapt-fuzzy" {
+		t.Errorf("scheme name %q", got)
+	}
+	if got := f.Capacity(); got != 40 {
+		t.Errorf("capacity %v", got)
+	}
+	req := cac.Request{ID: 1, Speed: 60, Angle: 0, Bandwidth: 5, RealTime: true}
+	d := f.Admit(req)
+	if !d.Accept {
+		t.Fatalf("easy voice call rejected: %+v", d)
+	}
+	if d.Allocated != 5 {
+		t.Errorf("allocated %v, want 5", d.Allocated)
+	}
+	if got := f.Occupancy(); got != 5 {
+		t.Errorf("occupancy %v, want 5", got)
+	}
+	if err := f.Release(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Occupancy(); got != 0 {
+		t.Errorf("occupancy %v after release, want 0", got)
+	}
+}
+
+func TestFuzzyRejectsInvalidRequests(t *testing.T) {
+	f := newFuzzy(t)
+	if d := f.Admit(cac.Request{ID: 1, Bandwidth: -3}); d.Accept {
+		t.Error("invalid request admitted")
+	}
+	if err := f.Release(cac.Request{ID: 9, Bandwidth: 5}); err == nil {
+		t.Error("release of unknown connection succeeded")
+	}
+}
+
+func TestFuzzyDuplicateIDFlaggedAtAnyLoad(t *testing.T) {
+	// The duplicate-ID error must surface before the fuzzy stage, so a
+	// loaded cell cannot mask an ID-reuse bug as a plain rejection.
+	f := newFuzzy(t)
+	for id := uint64(1); id <= 4; id++ {
+		if d := f.Admit(cac.Request{ID: id, Speed: 60, Angle: 0, Bandwidth: 10, RealTime: true}); !d.Accept {
+			t.Fatalf("video %d rejected: %+v", id, d)
+		}
+	}
+	d := f.Admit(cac.Request{ID: 2, Speed: 60, Angle: 0, Bandwidth: 10, RealTime: true})
+	if d.Accept {
+		t.Fatalf("duplicate admitted: %+v", d)
+	}
+	if want := "error: adapt: connection 2 already admitted"; d.Outcome != want {
+		t.Errorf("outcome %q, want %q", d.Outcome, want)
+	}
+}
+
+func TestFuzzyHandoffDegradesFullCell(t *testing.T) {
+	f := newFuzzy(t)
+	for id := uint64(1); id <= 4; id++ {
+		d := f.Admit(cac.Request{ID: id, Speed: 60, Angle: 0, Bandwidth: 10, RealTime: true})
+		if !d.Accept {
+			t.Fatalf("setup call %d rejected: %+v", id, d)
+		}
+	}
+	d := f.Admit(cac.Request{ID: 5, Speed: 60, Angle: 0, Bandwidth: 10, RealTime: true, Handoff: true})
+	if !d.Accept {
+		t.Fatalf("handoff into full elastic cell rejected: %+v", d)
+	}
+	if f.Degraded() == 0 {
+		t.Error("no on-going call was degraded")
+	}
+	if a, ok := f.Allocation(5); !ok || a <= 0 {
+		t.Errorf("handoff allocation %v (live=%v)", a, ok)
+	}
+}
+
+// TestFuzzyHeadroomRelaxesPriorityStage is the point of the fuzzy variant:
+// at the same raw occupancy, a cell whose load is elastic (reclaimable by
+// degradation) must look more accommodating to the FLC2 priority stage
+// than it does to plain FACS-P.
+func TestFuzzyHeadroomRelaxesPriorityStage(t *testing.T) {
+	f := newFuzzy(t)
+	plain, err := core.NewFACSP(core.DefaultPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Load both controllers to 30/40 BU with elastic video traffic.
+	for id := uint64(1); id <= 3; id++ {
+		req := cac.Request{ID: id, Speed: 60, Angle: 0, Bandwidth: 10, RealTime: true}
+		if d := f.Admit(req); !d.Accept {
+			t.Fatalf("fuzzy setup call %d rejected: %+v", id, d)
+		}
+		if d := plain.Admit(req); !d.Accept {
+			t.Fatalf("plain setup call %d rejected: %+v", id, d)
+		}
+	}
+
+	// Probe with a real-time arrival over a grid of speeds/angles; the
+	// headroom post-scale must never make the fuzzy variant stricter, and
+	// must admit strictly more probes overall.
+	fuzzyAccepts, plainAccepts := 0, 0
+	id := uint64(100)
+	for _, sp := range []float64{4, 30, 60, 100} {
+		for _, an := range []float64{0, 30, 60, 120} {
+			probe := cac.Request{ID: id, Speed: sp, Angle: an, Bandwidth: 5, RealTime: true}
+			id++
+			df := f.Admit(probe)
+			dp := plain.Admit(probe)
+			if df.Accept {
+				fuzzyAccepts++
+				if err := f.Release(probe); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if dp.Accept {
+				plainAccepts++
+				if err := plain.Release(probe); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if dp.Accept && !df.Accept {
+				t.Errorf("probe speed=%v angle=%v: plain FACS-P admits but fuzzy-adapt rejects", sp, an)
+			}
+		}
+	}
+	if fuzzyAccepts <= plainAccepts {
+		t.Errorf("fuzzy-adapt admitted %d probes, plain FACS-P %d: headroom had no effect",
+			fuzzyAccepts, plainAccepts)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"facsp/internal/cac"
 	"facsp/internal/wire"
@@ -23,6 +24,12 @@ import (
 // Server serves admission queries for one base station.
 type Server struct {
 	ctrl cac.Controller
+
+	// nextID remaps client-chosen connection IDs (which are only unique
+	// within a session) to server-unique cac.Request IDs, so schemes that
+	// key state on the ID (internal/adapt) cannot suffer cross-session
+	// collisions. Non-adaptive schemes ignore IDs entirely.
+	nextID atomic.Uint64
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -166,10 +173,12 @@ func (s *Server) dispatch(req wire.Request, admitted map[uint64]cac.Request) wir
 		if err != nil {
 			return s.errResponse(err)
 		}
+		creq.ID = s.nextID.Add(1) // client IDs are session-scoped; see nextID
 		d := s.ctrl.Admit(creq)
 		resp.Accept = d.Accept
 		resp.Score = d.Score
 		resp.Outcome = d.Outcome
+		resp.Allocated = d.Allocated
 		if d.Accept {
 			admitted[req.ID] = creq
 		}

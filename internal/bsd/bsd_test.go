@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"facsp/internal/adapt"
 	"facsp/internal/core"
 	"facsp/internal/wire"
 )
@@ -110,6 +111,50 @@ func TestDoubleAdmitSameID(t *testing.T) {
 	}
 	if !strings.Contains(resp.Err, "already admitted") {
 		t.Errorf("err = %q", resp.Err)
+	}
+}
+
+func TestSameClientIDAcrossSessions(t *testing.T) {
+	// Client-chosen IDs are session-scoped: two sessions reusing the same
+	// ID must not collide even on schemes that key state on the ID
+	// (internal/adapt) — the daemon remaps to server-unique IDs.
+	ctrl, err := adapt.New(adapt.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	a, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	if resp, err := a.Admit(1, "voice", 50, 0, false); err != nil || !resp.OK || !resp.Accept {
+		t.Fatalf("session A admit = %+v, %v", resp, err)
+	}
+	if resp, err := b.Admit(1, "voice", 50, 0, false); err != nil || !resp.OK || !resp.Accept {
+		t.Fatalf("session B admit with same client ID = %+v, %v", resp, err)
+	}
+	if resp, err := a.Release(1, "voice"); err != nil || !resp.OK || resp.Occupancy != 5 {
+		t.Fatalf("session A release = %+v, %v", resp, err)
+	}
+	if resp, err := b.Release(1, "voice"); err != nil || !resp.OK || resp.Occupancy != 0 {
+		t.Fatalf("session B release = %+v, %v", resp, err)
 	}
 }
 

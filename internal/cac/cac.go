@@ -1,7 +1,8 @@
 // Package cac defines the contract between call-admission controllers and
 // the cellular simulator: the request a controller sees, the decision it
 // returns, and the Controller interface every scheme in this repository
-// (FACS, FACS-P, SCC, and the classic baselines) implements.
+// (FACS, FACS-P, SCC, the adaptive-bandwidth schemes, and the classic
+// baselines) implements.
 //
 // Keeping the contract in its own package lets the simulator drive any
 // scheme without knowing how decisions are made, which is what makes the
@@ -31,6 +32,12 @@ type Request struct {
 	// Bandwidth is the requested capacity in bandwidth units (the paper's
 	// Sr/Rq; 1 for text, 5 for voice, 10 for video).
 	Bandwidth float64
+	// MinBandwidth is the lowest bandwidth the connection can tolerate, in
+	// BU. Adaptive schemes (internal/adapt) may serve an elastic connection
+	// anywhere in [MinBandwidth, Bandwidth], degrading it mid-call to make
+	// room for handoffs; 0 leaves the floor to the scheme's per-class
+	// degradation ladder. Non-adaptive schemes ignore it.
+	MinBandwidth float64
 	// RealTime marks delay-sensitive traffic (voice, video). The paper's
 	// differentiated-service stage (Ds) routes real-time connections to the
 	// RTC counter and the rest to NRTC.
@@ -46,11 +53,17 @@ type Request struct {
 
 // Validate reports whether the request is physically meaningful.
 func (r Request) Validate() error {
-	if r.Bandwidth <= 0 {
+	if !(r.Bandwidth > 0) { // also rejects NaN
 		return fmt.Errorf("cac: request bandwidth %v must be positive", r.Bandwidth)
 	}
 	if r.Speed < 0 {
 		return fmt.Errorf("cac: request speed %v must be non-negative", r.Speed)
+	}
+	if !(r.MinBandwidth >= 0) { // also rejects NaN
+		return fmt.Errorf("cac: request min bandwidth %v must be non-negative", r.MinBandwidth)
+	}
+	if r.MinBandwidth > r.Bandwidth {
+		return fmt.Errorf("cac: request min bandwidth %v exceeds requested bandwidth %v", r.MinBandwidth, r.Bandwidth)
 	}
 	if r.Priority < 0 {
 		return fmt.Errorf("cac: request priority %d must be non-negative", r.Priority)
@@ -70,6 +83,24 @@ type Decision struct {
 	// "WR", "R" for the fuzzy controllers or a scheme-specific reason such
 	// as "guard-channel" for the baselines.
 	Outcome string
+	// Allocated is the bandwidth actually granted in BU when Accept is
+	// true. Adaptive schemes may grant less than Request.Bandwidth (a
+	// degraded admission); 0 means the full requested bandwidth was
+	// granted, which is what every non-adaptive scheme reports.
+	Allocated float64
+}
+
+// Granted returns the bandwidth the decision actually reserved for req:
+// Allocated when the scheme reported a (possibly degraded) grant, the full
+// requested bandwidth otherwise, and 0 when the request was rejected.
+func (d Decision) Granted(req Request) float64 {
+	if !d.Accept {
+		return 0
+	}
+	if d.Allocated > 0 {
+		return d.Allocated
+	}
+	return req.Bandwidth
 }
 
 // Controller is a call-admission controller bound to one base station.
@@ -89,6 +120,24 @@ type Controller interface {
 	Occupancy() float64
 	// Capacity returns the total bandwidth units of the base station.
 	Capacity() float64
+}
+
+// BandwidthObserver is notified whenever an adaptive controller changes
+// the bandwidth of an on-going connection mid-call (a degradation or an
+// upgrade): id is the connection and allocBU its new allocation. Observers
+// are invoked synchronously from inside Admit/Release, possibly while the
+// controller's internal lock is held, so they must be fast and must not
+// call back into the controller.
+type BandwidthObserver func(id uint64, allocBU float64)
+
+// Adaptive is implemented by controllers that can change the bandwidth of
+// on-going connections mid-call (internal/adapt). The simulator uses it to
+// keep its per-call accounting — and the received/requested bandwidth QoS
+// metric — in sync with the controller's reallocations.
+type Adaptive interface {
+	// SetBandwidthObserver installs the observer for mid-call bandwidth
+	// changes, replacing any previous one; nil disables notification.
+	SetBandwidthObserver(BandwidthObserver)
 }
 
 // Named is implemented by controllers that expose a scheme name for

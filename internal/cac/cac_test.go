@@ -1,6 +1,9 @@
 package cac
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestRequestValidate(t *testing.T) {
 	tests := []struct {
@@ -11,10 +14,15 @@ func TestRequestValidate(t *testing.T) {
 		{name: "valid", req: Request{Speed: 10, Bandwidth: 5}},
 		{name: "valid stationary", req: Request{Bandwidth: 1}},
 		{name: "zero bandwidth", req: Request{Speed: 10}, wantErr: true},
+		{name: "NaN bandwidth", req: Request{Bandwidth: math.NaN()}, wantErr: true},
 		{name: "negative bandwidth", req: Request{Bandwidth: -1}, wantErr: true},
 		{name: "negative speed", req: Request{Speed: -1, Bandwidth: 1}, wantErr: true},
 		{name: "negative priority", req: Request{Bandwidth: 1, Priority: -1}, wantErr: true},
 		{name: "priority ok", req: Request{Bandwidth: 1, Priority: 3}},
+		{name: "min bandwidth ok", req: Request{Bandwidth: 10, MinBandwidth: 3}},
+		{name: "negative min bandwidth", req: Request{Bandwidth: 10, MinBandwidth: -1}, wantErr: true},
+		{name: "min bandwidth above request", req: Request{Bandwidth: 5, MinBandwidth: 10}, wantErr: true},
+		{name: "NaN min bandwidth", req: Request{Bandwidth: 10, MinBandwidth: math.NaN()}, wantErr: true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

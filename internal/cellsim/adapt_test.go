@@ -1,0 +1,113 @@
+package cellsim
+
+import (
+	"testing"
+
+	"facsp/internal/adapt"
+	"facsp/internal/baseline"
+	"facsp/internal/cac"
+	"facsp/internal/hexgrid"
+)
+
+func adaptAdmitter(t *testing.T) Admitter {
+	t.Helper()
+	return NewPerCell(func(hexgrid.Coord) cac.Controller {
+		c, err := adapt.New(adapt.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}
+
+func guardAdmitter(t *testing.T) Admitter {
+	t.Helper()
+	return NewPerCell(func(hexgrid.Coord) cac.Controller {
+		c, err := baseline.NewGuardChannel(40, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	})
+}
+
+func runWith(t *testing.T, adm Admitter, requests int, seed uint64) Result {
+	t.Helper()
+	sim, err := New(DefaultConfig(requests, seed), adm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestAdaptDegradesUnderLoad drives the adaptive-bandwidth scheme through
+// a loaded cluster: mid-call reallocations must show up in the
+// received/requested bandwidth integrals, and the accounting invariants
+// must hold.
+func TestAdaptDegradesUnderLoad(t *testing.T) {
+	res := runWith(t, adaptAdmitter(t), 60, 7)
+
+	if res.BandwidthRequested <= 0 {
+		t.Fatal("no requested-bandwidth integral accumulated")
+	}
+	if res.BandwidthGranted > res.BandwidthRequested+1e-6 {
+		t.Errorf("granted integral %v exceeds requested %v", res.BandwidthGranted, res.BandwidthRequested)
+	}
+	ratio := res.BandwidthRatio()
+	if ratio <= 0 || ratio > 1 {
+		t.Fatalf("bandwidth ratio %v outside (0, 1]", ratio)
+	}
+	if ratio == 1 {
+		t.Error("no degradation observed under heavy load: ratio = 1")
+	}
+	if res.Accepted+res.Blocked != res.Requests {
+		t.Errorf("accepted %d + blocked %d != requests %d", res.Accepted, res.Blocked, res.Requests)
+	}
+}
+
+// TestNonAdaptiveSchemesKeepRatioOne pins the metric's baseline: a scheme
+// that never reallocates mid-call must report a ratio of exactly 1.
+func TestNonAdaptiveSchemesKeepRatioOne(t *testing.T) {
+	res := runWith(t, guardAdmitter(t), 60, 7)
+	if got := res.BandwidthRatio(); got != 1 {
+		t.Errorf("guard-channel bandwidth ratio %v, want 1", got)
+	}
+	if res.BandwidthGranted != res.BandwidthRequested {
+		t.Errorf("granted %v != requested %v for a non-adaptive scheme",
+			res.BandwidthGranted, res.BandwidthRequested)
+	}
+}
+
+// TestAdaptProtectsHandoffs checks the scheme does its headline job inside
+// the simulator: fewer dropped on-going calls than the guard channel under
+// the same offered load and seed.
+func TestAdaptProtectsHandoffs(t *testing.T) {
+	var adaptDrops, guardDrops int
+	for seed := uint64(1); seed <= 5; seed++ {
+		adaptDrops += runWith(t, adaptAdmitter(t), 60, seed).Dropped
+		guardDrops += runWith(t, guardAdmitter(t), 60, seed).Dropped
+	}
+	if adaptDrops >= guardDrops {
+		t.Errorf("adapt dropped %d calls, guard-channel %d: degradation should protect handoffs",
+			adaptDrops, guardDrops)
+	}
+}
+
+// TestAdaptRunDeterministic pins bit-reproducibility with the observer
+// wiring in the loop: two identical runs must agree on every field,
+// including the new bandwidth integrals.
+func TestAdaptRunDeterministic(t *testing.T) {
+	a := runWith(t, adaptAdmitter(t), 40, 3)
+	b := runWith(t, adaptAdmitter(t), 40, 3)
+	if a.BandwidthGranted != b.BandwidthGranted || a.BandwidthRequested != b.BandwidthRequested {
+		t.Errorf("bandwidth integrals differ across identical runs:\n a: %v/%v\n b: %v/%v",
+			a.BandwidthGranted, a.BandwidthRequested, b.BandwidthGranted, b.BandwidthRequested)
+	}
+	if a.Dropped != b.Dropped || a.Accepted != b.Accepted || a.CentreUtilization != b.CentreUtilization {
+		t.Errorf("results differ across identical runs:\n a: %+v\n b: %+v", a, b)
+	}
+}

@@ -38,14 +38,33 @@ type Admitter interface {
 	Release(cell hexgrid.Coord, req cac.Request) error
 }
 
+// AdaptiveAdmitter is implemented by admitters whose controllers can
+// change the bandwidth of on-going connections mid-call (internal/adapt).
+// The simulator installs an observer to keep its per-call accounting — and
+// the received/requested bandwidth QoS metric — in sync.
+type AdaptiveAdmitter interface {
+	Admitter
+	// SetBandwidthObserver installs the network-level observer for
+	// mid-call bandwidth changes: cell is where the connection lives, id
+	// identifies it and allocBU is its new allocation.
+	SetBandwidthObserver(func(cell hexgrid.Coord, id uint64, allocBU float64))
+}
+
 // PerCell adapts a factory of independent per-cell controllers (the shape
 // of FACS, FACS-P and the classic baselines) to the Admitter interface.
+// When a controller implements cac.Adaptive, its mid-call bandwidth
+// changes are forwarded to the observer installed with
+// SetBandwidthObserver, tagged with the controller's cell.
 type PerCell struct {
 	controllers map[hexgrid.Coord]cac.Controller
 	factory     func(hexgrid.Coord) cac.Controller
+	obs         func(cell hexgrid.Coord, id uint64, allocBU float64)
 }
 
-var _ Admitter = (*PerCell)(nil)
+var (
+	_ Admitter         = (*PerCell)(nil)
+	_ AdaptiveAdmitter = (*PerCell)(nil)
+)
 
 // NewPerCell builds a PerCell admitter; factory is invoked lazily, once
 // per cell.
@@ -62,8 +81,33 @@ func (p *PerCell) Controller(cell hexgrid.Coord) cac.Controller {
 	if !ok {
 		c = p.factory(cell)
 		p.controllers[cell] = c
+		p.install(cell, c)
 	}
 	return c
+}
+
+// SetBandwidthObserver implements AdaptiveAdmitter, wiring existing and
+// future adaptive per-cell controllers to the observer.
+func (p *PerCell) SetBandwidthObserver(obs func(cell hexgrid.Coord, id uint64, allocBU float64)) {
+	p.obs = obs
+	for cell, c := range p.controllers {
+		p.install(cell, c)
+	}
+}
+
+// install binds an adaptive controller's reallocation events to this
+// admitter's observer, tagged with the controller's cell.
+func (p *PerCell) install(cell hexgrid.Coord, c cac.Controller) {
+	a, ok := c.(cac.Adaptive)
+	if !ok {
+		return
+	}
+	if p.obs == nil {
+		a.SetBandwidthObserver(nil)
+		return
+	}
+	obs := p.obs
+	a.SetBandwidthObserver(func(id uint64, allocBU float64) { obs(cell, id, allocBU) })
 }
 
 // Admit implements Admitter.
@@ -215,6 +259,14 @@ type Result struct {
 	// the whole cluster, including background neighbour traffic.
 	NetworkRequests int
 	NetworkAccepted int
+	// BandwidthGranted and BandwidthRequested are the time integrals
+	// (BU x seconds) of the bandwidth actually allocated to — and requested
+	// by — the centre cell's admitted calls over their in-network lifetime.
+	// Adaptive schemes (internal/adapt) may serve elastic calls below their
+	// requested rate, opening a gap between the two; for every other scheme
+	// they are equal.
+	BandwidthGranted   float64
+	BandwidthRequested float64
 }
 
 // AcceptedPct returns the figures' y axis: the percentage of requesting
@@ -236,6 +288,19 @@ func (r Result) DropPct() float64 {
 	return 100 * float64(r.Dropped) / float64(r.Accepted)
 }
 
+// BandwidthRatio returns the degradation-ratio QoS metric: the
+// time-weighted mean received/requested bandwidth of the centre cell's
+// admitted calls, in [0, 1]. 1 means every call was served at its full
+// requested rate for its whole lifetime (always true for non-adaptive
+// schemes); lower values measure how hard an adaptive scheme squeezed
+// on-going calls to avoid dropping handoffs.
+func (r Result) BandwidthRatio() float64 {
+	if r.BandwidthRequested == 0 {
+		return 1
+	}
+	return r.BandwidthGranted / r.BandwidthRequested
+}
+
 // call is the simulator's per-connection state.
 type call struct {
 	req     cac.Request
@@ -246,6 +311,11 @@ type call struct {
 	endAt   float64
 	ended   bool
 	endEvt  des.Handle
+	// alloc is the bandwidth currently granted, which adaptive schemes may
+	// move below req.Bandwidth mid-call; lastT is the simulation time the
+	// bandwidth integrals were last accrued to.
+	alloc float64
+	lastT float64
 }
 
 // Sim runs cellular admission simulations.
@@ -256,6 +326,7 @@ type Sim struct {
 	cluster map[hexgrid.Coord]bool
 	cells   []hexgrid.Coord // cluster cells in stable (ring) order
 	centre  hexgrid.Coord
+	active  map[uint64]*call // live calls by connection ID, per run
 }
 
 // New constructs a simulator for the given config and admitter.
@@ -307,6 +378,32 @@ func (s *Sim) Run() (Result, error) {
 		}
 	}
 	observe(0) // open the utilization window at time zero
+
+	// Adaptive admitters reallocate on-going calls mid-flight; track those
+	// changes so the bandwidth-ratio metric and the centre occupancy stay
+	// exact. The observer fires synchronously from inside Admit/Release,
+	// so sim.Now() is the event's timestamp. The tracking map is only
+	// populated when the controllers can actually reallocate — PerCell
+	// implements AdaptiveAdmitter for every scheme, so probe the centre
+	// cell's controller (factories are homogeneous across the cluster) to
+	// spare non-adaptive sweeps the per-call map churn.
+	s.active = nil
+	if aa, ok := s.adm.(AdaptiveAdmitter); ok && s.reallocates() {
+		s.active = make(map[uint64]*call)
+		aa.SetBandwidthObserver(func(cell hexgrid.Coord, id uint64, allocBU float64) {
+			c, live := s.active[id]
+			if !live || c.ended {
+				return
+			}
+			now := sim.Now()
+			s.accrue(&res, c, now)
+			if cell == s.centre {
+				centreBU += allocBU - c.alloc
+				observe(now)
+			}
+			c.alloc = allocBU
+		})
+	}
 
 	// Schedule the centre cell's requesting connections first, then the
 	// homogeneous background traffic of every other cell. Drawing all
@@ -405,10 +502,6 @@ func (s *Sim) arrive(sim *des.Sim, res *Result, a arrival,
 		res.Accepted++
 		res.AcceptedByClass[a.class]++
 	}
-	if a.cell == s.centre {
-		*centreBU += req.Bandwidth
-		observe(now)
-	}
 
 	c := &call{
 		req:   req,
@@ -419,10 +512,19 @@ func (s *Sim) arrive(sim *des.Sim, res *Result, a arrival,
 		cell:    a.cell,
 		counted: a.counted,
 		endAt:   now + a.holding,
+		alloc:   d.Granted(req), // adaptive schemes may grant below the request
+		lastT:   now,
+	}
+	if s.active != nil {
+		s.active[a.id] = c
+	}
+	if a.cell == s.centre {
+		*centreBU += c.alloc
+		observe(now)
 	}
 
 	endEvt, err := sim.At(c.endAt, func(endNow float64) {
-		s.endCall(res, c, centreBU, observe, fail, endNow)
+		s.endCall(sim, res, c, centreBU, observe, fail, endNow)
 	})
 	if err != nil {
 		fail(err)
@@ -464,8 +566,7 @@ func (s *Sim) checkPosition(sim *des.Sim, res *Result, c *call,
 	if !s.cluster[newCell] {
 		// The mobile left the simulated network; its capacity is freed.
 		s.release(res, c, centreBU, observe, fail, now)
-		c.ended = true
-		sim.Cancel(c.endEvt)
+		s.retire(c, sim)
 		if c.counted {
 			res.LeftNetwork++
 		}
@@ -488,8 +589,7 @@ func (s *Sim) checkPosition(sim *des.Sim, res *Result, c *call,
 		// Dropped mid-call: the QoS violation the paper's priority scheme
 		// is designed to avoid.
 		s.release(res, c, centreBU, observe, fail, now)
-		c.ended = true
-		sim.Cancel(c.endEvt)
+		s.retire(c, sim)
 		if c.counted {
 			res.Dropped++
 		}
@@ -501,39 +601,77 @@ func (s *Sim) checkPosition(sim *des.Sim, res *Result, c *call,
 	}
 	c.cell = newCell
 	c.req = hreq
+	c.alloc = d.Granted(hreq) // the new cell may grant a degraded rate
 	if c.cell == s.centre {
-		*centreBU += c.req.Bandwidth
+		*centreBU += c.alloc
 		observe(now)
 	}
 	s.scheduleCheck(sim, res, c, centreBU, observe, fail)
 }
 
-// endCall completes a call that finished its holding time.
-func (s *Sim) endCall(res *Result, c *call,
+// reallocates reports whether the admitter's controllers can change
+// on-going allocations mid-call. Admitters exposing per-cell controllers
+// (PerCell) are probed at the centre cell — the factories in this
+// repository are homogeneous across the cluster; anything else is assumed
+// adaptive if it accepted the observer.
+func (s *Sim) reallocates() bool {
+	cp, ok := s.adm.(interface {
+		Controller(hexgrid.Coord) cac.Controller
+	})
+	if !ok {
+		return true
+	}
+	_, adaptive := cp.Controller(s.centre).(cac.Adaptive)
+	return adaptive
+}
+
+// retire removes a finished call from the simulation: it stops tracking
+// reallocations for it and cancels its pending end event.
+func (s *Sim) retire(c *call, sim *des.Sim) {
+	c.ended = true
+	delete(s.active, c.req.ID)
+	sim.Cancel(c.endEvt)
+}
+
+// endCall completes a call that finished its holding time. Cancelling the
+// already-fired end event inside retire is a safe no-op.
+func (s *Sim) endCall(sim *des.Sim, res *Result, c *call,
 	centreBU *float64, observe func(float64), fail func(error), now float64) {
 
 	if c.ended {
 		return
 	}
-	c.ended = true
+	s.retire(c, sim)
 	s.release(res, c, centreBU, observe, fail, now)
 	if c.counted {
 		res.Completed++
 	}
 }
 
-// release frees the call's bandwidth at its current cell.
+// release frees the call's bandwidth at its current cell, closing its
+// bandwidth-integral accounting up to now.
 func (s *Sim) release(res *Result, c *call,
 	centreBU *float64, observe func(float64), fail func(error), now float64) {
 
+	s.accrue(res, c, now)
 	if err := s.adm.Release(c.cell, c.req); err != nil {
 		fail(fmt.Errorf("cellsim: release at %v: %w", c.cell, err))
 		return
 	}
 	if c.cell == s.centre {
-		*centreBU -= c.req.Bandwidth
+		*centreBU -= c.alloc
 		observe(now)
 	}
+}
+
+// accrue extends the result's received/requested bandwidth integrals for
+// a counted call up to now at its current allocation.
+func (s *Sim) accrue(res *Result, c *call, now float64) {
+	if c.counted && now > c.lastT {
+		res.BandwidthGranted += c.alloc * (now - c.lastT)
+		res.BandwidthRequested += c.req.Bandwidth * (now - c.lastT)
+	}
+	c.lastT = now
 }
 
 // randomPointInCell draws a uniform point inside the hexagon of the given

@@ -1,0 +1,111 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"facsp/internal/core"
+)
+
+// TestAdaptBeatsGuardChannelOnDrops is the acceptance bar for the
+// adaptive-bandwidth scheme: at equal offered load, its handoff-dropping
+// probability must be measurably below the 20%-reservation guard channel.
+func TestAdaptBeatsGuardChannelOnDrops(t *testing.T) {
+	opts := Options{Loads: []int{60}, Replications: 6}
+	adaptCurve, err := RunCurve("adapt", homogeneousConfig, AdaptFactory(), DropPct, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guardCurve, err := RunCurve("guard", homogeneousConfig, GuardFactory(core.CounterMax, guardBand), DropPct, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, g := adaptCurve.Points[0].Y, guardCurve.Points[0].Y
+	if a >= g {
+		t.Fatalf("adapt drop%% = %.2f not below guard-channel drop%% = %.2f at load 60", a, g)
+	}
+	// "Measurably": the gap must clear the sum of the confidence
+	// half-widths, not just the point estimates.
+	if g-a <= adaptCurve.CI95[0]+guardCurve.CI95[0] {
+		t.Errorf("drop%% gap %.2f within noise (CI %.2f + %.2f)", g-a, adaptCurve.CI95[0], guardCurve.CI95[0])
+	}
+}
+
+// TestAdaptRatioShape pins the degradation-ratio metric's frame: adaptive
+// curves live in (0, 100] and decline with load, the guard channel stays
+// at exactly 100.
+func TestAdaptRatioShape(t *testing.T) {
+	opts := Options{Loads: []int{10, 80}, Replications: 4}
+	curves, err := AdaptRatio(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 3 {
+		t.Fatalf("got %d curves, want 3", len(curves))
+	}
+	for _, c := range curves[:2] {
+		for i, p := range c.Points {
+			if p.Y <= 0 || p.Y > 100 {
+				t.Errorf("%s point %d: ratio %v%% outside (0, 100]", c.Name, i, p.Y)
+			}
+		}
+		if c.Points[0].Y <= c.Points[1].Y {
+			t.Errorf("%s: ratio did not decline with load: %v", c.Name, c.Points)
+		}
+	}
+	guard := curves[2]
+	for i, p := range guard.Points {
+		if p.Y != 100 {
+			t.Errorf("guard-channel point %d: ratio %v%%, want exactly 100", i, p.Y)
+		}
+	}
+}
+
+// TestAdaptDropsFigure runs the full head-to-head runner once at a light
+// setting and checks its curve inventory.
+func TestAdaptDropsFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration sweep")
+	}
+	curves, err := AdaptDrops(Options{Loads: []int{40}, Replications: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"adapt drop%", "adapt-fuzzy drop%", "FACS-P drop%", "guard-channel drop%"}
+	if len(curves) != len(want) {
+		t.Fatalf("got %d curves, want %d", len(curves), len(want))
+	}
+	for i, c := range curves {
+		if c.Name != want[i] {
+			t.Errorf("curve %d named %q, want %q", i, c.Name, want[i])
+		}
+		if len(c.Points) != 1 || c.Points[0].Y < 0 || c.Points[0].Y > 100 {
+			t.Errorf("curve %q malformed: %+v", c.Name, c.Points)
+		}
+	}
+}
+
+// TestAdaptCurvesIdenticalAcrossWorkerCounts extends the sharded runner's
+// determinism contract to the adaptive schemes, whose observer wiring adds
+// a new code path to every simulation event.
+func TestAdaptCurvesIdenticalAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) []Curve {
+		opts := Options{Loads: []int{15, 50}, Replications: 3, Workers: workers}
+		a, err := RunCurve("adapt", homogeneousConfig, AdaptFactory(), DropPct, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := RunCurve("ratio", homogeneousConfig, AdaptFactory(), BandwidthRatioPct, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []Curve{a, r}
+	}
+	base := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); !reflect.DeepEqual(base, got) {
+			t.Errorf("adapt curves with %d workers differ from 1 worker:\n 1: %+v\n%2d: %+v",
+				workers, base, workers, got)
+		}
+	}
+}

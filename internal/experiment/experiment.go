@@ -1,7 +1,9 @@
 // Package experiment contains one runner per figure of the paper's
-// evaluation (Figs. 7-10), plus the QoS (call-dropping) experiment that
-// substantiates the paper's closing claim. The runners are shared by
-// cmd/facs-sim, the repository benchmarks, and EXPERIMENTS.md.
+// evaluation (Figs. 7-10), the QoS (call-dropping) experiment that
+// substantiates the paper's closing claim, and the adaptive-bandwidth
+// head-to-heads (AdaptDrops, AdaptRatio) that pit the degradation schemes
+// of internal/adapt against FACS-P and the guard channel. The runners are
+// shared by cmd/facs-sim, the repository benchmarks, and EXPERIMENTS.md.
 //
 // Every runner sweeps the paper's x axis (number of requesting
 // connections), replicates each point across seeds, and returns named
@@ -15,7 +17,10 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"sort"
 
+	"facsp/internal/adapt"
+	"facsp/internal/baseline"
 	"facsp/internal/cac"
 	"facsp/internal/cellsim"
 	"facsp/internal/core"
@@ -98,6 +103,11 @@ func AcceptedPct(r cellsim.Result) float64 { return r.AcceptedPct() }
 // admitted calls later dropped at a handoff.
 func DropPct(r cellsim.Result) float64 { return r.DropPct() }
 
+// BandwidthRatioPct is the degradation-ratio metric of the adaptive
+// schemes: the time-weighted mean received/requested bandwidth of admitted
+// calls, as a percentage (100 = nobody was ever degraded).
+func BandwidthRatioPct(r cellsim.Result) float64 { return 100 * r.BandwidthRatio() }
+
 // FACSFactory returns a per-cell FACS admitter factory with the default
 // configuration.
 func FACSFactory() AdmitterFactory { return FACSFactoryWith(core.DefaultConfig()) }
@@ -148,6 +158,67 @@ func (o Options) facspFactory() AdmitterFactory {
 	cfg := core.DefaultPConfig()
 	cfg.SurfaceResolution = o.SurfaceResolution
 	return FACSPFactoryWith(cfg)
+}
+
+// AdaptFactory returns a per-cell adaptive-bandwidth admitter factory
+// with the default degradation ladders (internal/adapt).
+func AdaptFactory() AdmitterFactory { return AdaptFactoryWith(adapt.DefaultConfig()) }
+
+// AdaptFactoryWith returns a per-cell adaptive-bandwidth admitter factory
+// for cfg.
+func AdaptFactoryWith(cfg adapt.Config) AdmitterFactory {
+	return func() cellsim.Admitter {
+		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
+			c, err := adapt.New(cfg)
+			if err != nil {
+				panic("experiment: " + err.Error())
+			}
+			return c
+		})
+	}
+}
+
+// AdaptFuzzyFactory returns a per-cell fuzzy adaptive-bandwidth admitter
+// factory: the degradation machinery gated by the FACS-P inference
+// pipeline with the reclaimable headroom fed into the priority stage.
+func AdaptFuzzyFactory() AdmitterFactory {
+	return AdaptFuzzyFactoryWith(adapt.DefaultConfig(), core.DefaultPConfig())
+}
+
+// AdaptFuzzyFactoryWith returns a per-cell fuzzy adaptive admitter factory
+// for the given degradation and FACS-P configs.
+func AdaptFuzzyFactoryWith(cfg adapt.Config, pcfg core.PConfig) AdmitterFactory {
+	return func() cellsim.Admitter {
+		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
+			c, err := adapt.NewFuzzy(cfg, pcfg)
+			if err != nil {
+				panic("experiment: " + err.Error())
+			}
+			return c
+		})
+	}
+}
+
+// adaptFuzzyFactory returns the fuzzy adaptive factory honouring the
+// options' surface setting.
+func (o Options) adaptFuzzyFactory() AdmitterFactory {
+	pcfg := core.DefaultPConfig()
+	pcfg.SurfaceResolution = o.SurfaceResolution
+	return AdaptFuzzyFactoryWith(adapt.DefaultConfig(), pcfg)
+}
+
+// GuardFactory returns a per-cell guard-channel admitter factory with the
+// given capacity and guard band in BU.
+func GuardFactory(capacity, guard float64) AdmitterFactory {
+	return func() cellsim.Admitter {
+		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
+			c, err := baseline.NewGuardChannel(capacity, guard)
+			if err != nil {
+				panic("experiment: " + err.Error())
+			}
+			return c
+		})
+	}
 }
 
 // SCCFactory returns a network-level shadow-cluster admitter factory.
@@ -325,6 +396,61 @@ func Drops(opts Options) ([]Curve, error) {
 	return []Curve{facsp, facs}, nil
 }
 
+// guardBand is the handoff reservation of the guard-channel comparator in
+// the adaptive-bandwidth experiments: 8 of the 40 BU, i.e. 20% of the cell
+// — a strong classical protection level for the degradation schemes to
+// beat (and the default of cmd/facs-server's guard scheme).
+const guardBand = 8
+
+// AdaptDrops is the adaptive-bandwidth head-to-head on the QoS metric the
+// scheme exists for: the percentage of admitted calls later dropped at a
+// handoff, for the crisp and fuzzy adaptive schemes vs FACS-P vs a
+// guard channel reserving 20% of the cell. Expected shape: both adaptive
+// curves below guard-channel at every load — degrading elastic on-going
+// calls admits handoffs a reservation would still have to refuse.
+func AdaptDrops(opts Options) ([]Curve, error) {
+	adaptCurve, err := RunCurve("adapt drop%", homogeneousConfig, AdaptFactory(), DropPct, opts)
+	if err != nil {
+		return nil, err
+	}
+	fuzzyCurve, err := RunCurve("adapt-fuzzy drop%", homogeneousConfig, opts.adaptFuzzyFactory(), DropPct, opts)
+	if err != nil {
+		return nil, err
+	}
+	facsp, err := RunCurve("FACS-P drop%", homogeneousConfig, opts.facspFactory(), DropPct, opts)
+	if err != nil {
+		return nil, err
+	}
+	guard, err := RunCurve("guard-channel drop%", homogeneousConfig,
+		GuardFactory(core.CounterMax, guardBand), DropPct, opts)
+	if err != nil {
+		return nil, err
+	}
+	return []Curve{adaptCurve, fuzzyCurve, facsp, guard}, nil
+}
+
+// AdaptRatio reports what the adaptive schemes pay for their handoff
+// protection: the degradation ratio (time-weighted mean received/requested
+// bandwidth of admitted calls, in percent) vs offered load, with the
+// guard channel as the flat-100% reference. Expected shape: both adaptive
+// curves decline with load as elastic calls spend more time squeezed.
+func AdaptRatio(opts Options) ([]Curve, error) {
+	adaptCurve, err := RunCurve("adapt", homogeneousConfig, AdaptFactory(), BandwidthRatioPct, opts)
+	if err != nil {
+		return nil, err
+	}
+	fuzzyCurve, err := RunCurve("adapt-fuzzy", homogeneousConfig, opts.adaptFuzzyFactory(), BandwidthRatioPct, opts)
+	if err != nil {
+		return nil, err
+	}
+	guard, err := RunCurve("guard-channel", homogeneousConfig,
+		GuardFactory(core.CounterMax, guardBand), BandwidthRatioPct, opts)
+	if err != nil {
+		return nil, err
+	}
+	return []Curve{adaptCurve, fuzzyCurve, guard}, nil
+}
+
 // AblationHandoffPriority isolates the handoff-priority half of FACS-P's
 // mechanism: the full controller vs one whose handoffs face the same
 // adaptive threshold as new calls. The gap in dropped-call percentage is
@@ -374,7 +500,22 @@ func Figures() map[string]func(Options) ([]Curve, error) {
 		"9":                Fig9,
 		"10":               Fig10,
 		"drops":            Drops,
+		"adapt-drops":      AdaptDrops,
+		"adapt-ratio":      AdaptRatio,
 		"ablation-handoff": AblationHandoffPriority,
 		"ablation-defuzz":  AblationDefuzzifier,
 	}
+}
+
+// FigureIDs returns the known figure identifiers in sorted order, for
+// usage and error text — derived from the registry so it can never go
+// stale.
+func FigureIDs() []string {
+	figs := Figures()
+	ids := make([]string, 0, len(figs))
+	for id := range figs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
 }

@@ -164,7 +164,7 @@ func TestNewSurfaceValidation(t *testing.T) {
 	if _, err := NewSurface(e, -3); err == nil {
 		t.Error("negative resolution accepted")
 	}
-	if _, err := NewSurface(e, 1 << 13); err == nil || !strings.Contains(err.Error(), "grid points") {
+	if _, err := NewSurface(e, 1<<13); err == nil || !strings.Contains(err.Error(), "grid points") {
 		t.Errorf("oversized grid not rejected: %v", err)
 	}
 }

@@ -51,6 +51,11 @@ type Request struct {
 	Handoff bool `json:"handoff,omitempty"`
 	// Priority is the optional requesting-connection priority level.
 	Priority int `json:"priority,omitempty"`
+	// MinBU is the lowest bandwidth (in BU) the connection can tolerate.
+	// Adaptive schemes may serve it anywhere in [MinBU, class bandwidth];
+	// 0 leaves the floor to the scheme's per-class degradation ladder.
+	// Non-adaptive schemes ignore it.
+	MinBU float64 `json:"min_bu,omitempty"`
 }
 
 // Response is one server message.
@@ -67,6 +72,11 @@ type Response struct {
 	Score float64 `json:"score,omitempty"`
 	// Outcome is the linguistic outcome (A, WA, NRNA, WR, R, ...).
 	Outcome string `json:"outcome,omitempty"`
+	// Allocated is the bandwidth actually granted in BU on an accepted
+	// admit. Adaptive schemes may grant less than the class bandwidth (a
+	// degraded admission); non-adaptive schemes omit it, meaning the full
+	// request was granted.
+	Allocated float64 `json:"allocated,omitempty"`
 	// Occupancy and Capacity report the cell state in BU.
 	Occupancy float64 `json:"occupancy"`
 	// Capacity is the cell's total bandwidth.
@@ -105,6 +115,9 @@ func (r Request) Validate() error {
 		if r.Priority < 0 {
 			return fmt.Errorf("wire: negative priority %d", r.Priority)
 		}
+		if r.MinBU < 0 {
+			return fmt.Errorf("wire: negative min bandwidth %v", r.MinBU)
+		}
 	case OpStatus:
 		// No payload.
 	default:
@@ -120,14 +133,19 @@ func (r Request) CACRequest() (cac.Request, error) {
 	if err != nil {
 		return cac.Request{}, err
 	}
+	if r.MinBU > class.Bandwidth() {
+		return cac.Request{}, fmt.Errorf("wire: min bandwidth %v exceeds %s class bandwidth %v",
+			r.MinBU, class, class.Bandwidth())
+	}
 	return cac.Request{
-		ID:        r.ID,
-		Speed:     r.SpeedKmh,
-		Angle:     r.AngleDeg,
-		Bandwidth: class.Bandwidth(),
-		RealTime:  class.RealTime(),
-		Handoff:   r.Handoff,
-		Priority:  r.Priority,
+		ID:           r.ID,
+		Speed:        r.SpeedKmh,
+		Angle:        r.AngleDeg,
+		Bandwidth:    class.Bandwidth(),
+		MinBandwidth: r.MinBU,
+		RealTime:     class.RealTime(),
+		Handoff:      r.Handoff,
+		Priority:     r.Priority,
 	}, nil
 }
 
