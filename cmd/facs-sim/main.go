@@ -1,4 +1,6 @@
-// Command facs-sim regenerates the paper's evaluation figures.
+// Command facs-sim regenerates the paper's evaluation figures and runs
+// declarative scenarios (SCENARIOS.md) that take the schemes beyond the
+// paper's homogeneous set-up.
 //
 // Usage:
 //
@@ -10,30 +12,49 @@
 //	facs-sim -fig adapt-ratio        # the degradation-ratio price it pays
 //	facs-sim -fig 10 -workers 16     # shard the sweep over 16 workers
 //	facs-sim -fig 10 -surface 33     # precomputed decision surfaces
+//	facs-sim -list-scenarios         # the named scenario library
+//	facs-sim -scenario flash-crowd   # rank every scheme on a scenario
+//	facs-sim -scenario highway -metric drops   # ... on dropped-call %
+//	facs-sim -scenario my-city.json  # run your own scenario file
 //
 // Figures: 7 (FACS vs SCC), 8 (FACS-P by speed), 9 (FACS-P by angle),
 // 10 (FACS-P vs FACS), drops (dropped-call percentage, FACS-P vs FACS),
 // adapt-drops (dropped-call percentage, adapt/adapt-fuzzy vs FACS-P vs
 // guard-channel), adapt-ratio (mean received/requested bandwidth of the
 // adaptive schemes), plus the ablation-handoff and ablation-defuzz
-// sensitivity studies.
+// sensitivity studies. The usage string derives the list from
+// experiment.FigureIDs, and a test diffs this comment against it.
+//
+// Scenarios (-scenario, -list-scenarios) are declarative workload
+// descriptions — heterogeneous per-cell load and capacity, time-varying
+// and bursty arrivals, mobility mixes — documented in SCENARIOS.md. A
+// scenario run ranks every scheme (facs, facsp, scc, guard, adapt,
+// adapt-fuzzy) on the same sweep; -metric picks the y axis: accepted
+// (acceptance %), drops (dropped-call %), or ratio (received/requested
+// bandwidth %). The named library holds flash-crowd, stadium-hotspot,
+// highway and diurnal-city; -scenario also accepts a path to your own
+// JSON file (any argument containing a path separator or ending in
+// .json).
 //
 // Sweeps are sharded: every (load, replication) cell runs as an independent
 // simulation with a deterministic RNG substream, so -workers changes only
-// throughput — the curves are bit-identical for any worker count and seed.
-// -surface N trades a small, bounded quantization error for a much faster
-// admission hot path (see EXPERIMENTS.md).
+// throughput — the curves are bit-identical for any worker count and seed,
+// for figures and scenarios alike. -surface N trades a small, bounded
+// quantization error for a much faster admission hot path (see
+// EXPERIMENTS.md).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
 
 	"facsp/internal/experiment"
 	"facsp/internal/plot"
+	"facsp/internal/scenario"
 	"facsp/internal/stats"
 )
 
@@ -47,18 +68,36 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("facs-sim", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "10", "figure to regenerate: "+figureList()+", or all")
-		loads   = fs.String("loads", "", "comma-separated x axis, e.g. 10,25,50,100 (default: the paper grid)")
-		reps    = fs.Int("reps", 20, "replications (seeds) per point")
-		seed    = fs.Uint64("seed", 0, "base seed")
-		workers = fs.Int("workers", 0, "parallel shard workers (default GOMAXPROCS; any value yields identical curves)")
-		surface = fs.Int("surface", 0, "run controllers on precomputed decision surfaces with this per-axis resolution (0 = exact inference)")
-		csvPath = fs.String("csv", "", "also write tidy CSV to this path ('-' for stdout)")
-		noChart = fs.Bool("no-chart", false, "suppress the ASCII chart")
-		withCI  = fs.Bool("ci", false, "print a per-point table with 95% confidence half-widths")
+		fig      = fs.String("fig", "10", "figure to regenerate: "+figureList()+", or all")
+		scen     = fs.String("scenario", "", "run a scenario instead of a figure: "+scenarioList()+", or a path to a scenario JSON file")
+		listScen = fs.Bool("list-scenarios", false, "list the named scenarios and exit")
+		metricID = fs.String("metric", "accepted", "scenario y axis: accepted, drops, ratio")
+		loads    = fs.String("loads", "", "comma-separated x axis, e.g. 10,25,50,100 (default: the paper grid)")
+		reps     = fs.Int("reps", 20, "replications (seeds) per point")
+		seed     = fs.Uint64("seed", 0, "base seed")
+		workers  = fs.Int("workers", 0, "parallel shard workers (default GOMAXPROCS; any value yields identical curves)")
+		surface  = fs.Int("surface", 0, "run controllers on precomputed decision surfaces with this per-axis resolution (0 = exact inference)")
+		csvPath  = fs.String("csv", "", "also write tidy CSV to this path ('-' for stdout)")
+		noChart  = fs.Bool("no-chart", false, "suppress the ASCII chart")
+		withCI   = fs.Bool("ci", false, "print a per-point table with 95% confidence half-widths")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	// A figure and a scenario are different experiments; an explicitly
+	// requested -fig alongside -scenario must not be silently discarded,
+	// and -metric only means something for scenario runs.
+	if explicit["fig"] && *scen != "" {
+		return fmt.Errorf("-fig and -scenario are mutually exclusive")
+	}
+	if explicit["metric"] && *scen == "" {
+		return fmt.Errorf("-metric applies only to -scenario runs")
+	}
+
+	if *listScen {
+		return printScenarios(os.Stdout)
 	}
 
 	opts := experiment.Options{
@@ -73,6 +112,10 @@ func run(args []string) error {
 			return err
 		}
 		opts.Loads = parsed
+	}
+
+	if *scen != "" {
+		return runScenario(*scen, *metricID, opts, *csvPath, !*noChart, *withCI)
 	}
 
 	figures := experiment.Figures()
@@ -91,7 +134,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		if err := emit(id, curves, *csvPath, !*noChart, *withCI); err != nil {
+		title, yLabel := figureChartMeta(id)
+		if err := emit(id, title, yLabel, curves, *csvPath, !*noChart, *withCI); err != nil {
 			return err
 		}
 	}
@@ -102,6 +146,69 @@ func run(args []string) error {
 // error text.
 func figureList() string {
 	return strings.Join(experiment.FigureIDs(), ", ")
+}
+
+// scenarioList returns the named scenarios of the embedded library, for
+// usage and error text.
+func scenarioList() string {
+	return strings.Join(scenario.Names(), ", ")
+}
+
+// printScenarios writes the named scenario library with descriptions.
+func printScenarios(w io.Writer) error {
+	for _, name := range scenario.Names() {
+		s, err := scenario.Load(name)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n    %s\n", s.Name, s.Description); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// loadScenarioArg resolves the -scenario argument: a path (anything with a
+// path separator or a .json suffix) is read from disk, anything else from
+// the embedded library.
+func loadScenarioArg(arg string) (*scenario.Scenario, error) {
+	if strings.ContainsAny(arg, `/\`) || strings.HasSuffix(arg, ".json") {
+		return scenario.FromFile(arg)
+	}
+	return scenario.Load(arg)
+}
+
+// scenarioMetric maps the -metric flag to the experiment metric and its
+// chart y label.
+func scenarioMetric(id string) (experiment.Metric, string, error) {
+	switch id {
+	case "accepted":
+		return experiment.AcceptedPct, "percentage of accepted calls", nil
+	case "drops":
+		return experiment.DropPct, "percentage of admitted calls dropped", nil
+	case "ratio":
+		return experiment.BandwidthRatioPct, "mean received/requested bandwidth (%)", nil
+	default:
+		return nil, "", fmt.Errorf("unknown metric %q (have accepted, drops, ratio)", id)
+	}
+}
+
+// runScenario ranks every scheme on one scenario and emits the result.
+func runScenario(arg, metricID string, opts experiment.Options, csvPath string, chart, withCI bool) error {
+	s, err := loadScenarioArg(arg)
+	if err != nil {
+		return err
+	}
+	metric, yLabel, err := scenarioMetric(metricID)
+	if err != nil {
+		return err
+	}
+	curves, err := experiment.RunScenarioMetric(s, metric, opts)
+	if err != nil {
+		return err
+	}
+	title := fmt.Sprintf("Scenario %s (%s)", s.Name, metricID)
+	return emit(s.Name, title, yLabel, curves, csvPath, chart, withCI)
 }
 
 func parseLoads(s string) ([]int, error) {
@@ -120,29 +227,34 @@ func parseLoads(s string) ([]int, error) {
 	return out, nil
 }
 
-func emit(id string, curves []experiment.Curve, csvPath string, chart, withCI bool) error {
+// figureChartMeta returns the chart title and y label for a figure id.
+func figureChartMeta(id string) (title, yLabel string) {
+	title = "Figure " + id
+	yLabel = "percentage of accepted calls"
+	switch id {
+	case "drops":
+		title = "Dropped-call percentage (QoS of on-going connections)"
+		yLabel = "percentage of admitted calls dropped"
+	case "ablation-handoff":
+		title = "Dropped-call percentage (handoff-priority ablation)"
+		yLabel = "percentage of admitted calls dropped"
+	case "adapt-drops":
+		title = "Dropped-call percentage (adaptive bandwidth vs reservation)"
+		yLabel = "percentage of admitted calls dropped"
+	case "adapt-ratio":
+		title = "Degradation ratio (price of adaptive handoff protection)"
+		yLabel = "mean received/requested bandwidth (%)"
+	}
+	return title, yLabel
+}
+
+func emit(key, title, yLabel string, curves []experiment.Curve, csvPath string, chart, withCI bool) error {
 	series := make([]stats.Series, len(curves))
 	for i, c := range curves {
 		series[i] = c.Series
 	}
 
 	if chart {
-		title := "Figure " + id
-		yLabel := "percentage of accepted calls"
-		switch id {
-		case "drops":
-			title = "Dropped-call percentage (QoS of on-going connections)"
-			yLabel = "percentage of admitted calls dropped"
-		case "ablation-handoff":
-			title = "Dropped-call percentage (handoff-priority ablation)"
-			yLabel = "percentage of admitted calls dropped"
-		case "adapt-drops":
-			title = "Dropped-call percentage (adaptive bandwidth vs reservation)"
-			yLabel = "percentage of admitted calls dropped"
-		case "adapt-ratio":
-			title = "Degradation ratio (price of adaptive handoff protection)"
-			yLabel = "mean received/requested bandwidth (%)"
-		}
 		c := plot.Chart{
 			Title:  title,
 			XLabel: "number of requesting connections",
@@ -172,7 +284,7 @@ func emit(id string, curves []experiment.Curve, csvPath string, chart, withCI bo
 	default:
 		path := csvPath
 		if len(curves) > 0 && strings.Contains(path, "%s") {
-			path = fmt.Sprintf(csvPath, id)
+			path = fmt.Sprintf(csvPath, key)
 		}
 		f, err := os.Create(path)
 		if err != nil {

@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"facsp/internal/experiment"
+	"facsp/internal/scenario"
 )
 
 func TestParseLoads(t *testing.T) {
@@ -44,6 +50,149 @@ func TestParseLoads(t *testing.T) {
 func TestRunUnknownFigure(t *testing.T) {
 	if err := run([]string{"-fig", "99"}); err == nil {
 		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	if err := run([]string{"-scenario", "no-such-scenario"}); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestRunUnknownMetric(t *testing.T) {
+	if err := run([]string{"-scenario", "flash-crowd", "-metric", "latency"}); err == nil {
+		t.Error("unknown metric accepted")
+	}
+}
+
+func TestRunRejectsConflictingModeFlags(t *testing.T) {
+	// An explicitly requested figure must not be silently discarded by
+	// -scenario, and -metric means nothing in figure mode.
+	if err := run([]string{"-fig", "7", "-scenario", "highway"}); err == nil {
+		t.Error("-fig with -scenario accepted")
+	}
+	if err := run([]string{"-fig", "drops", "-metric", "ratio"}); err == nil {
+		t.Error("-metric without -scenario accepted")
+	}
+}
+
+func TestRunScenarioFromBadFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 1, "name": "bad", "capacity_bu": -1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}); err == nil {
+		t.Error("invalid scenario file accepted")
+	}
+}
+
+func TestRunNamedScenarioWritesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	path := filepath.Join(t.TempDir(), "flash.csv")
+	err := run([]string{
+		"-scenario", "flash-crowd",
+		"-metric", "drops",
+		"-loads", "8",
+		"-reps", "2",
+		"-no-chart",
+		"-csv", path,
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(data)
+	for _, scheme := range []string{"FACS-P", "FACS", "SCC", "guard-channel", "adapt", "adapt-fuzzy"} {
+		if !strings.Contains(out, scheme) {
+			t.Errorf("scenario CSV missing scheme %s:\n%s", scheme, out)
+		}
+	}
+}
+
+func TestRunScenarioFileMatchesEmbedded(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	// The same scenario run via the library name and via a JSON file on
+	// disk must produce identical curves: files are first-class citizens.
+	embedded, err := scenario.Load("stadium-hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(embedded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "stadium.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := experiment.Options{Loads: []int{6}, Replications: 2, Workers: 4}
+	fromName, err := experiment.RunScenario(embedded, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromFile, err := loadScenarioArg(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := experiment.RunScenario(fromFile, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromName, got) {
+		t.Error("file-loaded scenario curves differ from embedded scenario curves")
+	}
+}
+
+func TestListScenarios(t *testing.T) {
+	var buf bytes.Buffer
+	if err := printScenarios(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range scenario.Names() {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list-scenarios output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestDocCommentMatchesRegistries diffs this command's package
+// documentation against the live registries: every figure id and every
+// named scenario must be mentioned, so the usage text cannot drift from
+// the code (the bug class this test was added for).
+func TestDocCommentMatchesRegistries(t *testing.T) {
+	src, err := os.ReadFile("main.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(src[:bytes.Index(src, []byte("package main"))])
+	for _, id := range experiment.FigureIDs() {
+		if !strings.Contains(doc, id) {
+			t.Errorf("facs-sim doc comment does not mention figure id %q", id)
+		}
+	}
+	for _, name := range scenario.Names() {
+		if !strings.Contains(doc, name) {
+			t.Errorf("facs-sim doc comment does not mention scenario %q", name)
+		}
+	}
+	for _, id := range experiment.SchemeIDs() {
+		if !strings.Contains(doc, id) {
+			t.Errorf("facs-sim doc comment does not mention scheme id %q", id)
+		}
+	}
+	for _, flagName := range []string{"-scenario", "-list-scenarios", "-metric", "-fig", "-csv", "-workers", "-surface"} {
+		if !strings.Contains(doc, flagName) {
+			t.Errorf("facs-sim doc comment does not mention flag %q", flagName)
+		}
 	}
 }
 

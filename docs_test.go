@@ -1,0 +1,133 @@
+package facsp_test
+
+// The documentation gate: these tests diff the markdown front door
+// (README.md, EXPERIMENTS.md, SCENARIOS.md) against the code's live
+// registries — figure ids, scenario names, scheme ids — and check that
+// relative links resolve, so the docs cannot silently rot as the
+// registries grow. CI runs them on every push.
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+
+	"facsp/internal/experiment"
+	"facsp/internal/scenario"
+)
+
+func readDoc(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("documentation file missing: %v", err)
+	}
+	return string(data)
+}
+
+// normalize lower-cases and strips dashes/spaces so "FACS-P" matches the
+// scheme id "facsp" and "guard-channel" matches "guard".
+func normalize(s string) string {
+	s = strings.ToLower(s)
+	s = strings.ReplaceAll(s, "-", "")
+	s = strings.ReplaceAll(s, " ", "")
+	return s
+}
+
+func TestDocsFigureTableMatchesRegistry(t *testing.T) {
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	for _, id := range experiment.FigureIDs() {
+		if !strings.Contains(experiments, "`"+id+"`") {
+			t.Errorf("EXPERIMENTS.md does not document figure id `%s`", id)
+		}
+	}
+}
+
+func TestDocsScenarioCookbookMatchesLibrary(t *testing.T) {
+	cookbook := readDoc(t, "SCENARIOS.md")
+	for _, name := range scenario.Names() {
+		if !strings.Contains(cookbook, "### "+name) {
+			t.Errorf("SCENARIOS.md has no section for scenario %q", name)
+		}
+	}
+	for _, id := range experiment.SchemeIDs() {
+		if !strings.Contains(cookbook, "`"+id+"`") {
+			t.Errorf("SCENARIOS.md does not mention scheme id `%s`", id)
+		}
+	}
+	if !strings.Contains(cookbook, `"schema": 1`) {
+		t.Error("SCENARIOS.md does not show the current schema version")
+	}
+}
+
+// serverSchemes parses the facs-server -scheme registry out of its flag
+// usage string, which the server keeps next to the switch it documents.
+func serverSchemes(t *testing.T) []string {
+	t.Helper()
+	src := readDoc(t, "cmd/facs-server/main.go")
+	m := regexp.MustCompile(`admission scheme: ([a-z, -]+)"`).FindStringSubmatch(src)
+	if m == nil {
+		t.Fatal("cannot find the -scheme usage string in cmd/facs-server/main.go")
+	}
+	var out []string
+	for _, s := range strings.Split(m[1], ",") {
+		out = append(out, strings.TrimSpace(s))
+	}
+	if len(out) < 4 {
+		t.Fatalf("suspiciously short server scheme list: %v", out)
+	}
+	return out
+}
+
+func TestDocsSchemeTableMatchesRegistries(t *testing.T) {
+	readme := readDoc(t, "README.md")
+	start := strings.Index(readme, "## The schemes")
+	if start < 0 {
+		t.Fatal("README.md has no scheme table section")
+	}
+	section := readme[start:]
+	if end := strings.Index(section[1:], "\n## "); end > 0 {
+		section = section[:end+1]
+	}
+	norm := normalize(section)
+
+	// Every scheme the scenario sweeps rank must be in the README table...
+	for _, id := range experiment.SchemeIDs() {
+		if !strings.Contains(norm, normalize(id)) {
+			t.Errorf("README scheme table does not cover experiment scheme %q", id)
+		}
+	}
+	// ...and so must every scheme facs-server serves.
+	for _, id := range serverSchemes(t) {
+		if !strings.Contains(norm, normalize(id)) {
+			t.Errorf("README scheme table does not cover facs-server scheme %q", id)
+		}
+	}
+}
+
+var mdLink = regexp.MustCompile(`\]\(([A-Za-z0-9_./-]+\.md)\)`)
+
+func TestDocsRelativeLinksResolve(t *testing.T) {
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md", "SCENARIOS.md"} {
+		content := readDoc(t, doc)
+		for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http") {
+				continue
+			}
+			if _, err := os.Stat(target); err != nil {
+				t.Errorf("%s links to %s, which does not exist", doc, target)
+			}
+		}
+	}
+}
+
+func TestDocsCrossLinked(t *testing.T) {
+	// The cookbook must be reachable from the front door and the figure
+	// catalogue, per the scenario engine's documentation contract.
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md"} {
+		if !strings.Contains(readDoc(t, doc), "SCENARIOS.md") {
+			t.Errorf("%s does not link SCENARIOS.md", doc)
+		}
+	}
+}

@@ -44,10 +44,22 @@
 //
 //	ctrl, err := facsp.NewAdapt() // cac semantics, per-connection IDs required
 //
+// # Scenarios
+//
+// Beyond the paper's homogeneous set-up, declarative scenarios describe
+// heterogeneous workloads — per-cell load multipliers and capacities
+// (hot spots, dead cells), piecewise-linear time-varying arrival
+// profiles, bursty MMPP arrivals, and mobility mixes — and rank every
+// scheme on the same sweep (see SCENARIOS.md, the scenario cookbook):
+//
+//	s, err := facsp.LoadScenario("flash-crowd") // or facsp.ScenarioFromFile
+//	curves, err := facsp.RunScenario(s, facsp.ExperimentOptions{})
+//
 // The building blocks live in internal packages: the generic Mamdani
 // engine (internal/fuzzy), the controllers (internal/core and
-// internal/adapt), the comparators (internal/scc, internal/baseline), and
-// the event-driven simulator (internal/cellsim).
+// internal/adapt), the comparators (internal/scc, internal/baseline), the
+// event-driven simulator (internal/cellsim), and the scenario layer
+// (internal/scenario).
 package facsp
 
 import (
@@ -64,6 +76,7 @@ import (
 	"facsp/internal/plot"
 	"facsp/internal/rng"
 	"facsp/internal/scc"
+	"facsp/internal/scenario"
 	"facsp/internal/stats"
 	"facsp/internal/traffic"
 )
@@ -276,6 +289,38 @@ func RunFigure(id string, opts ExperimentOptions) ([]Curve, error) {
 			strings.Join(experiment.FigureIDs(), ", "))
 	}
 	return fig(opts)
+}
+
+// Scenario re-exports the declarative scenario description: a versioned,
+// validated document (Go struct or JSON file) describing per-cell
+// heterogeneity, time-varying and bursty arrivals, and mobility mixes.
+// SCENARIOS.md is the schema reference and cookbook.
+type Scenario = scenario.Scenario
+
+// ScenarioNames returns the named scenarios of the embedded library
+// (flash-crowd, stadium-hotspot, highway, diurnal-city, ...), sorted.
+func ScenarioNames() []string { return scenario.Names() }
+
+// LoadScenario returns a named scenario from the embedded library.
+func LoadScenario(name string) (*Scenario, error) { return scenario.Load(name) }
+
+// ScenarioFromJSON parses and validates a scenario document; unknown
+// fields are rejected so typos fail loudly.
+func ScenarioFromJSON(data []byte) (*Scenario, error) { return scenario.FromJSON(data) }
+
+// ScenarioFromFile reads and validates a scenario JSON file.
+func ScenarioFromFile(path string) (*Scenario, error) { return scenario.FromFile(path) }
+
+// RunScenario ranks every admission scheme (FACS, FACS-P, SCC,
+// guard-channel, adapt, adapt-fuzzy) on one scenario: each scheme sweeps
+// the same load axis under the scenario's workload and returns one curve
+// of the paper's headline metric (percentage of accepted centre-cell
+// calls). Sweeps are sharded like RunFigure: curves are bit-identical for
+// any ExperimentOptions.Workers. On scenarios with heterogeneous cell
+// capacity the network-level SCC scheme is skipped. For the dropped-call
+// and degradation-ratio metrics, see cmd/facs-sim's -metric flag.
+func RunScenario(s *Scenario, opts ExperimentOptions) ([]Curve, error) {
+	return experiment.RunScenario(s, opts)
 }
 
 // RenderChart draws curves as an ASCII chart onto w.

@@ -1,16 +1,25 @@
 // Package cellsim is the event-driven cellular network simulator used for
-// every figure in the paper's evaluation.
+// every figure in the paper's evaluation and for the scenario harness that
+// grows the evaluation beyond it.
 //
 // A simulation instantiates a hexagonal cluster of cells around a tagged
-// centre cell, directs N connection requests at the centre base station
-// over an arrival window, and lets admitted mobiles move (handing off
-// between cells, possibly out of the network) until every call completes.
+// centre cell, offers connection requests to the base stations over an
+// arrival window, and lets admitted mobiles move (handing off between
+// cells, possibly out of the network) until every call completes.
 // Admission is delegated to an Admitter, so the same run can be repeated
 // with FACS, FACS-P, SCC or any baseline, which is how the head-to-head
 // figures are produced.
 //
+// Traffic comes in two shapes. The paper's set-up (Config.Requests /
+// Config.NeighborRequests) aims a homogeneous stationary stream at every
+// cell and counts the centre cell's admissions. Heterogeneous set-ups
+// (Config.PerCell) instead describe one explicit stream per cell — its
+// own request count, class mix, mobility samplers, piecewise-linear
+// arrival-rate profile, and MMPP on/off burst modulation — which is what
+// internal/scenario compiles its declarative scenario files into.
+//
 // All randomness flows from the Config seed; runs are reproducible
-// bit-for-bit.
+// bit-for-bit regardless of how the enclosing sweep is sharded.
 package cellsim
 
 import (
@@ -132,6 +141,35 @@ func Uniform(lo, hi float64) Sampler {
 	return func(src *rng.Source) float64 { return src.Uniform(lo, hi) }
 }
 
+// CellTraffic describes the independent request stream offered to one
+// cell of a heterogeneous set-up (Config.PerCell). The zero value of every
+// optional field inherits the run-wide default from Config.
+type CellTraffic struct {
+	// Cell is the stream's target cell; it must lie inside the cluster.
+	// Streams at the centre cell are the counted, headline-metric traffic;
+	// every other stream is background load.
+	Cell hexgrid.Coord
+	// Requests is the number of requesting connections offered to the cell
+	// over the arrival window.
+	Requests int
+	// Mix overrides the run's service-class distribution; nil inherits
+	// Config.Mix.
+	Mix *traffic.Mix
+	// Profile shapes *when* the stream's requests arrive: arrival times are
+	// thinned against this piecewise-linear relative intensity, so a
+	// flash-crowd ramp or a diurnal curve concentrates the same number of
+	// calls into its busy period. Empty means stationary (uniform) arrivals.
+	Profile traffic.RateProfile
+	// Burst layers stochastic on/off (MMPP) modulation on top of Profile:
+	// one burst envelope is realised per run from the Config seed and
+	// multiplies the profile's intensity. Nil means no burst modulation.
+	Burst *traffic.MMPP
+	// Speed and Angle override the run's mobility samplers for this
+	// stream's users; nil inherits Config.Speed / Config.Angle.
+	Speed Sampler
+	Angle Sampler
+}
+
 // Config parameterises one simulation run.
 type Config struct {
 	// Requests is the number of requesting connections aimed at the
@@ -143,6 +181,14 @@ type Config struct {
 	// Neighbour traffic contends with handoffs but is not counted in the
 	// headline acceptance metric.
 	NeighborRequests int
+	// PerCell, when non-empty, replaces the homogeneous Requests /
+	// NeighborRequests traffic with one explicit stream per listed cell
+	// (cells without an entry receive no new-call traffic). It is how
+	// internal/scenario expresses hot spots, dead zones, per-cell class
+	// mixes, time-varying arrival profiles and bursty MMPP arrivals.
+	// Requests and NeighborRequests must be zero when PerCell is set;
+	// the headline metric counts the centre cell's streams.
+	PerCell []CellTraffic
 	// Window is the arrival window in seconds; request arrival times are
 	// uniform over it.
 	Window float64
@@ -224,6 +270,37 @@ func (c Config) Validate() error {
 	}
 	if c.CheckInterval <= 0 {
 		return fmt.Errorf("cellsim: check interval %v must be positive", c.CheckInterval)
+	}
+	if len(c.PerCell) > 0 {
+		if c.Requests > 0 || c.NeighborRequests > 0 {
+			return fmt.Errorf("cellsim: PerCell traffic and Requests/NeighborRequests are mutually exclusive")
+		}
+		seen := make(map[hexgrid.Coord]bool, len(c.PerCell))
+		for i, ct := range c.PerCell {
+			if hexgrid.Distance(ct.Cell, hexgrid.Coord{}) > c.Rings {
+				return fmt.Errorf("cellsim: PerCell[%d] cell %v outside the %d-ring cluster", i, ct.Cell, c.Rings)
+			}
+			if seen[ct.Cell] {
+				return fmt.Errorf("cellsim: duplicate PerCell entry for cell %v", ct.Cell)
+			}
+			seen[ct.Cell] = true
+			if ct.Requests < 0 {
+				return fmt.Errorf("cellsim: PerCell[%d] negative request count %d", i, ct.Requests)
+			}
+			if ct.Mix != nil {
+				if err := ct.Mix.Validate(); err != nil {
+					return fmt.Errorf("cellsim: PerCell[%d]: %w", i, err)
+				}
+			}
+			if err := ct.Profile.Validate(); err != nil {
+				return fmt.Errorf("cellsim: PerCell[%d]: %w", i, err)
+			}
+			if ct.Burst != nil {
+				if err := ct.Burst.Validate(); err != nil {
+					return fmt.Errorf("cellsim: PerCell[%d]: %w", i, err)
+				}
+			}
+		}
 	}
 	return nil
 }
@@ -360,7 +437,6 @@ func (s *Sim) Run() (Result, error) {
 	src := rng.New(s.cfg.Seed)
 	var sim des.Sim
 	res := Result{
-		Requests:        s.cfg.Requests,
 		AcceptedByClass: make(map[traffic.Class]int),
 		RequestsByClass: make(map[traffic.Class]int),
 	}
@@ -405,29 +481,45 @@ func (s *Sim) Run() (Result, error) {
 		})
 	}
 
-	// Schedule the centre cell's requesting connections first, then the
-	// homogeneous background traffic of every other cell. Drawing all
-	// request attributes up front keeps the centre's request stream
-	// identical across admitters and neighbour-load settings.
+	// Schedule each cell's request stream in stable order (centre first in
+	// the homogeneous set-up, PerCell order otherwise). Drawing all request
+	// attributes up front keeps a cell's request stream identical across
+	// admitters; every draw — including burst envelopes and thinning
+	// rejections — comes sequentially from the run source, so runs are a
+	// pure function of the Config seed.
+	streams := s.streams()
+	for _, st := range streams {
+		if st.counted {
+			res.Requests += st.n
+		}
+	}
 	nextID := uint64(1)
-	schedule := func(cell hexgrid.Coord, n int, counted bool) error {
-		for i := 0; i < n; i++ {
-			at := src.Uniform(0, s.cfg.Window)
-			class := s.cfg.Mix.Sample(src)
-			speed := s.cfg.Speed(src)
-			angle := s.cfg.Angle(src)
+	schedule := func(st stream) error {
+		var env traffic.Envelope
+		if st.burst != nil {
+			env = st.burst.Envelope(src, s.cfg.Window)
+		}
+		for i := 0; i < st.n; i++ {
+			at, err := sampleArrival(src, s.cfg.Window, st.profile, env)
+			if err != nil {
+				return err
+			}
+			class := st.mix.Sample(src)
+			speed := st.speed(src)
+			angle := st.angle(src)
 			holding := src.Exp(s.cfg.HoldingMean)
 			id := nextID
 			nextID++
-			if counted {
+			if st.counted {
 				res.RequestsByClass[class]++
 			}
 
 			// Spawn uniformly inside the cell's hexagon by rejection from
 			// the bounding box.
-			x, y := s.randomPointInCell(src, cell)
+			x, y := s.randomPointInCell(src, st.cell)
 			moverSrc := src.Split()
 
+			cell, counted := st.cell, st.counted
 			if _, err := sim.At(at, func(now float64) {
 				s.arrive(&sim, &res, arrival{
 					id: id, class: class, speed: speed, angle: angle,
@@ -440,14 +532,8 @@ func (s *Sim) Run() (Result, error) {
 		}
 		return nil
 	}
-	if err := schedule(s.centre, s.cfg.Requests, true); err != nil {
-		return Result{}, err
-	}
-	for _, cell := range s.cells {
-		if cell == s.centre {
-			continue
-		}
-		if err := schedule(cell, s.cfg.NeighborRequests, false); err != nil {
+	for _, st := range streams {
+		if err := schedule(st); err != nil {
 			return Result{}, err
 		}
 	}
@@ -471,6 +557,96 @@ type arrival struct {
 	moverSrc *rng.Source
 	cell     hexgrid.Coord
 	counted  bool
+}
+
+// stream is one fully resolved per-cell request source: a CellTraffic
+// entry with every inherited default filled in, or one cell's slice of the
+// homogeneous paper set-up.
+type stream struct {
+	cell    hexgrid.Coord
+	n       int
+	mix     traffic.Mix
+	profile traffic.RateProfile
+	burst   *traffic.MMPP
+	speed   Sampler
+	angle   Sampler
+	counted bool
+}
+
+// streams resolves the run's traffic description into per-cell sources in
+// stable scheduling order.
+func (s *Sim) streams() []stream {
+	if len(s.cfg.PerCell) == 0 {
+		out := make([]stream, 0, len(s.cells))
+		out = append(out, stream{
+			cell: s.centre, n: s.cfg.Requests, mix: s.cfg.Mix,
+			speed: s.cfg.Speed, angle: s.cfg.Angle, counted: true,
+		})
+		for _, cell := range s.cells {
+			if cell == s.centre {
+				continue
+			}
+			out = append(out, stream{
+				cell: cell, n: s.cfg.NeighborRequests, mix: s.cfg.Mix,
+				speed: s.cfg.Speed, angle: s.cfg.Angle,
+			})
+		}
+		return out
+	}
+	out := make([]stream, 0, len(s.cfg.PerCell))
+	for _, ct := range s.cfg.PerCell {
+		st := stream{
+			cell: ct.Cell, n: ct.Requests, mix: s.cfg.Mix,
+			profile: ct.Profile, burst: ct.Burst,
+			speed: s.cfg.Speed, angle: s.cfg.Angle,
+			counted: ct.Cell == s.centre,
+		}
+		if ct.Mix != nil {
+			st.mix = *ct.Mix
+		}
+		if ct.Speed != nil {
+			st.speed = ct.Speed
+		}
+		if ct.Angle != nil {
+			st.angle = ct.Angle
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// maxThinningTries bounds the rejection loop of arrival-time thinning; at
+// any sane acceptance probability the bound is unreachable, and hitting it
+// surfaces a near-zero-intensity scenario as an error instead of a hang.
+const maxThinningTries = 1 << 16
+
+// sampleArrival draws one arrival time in [0, window). Stationary streams
+// draw uniformly (exactly the paper's set-up, and exactly one src draw);
+// time-varying streams thin a uniform proposal against the product of the
+// deterministic rate profile and the realised burst envelope, which is the
+// order-statistics view of a non-homogeneous arrival process with the
+// offered-call count held fixed.
+func sampleArrival(src *rng.Source, window float64, profile traffic.RateProfile, env traffic.Envelope) (float64, error) {
+	if env.MaxRate() <= 0 {
+		// Degenerate burst realisation (a zero-rate off state covering the
+		// whole window): the envelope carries no shape, but a deterministic
+		// profile still does — drop only the envelope and keep thinning
+		// against the profile.
+		env = traffic.Envelope{}
+	}
+	if len(profile) == 0 && env.Flat() {
+		return src.Uniform(0, window), nil
+	}
+	// Validation guarantees profile.MaxRate() > 0 and the envelope is
+	// either flat (1) or has a positive peak here.
+	peak := profile.MaxRate() * env.MaxRate()
+	for tries := 0; tries < maxThinningTries; tries++ {
+		t := src.Uniform(0, window)
+		if src.Float64()*peak <= profile.Rate(t)*env.Rate(t) {
+			return t, nil
+		}
+	}
+	return 0, fmt.Errorf("cellsim: arrival-time thinning stalled after %d draws (profile/burst intensity ~zero across the window)", maxThinningTries)
 }
 
 // arrive processes a new-call request at its cell.

@@ -1,0 +1,33 @@
+// Package scenario is the declarative scenario layer of the simulator: a
+// versioned, validated description format (Go structs with a 1:1 JSON
+// form) for heterogeneous cellular workloads, plus a library of named,
+// embedded scenarios ready to run.
+//
+// The paper's evaluation drives one tagged centre cell of a homogeneous
+// cluster with stationary Poisson arrivals. A Scenario generalises every
+// axis of that set-up without touching the simulator's determinism
+// contract:
+//
+//   - per-cell heterogeneity — load multipliers (hot spots, quiet
+//     suburbs), capacity scaling (small cells, dead cells in outage), and
+//     per-cell service-class mixes;
+//   - time-varying arrival intensity — piecewise-linear rate profiles
+//     (diurnal curves, flash crowds) applied network-wide or per cell;
+//   - bursty arrivals — two-state MMPP on/off modulation layered on the
+//     rate profile;
+//   - mobility mixes — weighted mixtures of speed ranges (pedestrian /
+//     urban / vehicular) and optional trajectory-angle ranges.
+//
+// A Scenario compiles into a cellsim.Config with Scenario.ConfigFor: the
+// sweep's load value scales every cell's request count through its load
+// multiplier, and all randomness still flows from the config seed, so
+// scenario sweeps stay bit-identical across worker counts exactly like
+// the paper figures.
+//
+// Named scenarios (flash-crowd, stadium-hotspot, highway, diurnal-city)
+// are embedded as JSON files under scenarios/ and listed by Names; load
+// one with Load, or author your own and read it with FromFile/FromJSON.
+// SCENARIOS.md at the repository root is the cookbook: the JSON schema
+// reference, what each named scenario stresses, and a walkthrough for
+// writing new ones.
+package scenario

@@ -1,0 +1,45 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// The named scenario library ships inside the binary: every *.json under
+// scenarios/ is a complete scenario document whose file name (minus the
+// extension) equals its "name" field, which a library test enforces.
+//
+//go:embed scenarios/*.json
+var libraryFS embed.FS
+
+// Names returns the named scenarios of the embedded library in sorted
+// order, for usage text and -list-scenarios.
+func Names() []string {
+	entries, err := libraryFS.ReadDir("scenarios")
+	if err != nil {
+		// The directory is embedded at compile time; failure to read it is
+		// a build defect, not a runtime condition.
+		panic("scenario: embedded library unreadable: " + err.Error())
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, strings.TrimSuffix(e.Name(), ".json"))
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Load returns the named scenario from the embedded library.
+func Load(name string) (*Scenario, error) {
+	data, err := libraryFS.ReadFile("scenarios/" + name + ".json")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: unknown scenario %q (have %s)", name, strings.Join(Names(), ", "))
+	}
+	s, err := FromJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: embedded %q: %w", name, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,496 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+
+	"facsp/internal/cellsim"
+	"facsp/internal/hexgrid"
+	"facsp/internal/mobility"
+	"facsp/internal/rng"
+	"facsp/internal/traffic"
+)
+
+// SchemaVersion is the scenario file format version this package reads.
+// Files must carry it in their "schema" field; the version is bumped on
+// incompatible changes so old files fail loudly instead of silently
+// meaning something else.
+const SchemaVersion = 1
+
+// Defaults applied by ConfigFor to fields left at their zero value. They
+// mirror the paper's Section 4 set-up (cellsim.DefaultConfig).
+const (
+	DefaultRings         = 1
+	DefaultCellRadiusM   = 1000
+	DefaultWindowS       = 600
+	DefaultHoldingMeanS  = 180
+	DefaultCheckInterval = 1
+	// DefaultCapacityBU is the per-cell base-station capacity scenarios
+	// scale with CellSpec.CapacityScale (the paper's 40 BU).
+	DefaultCapacityBU = 40
+)
+
+// Scenario is a declarative description of one simulated workload. The
+// zero value of every optional field inherits the paper's defaults, so a
+// minimal scenario is just a schema version and a name.
+type Scenario struct {
+	// Schema is the file format version; must equal SchemaVersion.
+	Schema int `json:"schema"`
+	// Name identifies the scenario (lower-case letters, digits, dashes);
+	// it is the -scenario argument of cmd/facs-sim and the key in docs.
+	Name string `json:"name"`
+	// Description says what the scenario models and stresses.
+	Description string `json:"description,omitempty"`
+	// Rings is the cluster radius around the tagged centre cell
+	// (1 -> 7 cells, 2 -> 19 cells). 0 means DefaultRings.
+	Rings int `json:"rings,omitempty"`
+	// CellRadiusM is the hexagon circumradius in metres (default 1000).
+	CellRadiusM float64 `json:"cell_radius_m,omitempty"`
+	// WindowS is the arrival window in seconds (default 600).
+	WindowS float64 `json:"window_s,omitempty"`
+	// HoldingMeanS is the mean call duration in seconds (default 180).
+	HoldingMeanS float64 `json:"holding_mean_s,omitempty"`
+	// CheckIntervalS is the handoff-detection granularity in seconds
+	// (default 1).
+	CheckIntervalS float64 `json:"check_interval_s,omitempty"`
+	// CapacityBU is the base per-cell capacity in bandwidth units scaled
+	// by each cell's CapacityScale (default 40, the paper's cell).
+	CapacityBU float64 `json:"capacity_bu,omitempty"`
+	// DefaultLoad is the load multiplier of cells without a Cells entry:
+	// a cell's request count at sweep load N is round(N * multiplier).
+	// Nil means 1 (every cell carries the sweep load, the paper's
+	// homogeneous set-up).
+	DefaultLoad *float64 `json:"default_load,omitempty"`
+	// Mix is the network-wide service-class mix (default 70/20/10
+	// text/voice/video).
+	Mix *MixSpec `json:"mix,omitempty"`
+	// Mobility is the network-wide mobility mix (default: uniform
+	// 0-120 km/h, the paper's user population).
+	Mobility []MobilityGroup `json:"mobility,omitempty"`
+	// AngleDeg bounds users' initial trajectory angle relative to the
+	// bearing toward the serving base station, in degrees (default
+	// [-180, 180], i.e. any direction).
+	AngleDeg *[2]float64 `json:"angle_deg,omitempty"`
+	// Profile is the network-wide arrival-rate profile; empty means
+	// stationary arrivals.
+	Profile []ProfileKnot `json:"profile,omitempty"`
+	// Burst is the network-wide MMPP on/off burst modulation; nil means
+	// none.
+	Burst *BurstSpec `json:"burst,omitempty"`
+	// Cells lists per-cell overrides; cells of the cluster without an
+	// entry use the scenario-wide settings above.
+	Cells []CellSpec `json:"cells,omitempty"`
+}
+
+// MixSpec is the JSON form of a service-class mix; the probabilities must
+// sum to 1.
+type MixSpec struct {
+	Text  float64 `json:"text"`
+	Voice float64 `json:"voice"`
+	Video float64 `json:"video"`
+}
+
+// mix converts to the traffic layer's representation.
+func (m MixSpec) mix() traffic.Mix {
+	return traffic.Mix{TextP: m.Text, VoiceP: m.Voice, VideoP: m.Video}
+}
+
+// MobilityGroup is one component of a mobility mixture: with probability
+// proportional to Weight, a user draws its (constant) speed uniformly
+// from SpeedKmh. Equal bounds pin the speed.
+type MobilityGroup struct {
+	Weight   float64    `json:"weight"`
+	SpeedKmh [2]float64 `json:"speed_kmh"`
+}
+
+// ProfileKnot is the JSON form of one piecewise-linear rate-profile knot.
+type ProfileKnot struct {
+	// TS is the knot time in seconds from the start of the window.
+	TS float64 `json:"t_s"`
+	// Rate is the relative arrival intensity at TS.
+	Rate float64 `json:"rate"`
+}
+
+// BurstSpec is the JSON form of an MMPP on/off burst process.
+type BurstSpec struct {
+	OnMeanS  float64 `json:"on_mean_s"`
+	OffMeanS float64 `json:"off_mean_s"`
+	OnRate   float64 `json:"on_rate"`
+	OffRate  float64 `json:"off_rate"`
+}
+
+// mmpp converts to the traffic layer's representation.
+func (b BurstSpec) mmpp() traffic.MMPP {
+	return traffic.MMPP{OnMean: b.OnMeanS, OffMean: b.OffMeanS, OnRate: b.OnRate, OffRate: b.OffRate}
+}
+
+// CellSpec overrides the scenario-wide settings for one cell.
+type CellSpec struct {
+	// At is the cell's axial hex coordinate [q, r]; [0, 0] is the tagged
+	// centre cell. It must lie inside the Rings-cell cluster.
+	At [2]int `json:"at"`
+	// Load is the cell's load multiplier (nil inherits DefaultLoad). 0
+	// silences the cell's new-call traffic; handoffs still pass through.
+	Load *float64 `json:"load,omitempty"`
+	// CapacityScale scales the cell's base-station capacity (nil means
+	// 1). 0 is a dead cell: its base station admits nothing, modelling an
+	// outage.
+	CapacityScale *float64 `json:"capacity_scale,omitempty"`
+	// Mix, Mobility, AngleDeg, Profile and Burst override their
+	// scenario-wide counterparts for this cell's traffic.
+	Mix      *MixSpec        `json:"mix,omitempty"`
+	Mobility []MobilityGroup `json:"mobility,omitempty"`
+	AngleDeg *[2]float64     `json:"angle_deg,omitempty"`
+	Profile  []ProfileKnot   `json:"profile,omitempty"`
+	Burst    *BurstSpec      `json:"burst,omitempty"`
+}
+
+// Coord returns the cell's hex coordinate.
+func (c CellSpec) Coord() hexgrid.Coord { return hexgrid.Coord{Q: c.At[0], R: c.At[1]} }
+
+var nameRE = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
+
+// finite reports whether v is a usable number.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// Validate reports scenario errors: wrong schema version, malformed
+// names, non-finite or negative quantities, unknown or duplicate cell
+// coordinates, and invalid mixes, profiles or burst processes.
+func (s *Scenario) Validate() error {
+	if s.Schema != SchemaVersion {
+		return fmt.Errorf("scenario: schema version %d, this build reads %d", s.Schema, SchemaVersion)
+	}
+	if !nameRE.MatchString(s.Name) {
+		return fmt.Errorf("scenario: name %q must be lower-case letters, digits and dashes", s.Name)
+	}
+	if s.Rings < 0 || s.Rings > 4 {
+		return fmt.Errorf("scenario %s: rings %d outside [0, 4]", s.Name, s.Rings)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"cell_radius_m", s.CellRadiusM}, {"window_s", s.WindowS},
+		{"holding_mean_s", s.HoldingMeanS}, {"check_interval_s", s.CheckIntervalS},
+		{"capacity_bu", s.CapacityBU},
+	} {
+		if !finite(f.v) || f.v < 0 {
+			return fmt.Errorf("scenario %s: %s %v must be a finite non-negative number (0 = default)", s.Name, f.name, f.v)
+		}
+	}
+	if s.DefaultLoad != nil && (!finite(*s.DefaultLoad) || *s.DefaultLoad < 0) {
+		return fmt.Errorf("scenario %s: default_load %v must be finite and non-negative", s.Name, *s.DefaultLoad)
+	}
+	if s.Mix != nil {
+		if err := s.Mix.mix().Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	if err := validateMobility(s.Mobility); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := validateAngle(s.AngleDeg); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if err := profile(s.Profile).Validate(); err != nil {
+		return fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	if s.Burst != nil {
+		if err := s.Burst.mmpp().Validate(); err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+
+	rings := s.Rings
+	if rings == 0 {
+		rings = DefaultRings
+	}
+	seen := make(map[hexgrid.Coord]bool, len(s.Cells))
+	for i, cs := range s.Cells {
+		at := cs.Coord()
+		if hexgrid.Distance(at, hexgrid.Coord{}) > rings {
+			return fmt.Errorf("scenario %s: cells[%d] coordinate %v outside the %d-ring cluster", s.Name, i, at, rings)
+		}
+		if seen[at] {
+			return fmt.Errorf("scenario %s: duplicate cells entry for %v", s.Name, at)
+		}
+		seen[at] = true
+		if cs.Load != nil && (!finite(*cs.Load) || *cs.Load < 0) {
+			return fmt.Errorf("scenario %s: cell %v load %v must be finite and non-negative", s.Name, at, *cs.Load)
+		}
+		if cs.CapacityScale != nil && (!finite(*cs.CapacityScale) || *cs.CapacityScale < 0) {
+			return fmt.Errorf("scenario %s: cell %v capacity_scale %v must be finite and non-negative", s.Name, at, *cs.CapacityScale)
+		}
+		if cs.Mix != nil {
+			if err := cs.Mix.mix().Validate(); err != nil {
+				return fmt.Errorf("scenario %s: cell %v: %w", s.Name, at, err)
+			}
+		}
+		if err := validateMobility(cs.Mobility); err != nil {
+			return fmt.Errorf("scenario %s: cell %v: %w", s.Name, at, err)
+		}
+		if err := validateAngle(cs.AngleDeg); err != nil {
+			return fmt.Errorf("scenario %s: cell %v: %w", s.Name, at, err)
+		}
+		if err := profile(cs.Profile).Validate(); err != nil {
+			return fmt.Errorf("scenario %s: cell %v: %w", s.Name, at, err)
+		}
+		if cs.Burst != nil {
+			if err := cs.Burst.mmpp().Validate(); err != nil {
+				return fmt.Errorf("scenario %s: cell %v: %w", s.Name, at, err)
+			}
+		}
+	}
+	return nil
+}
+
+func validateMobility(groups []MobilityGroup) error {
+	if len(groups) == 0 {
+		return nil
+	}
+	total := 0.0
+	for i, g := range groups {
+		if !finite(g.Weight) || g.Weight < 0 {
+			return fmt.Errorf("mobility group %d weight %v must be finite and non-negative", i, g.Weight)
+		}
+		total += g.Weight
+		lo, hi := g.SpeedKmh[0], g.SpeedKmh[1]
+		if !finite(lo) || !finite(hi) || lo < 0 || hi < lo {
+			return fmt.Errorf("mobility group %d speed range [%v, %v] must satisfy 0 <= lo <= hi", i, lo, hi)
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("mobility mixture weights sum to %v, want > 0", total)
+	}
+	return nil
+}
+
+func validateAngle(a *[2]float64) error {
+	if a == nil {
+		return nil
+	}
+	lo, hi := a[0], a[1]
+	if !finite(lo) || !finite(hi) || lo < -180 || hi > 180 || hi < lo {
+		return fmt.Errorf("angle_deg range [%v, %v] must satisfy -180 <= lo <= hi <= 180", lo, hi)
+	}
+	return nil
+}
+
+// profile converts JSON knots to the traffic layer's representation.
+func profile(knots []ProfileKnot) traffic.RateProfile {
+	if len(knots) == 0 {
+		return nil
+	}
+	out := make(traffic.RateProfile, len(knots))
+	for i, k := range knots {
+		out[i] = traffic.ProfilePoint{T: k.TS, Rate: k.Rate}
+	}
+	return out
+}
+
+// Cluster returns the scenario's cells in stable (ring) order.
+func (s *Scenario) Cluster() []hexgrid.Coord {
+	rings := s.Rings
+	if rings == 0 {
+		rings = DefaultRings
+	}
+	return hexgrid.Disk(hexgrid.Coord{}, rings)
+}
+
+// cellSpec returns the override entry for a cell, if any.
+func (s *Scenario) cellSpec(at hexgrid.Coord) *CellSpec {
+	for i := range s.Cells {
+		if s.Cells[i].Coord() == at {
+			return &s.Cells[i]
+		}
+	}
+	return nil
+}
+
+// LoadAt returns the cell's load multiplier.
+func (s *Scenario) LoadAt(at hexgrid.Coord) float64 {
+	if cs := s.cellSpec(at); cs != nil && cs.Load != nil {
+		return *cs.Load
+	}
+	if s.DefaultLoad != nil {
+		return *s.DefaultLoad
+	}
+	return 1
+}
+
+// CapacityAt returns the cell's base-station capacity in BU: the
+// scenario's base capacity times the cell's capacity scale. 0 marks a
+// dead cell.
+func (s *Scenario) CapacityAt(at hexgrid.Coord) float64 {
+	base := s.CapacityBU
+	if base == 0 {
+		base = DefaultCapacityBU
+	}
+	if cs := s.cellSpec(at); cs != nil && cs.CapacityScale != nil {
+		return base * *cs.CapacityScale
+	}
+	return base
+}
+
+// UniformCapacity reports whether every cell of the cluster has the same
+// capacity (which network-level schemes like SCC require).
+func (s *Scenario) UniformCapacity() bool {
+	cells := s.Cluster()
+	base := s.CapacityAt(cells[0])
+	for _, c := range cells[1:] {
+		if s.CapacityAt(c) != base {
+			return false
+		}
+	}
+	return true
+}
+
+// speedSampler compiles a mobility mixture into a cellsim speed sampler;
+// nil groups mean the paper's uniform 0-120 km/h population.
+func speedSampler(groups []MobilityGroup) cellsim.Sampler {
+	if len(groups) == 0 {
+		return cellsim.Uniform(0, 120)
+	}
+	weights := make([]float64, len(groups))
+	for i, g := range groups {
+		weights[i] = g.Weight
+	}
+	return func(src *rng.Source) float64 {
+		g := groups[src.Pick(weights)]
+		lo, hi := g.SpeedKmh[0], g.SpeedKmh[1]
+		if lo == hi {
+			return lo
+		}
+		return src.Uniform(lo, hi)
+	}
+}
+
+// angleSampler compiles an angle range into a cellsim sampler; nil means
+// any direction.
+func angleSampler(a *[2]float64) cellsim.Sampler {
+	if a == nil {
+		return cellsim.Uniform(-180, 180)
+	}
+	lo, hi := a[0], a[1]
+	if lo == hi {
+		return cellsim.Fixed(lo)
+	}
+	return func(src *rng.Source) float64 { return src.Uniform(lo, hi) }
+}
+
+// ConfigFor compiles the scenario into a simulator config at one sweep
+// load point: every cell's request count is round(load * its multiplier),
+// and all remaining randomness flows from seed. The same (scenario, load,
+// seed) triple always yields the same config, which is what keeps
+// scenario sweeps bit-identical across worker counts.
+func (s *Scenario) ConfigFor(load int, seed uint64) (cellsim.Config, error) {
+	if err := s.Validate(); err != nil {
+		return cellsim.Config{}, err
+	}
+	if load < 0 {
+		return cellsim.Config{}, fmt.Errorf("scenario %s: negative load %d", s.Name, load)
+	}
+
+	cfg := cellsim.Config{
+		Rings:         s.Rings,
+		CellRadius:    s.CellRadiusM,
+		Window:        s.WindowS,
+		HoldingMean:   s.HoldingMeanS,
+		CheckInterval: s.CheckIntervalS,
+		Mix:           traffic.DefaultMix(),
+		Speed:         speedSampler(s.Mobility),
+		Angle:         angleSampler(s.AngleDeg),
+		Mobility:      mobility.DefaultSmoothTurn(),
+		Seed:          seed,
+	}
+	if cfg.Rings == 0 {
+		cfg.Rings = DefaultRings
+	}
+	if cfg.CellRadius == 0 {
+		cfg.CellRadius = DefaultCellRadiusM
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindowS
+	}
+	if cfg.HoldingMean == 0 {
+		cfg.HoldingMean = DefaultHoldingMeanS
+	}
+	if cfg.CheckInterval == 0 {
+		cfg.CheckInterval = DefaultCheckInterval
+	}
+	if s.Mix != nil {
+		cfg.Mix = s.Mix.mix()
+	}
+
+	for _, at := range s.Cluster() {
+		ct := cellsim.CellTraffic{
+			Cell:     at,
+			Requests: int(math.Round(float64(load) * s.LoadAt(at))),
+			Profile:  profile(s.Profile),
+		}
+		if s.Burst != nil {
+			b := s.Burst.mmpp()
+			ct.Burst = &b
+		}
+		if cs := s.cellSpec(at); cs != nil {
+			if cs.Mix != nil {
+				m := cs.Mix.mix()
+				ct.Mix = &m
+			}
+			if len(cs.Mobility) > 0 {
+				ct.Speed = speedSampler(cs.Mobility)
+			}
+			if cs.AngleDeg != nil {
+				ct.Angle = angleSampler(cs.AngleDeg)
+			}
+			if len(cs.Profile) > 0 {
+				ct.Profile = profile(cs.Profile)
+			}
+			if cs.Burst != nil {
+				b := cs.Burst.mmpp()
+				ct.Burst = &b
+			}
+		}
+		cfg.PerCell = append(cfg.PerCell, ct)
+	}
+	if err := cfg.Validate(); err != nil {
+		return cellsim.Config{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	return cfg, nil
+}
+
+// FromJSON parses and validates a scenario document. Unknown fields are
+// rejected, so typos in hand-written files fail loudly.
+func FromJSON(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// A second document in the same file is almost certainly a mistake.
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after the scenario document")
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// FromFile reads and validates a scenario JSON file.
+func FromFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := FromJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,355 @@
+package scenario
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"facsp/internal/hexgrid"
+	"facsp/internal/rng"
+)
+
+func f(v float64) *float64 { return &v }
+
+// minimal returns the smallest valid scenario.
+func minimal() *Scenario {
+	return &Scenario{Schema: SchemaVersion, Name: "test"}
+}
+
+func TestLibraryScenariosAreValid(t *testing.T) {
+	names := Names()
+	if len(names) < 4 {
+		t.Fatalf("library has %d scenarios, want >= 4: %v", len(names), names)
+	}
+	for _, want := range []string{"flash-crowd", "stadium-hotspot", "highway", "diurnal-city"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("library is missing %q (have %v)", want, names)
+		}
+	}
+	for _, name := range names {
+		s, err := Load(name)
+		if err != nil {
+			t.Errorf("Load(%q): %v", name, err)
+			continue
+		}
+		if s.Name != name {
+			t.Errorf("scenario file %q carries name %q; file name and name field must match", name, s.Name)
+		}
+		if s.Description == "" {
+			t.Errorf("scenario %q has no description", name)
+		}
+		if _, err := s.ConfigFor(10, 1); err != nil {
+			t.Errorf("scenario %q does not compile: %v", name, err)
+		}
+	}
+}
+
+func TestLoadUnknown(t *testing.T) {
+	_, err := Load("no-such-scenario")
+	if err == nil {
+		t.Fatal("unknown scenario loaded")
+	}
+	if !strings.Contains(err.Error(), "flash-crowd") {
+		t.Errorf("error %q does not list the available scenarios", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{
+			name: "wrong schema version",
+			mut:  func(s *Scenario) { s.Schema = 99 },
+			want: "schema version",
+		},
+		{
+			name: "empty name",
+			mut:  func(s *Scenario) { s.Name = "" },
+			want: "name",
+		},
+		{
+			name: "upper-case name",
+			mut:  func(s *Scenario) { s.Name = "Flash-Crowd" },
+			want: "name",
+		},
+		{
+			name: "negative rings",
+			mut:  func(s *Scenario) { s.Rings = -1 },
+			want: "rings",
+		},
+		{
+			name: "huge rings",
+			mut:  func(s *Scenario) { s.Rings = 9 },
+			want: "rings",
+		},
+		{
+			name: "NaN window",
+			mut:  func(s *Scenario) { s.WindowS = math.NaN() },
+			want: "window_s",
+		},
+		{
+			name: "negative capacity",
+			mut:  func(s *Scenario) { s.CapacityBU = -40 },
+			want: "capacity_bu",
+		},
+		{
+			name: "negative default load",
+			mut:  func(s *Scenario) { s.DefaultLoad = f(-1) },
+			want: "default_load",
+		},
+		{
+			name: "bad mix",
+			mut:  func(s *Scenario) { s.Mix = &MixSpec{Text: 0.9, Voice: 0.9, Video: 0.9} },
+			want: "mix",
+		},
+		{
+			name: "NaN profile rate",
+			mut: func(s *Scenario) {
+				s.Profile = []ProfileKnot{{TS: 0, Rate: math.NaN()}}
+			},
+			want: "rate",
+		},
+		{
+			name: "all-zero profile",
+			mut: func(s *Scenario) {
+				s.Profile = []ProfileKnot{{TS: 0, Rate: 0}, {TS: 60, Rate: 0}}
+			},
+			want: "zero",
+		},
+		{
+			name: "bad burst",
+			mut: func(s *Scenario) {
+				s.Burst = &BurstSpec{OnMeanS: -1, OffMeanS: 1, OnRate: 1}
+			},
+			want: "mmpp",
+		},
+		{
+			name: "unknown cell coordinate",
+			mut: func(s *Scenario) {
+				s.Cells = []CellSpec{{At: [2]int{3, 3}}}
+			},
+			want: "outside",
+		},
+		{
+			name: "duplicate cell",
+			mut: func(s *Scenario) {
+				s.Cells = []CellSpec{{At: [2]int{0, 0}}, {At: [2]int{0, 0}}}
+			},
+			want: "duplicate",
+		},
+		{
+			name: "negative cell load",
+			mut: func(s *Scenario) {
+				s.Cells = []CellSpec{{At: [2]int{0, 0}, Load: f(-2)}}
+			},
+			want: "load",
+		},
+		{
+			name: "negative cell capacity scale",
+			mut: func(s *Scenario) {
+				s.Cells = []CellSpec{{At: [2]int{0, 0}, CapacityScale: f(-0.5)}}
+			},
+			want: "capacity_scale",
+		},
+		{
+			name: "NaN cell capacity scale",
+			mut: func(s *Scenario) {
+				s.Cells = []CellSpec{{At: [2]int{0, 0}, CapacityScale: f(math.NaN())}}
+			},
+			want: "capacity_scale",
+		},
+		{
+			name: "bad mobility weight",
+			mut: func(s *Scenario) {
+				s.Mobility = []MobilityGroup{{Weight: -1, SpeedKmh: [2]float64{0, 10}}}
+			},
+			want: "weight",
+		},
+		{
+			name: "inverted speed range",
+			mut: func(s *Scenario) {
+				s.Mobility = []MobilityGroup{{Weight: 1, SpeedKmh: [2]float64{50, 10}}}
+			},
+			want: "speed",
+		},
+		{
+			name: "angle outside degrees",
+			mut:  func(s *Scenario) { s.AngleDeg = &[2]float64{-360, 0} },
+			want: "angle",
+		},
+	}
+	for _, tt := range tests {
+		s := minimal()
+		tt.mut(s)
+		err := s.Validate()
+		if err == nil {
+			t.Errorf("%s: invalid scenario accepted", tt.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.want) {
+			t.Errorf("%s: error %q does not mention %q", tt.name, err, tt.want)
+		}
+	}
+	if err := minimal().Validate(); err != nil {
+		t.Fatalf("minimal scenario rejected: %v", err)
+	}
+}
+
+func TestFromJSONRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"syntax error":     `{"schema": 1, "name": }`,
+		"unknown field":    `{"schema": 1, "name": "x", "surprise": true}`,
+		"trailing garbage": `{"schema": 1, "name": "x"}{"schema": 1, "name": "y"}`,
+		"wrong schema":     `{"schema": 2, "name": "x"}`,
+		"NaN-ish rate":     `{"schema": 1, "name": "x", "profile": [{"t_s": 0, "rate": "NaN"}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := FromJSON([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted %s", name, doc)
+		}
+	}
+}
+
+func TestFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "own.json")
+	doc := `{"schema": 1, "name": "own", "cells": [{"at": [0, 0], "load": 2}]}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := FromFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "own" || s.LoadAt(hexgrid.Coord{}) != 2 {
+		t.Errorf("parsed scenario %+v", s)
+	}
+	if _, err := FromFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestConfigForSemantics(t *testing.T) {
+	s := &Scenario{
+		Schema:      SchemaVersion,
+		Name:        "semantics",
+		DefaultLoad: f(0.5),
+		Cells: []CellSpec{
+			{At: [2]int{0, 0}, Load: f(3)},
+			{At: [2]int{1, 0}, Load: f(0)},
+		},
+	}
+	cfg, err := s.ConfigFor(10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Requests != 0 || cfg.NeighborRequests != 0 {
+		t.Errorf("scenario config leaks homogeneous requests: %d/%d", cfg.Requests, cfg.NeighborRequests)
+	}
+	if len(cfg.PerCell) != 7 {
+		t.Fatalf("PerCell has %d entries, want 7", len(cfg.PerCell))
+	}
+	byCell := map[hexgrid.Coord]int{}
+	for _, ct := range cfg.PerCell {
+		byCell[ct.Cell] = ct.Requests
+	}
+	if got := byCell[hexgrid.Coord{}]; got != 30 {
+		t.Errorf("centre requests = %d, want 3x10", got)
+	}
+	if got := byCell[hexgrid.Coord{Q: 1, R: 0}]; got != 0 {
+		t.Errorf("silenced cell requests = %d, want 0", got)
+	}
+	if got := byCell[hexgrid.Coord{Q: 0, R: 1}]; got != 5 {
+		t.Errorf("default cell requests = %d, want 0.5x10", got)
+	}
+	if cfg.Seed != 42 {
+		t.Errorf("seed = %d, want 42", cfg.Seed)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("compiled config invalid: %v", err)
+	}
+}
+
+func TestCapacityAt(t *testing.T) {
+	s := minimal()
+	s.Cells = []CellSpec{
+		{At: [2]int{0, 0}, CapacityScale: f(1.5)},
+		{At: [2]int{1, 0}, CapacityScale: f(0)},
+	}
+	if got := s.CapacityAt(hexgrid.Coord{}); got != 60 {
+		t.Errorf("scaled centre capacity = %v, want 60", got)
+	}
+	if got := s.CapacityAt(hexgrid.Coord{Q: 1, R: 0}); got != 0 {
+		t.Errorf("dead cell capacity = %v, want 0", got)
+	}
+	if got := s.CapacityAt(hexgrid.Coord{Q: 0, R: 1}); got != DefaultCapacityBU {
+		t.Errorf("default capacity = %v, want %v", got, DefaultCapacityBU)
+	}
+	if s.UniformCapacity() {
+		t.Error("heterogeneous capacity reported uniform")
+	}
+	if !minimal().UniformCapacity() {
+		t.Error("minimal scenario reported non-uniform")
+	}
+	s.CapacityBU = 80
+	if got := s.CapacityAt(hexgrid.Coord{}); got != 120 {
+		t.Errorf("base 80 scaled capacity = %v, want 120", got)
+	}
+}
+
+func TestSamplersDeterministic(t *testing.T) {
+	groups := []MobilityGroup{
+		{Weight: 0.7, SpeedKmh: [2]float64{0, 6}},
+		{Weight: 0.3, SpeedKmh: [2]float64{60, 60}},
+	}
+	a, b := speedSampler(groups), speedSampler(groups)
+	sa, sb := rng.New(9), rng.New(9)
+	sawPinned := false
+	for i := 0; i < 500; i++ {
+		va, vb := a(sa), b(sb)
+		if va != vb {
+			t.Fatalf("draw %d differs: %v != %v", i, va, vb)
+		}
+		if va == 60 {
+			sawPinned = true
+		} else if va < 0 || va >= 6 {
+			t.Fatalf("draw %d: speed %v outside both groups", i, va)
+		}
+	}
+	if !sawPinned {
+		t.Error("pinned 60 km/h group never drawn in 500 samples")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		s, err := Load(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := FromJSON(data)
+		if err != nil {
+			t.Fatalf("%s does not round-trip: %v", name, err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("%s round-trip mismatch:\n a: %+v\n b: %+v", name, s, back)
+		}
+	}
+}

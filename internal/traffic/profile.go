@@ -1,0 +1,204 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"facsp/internal/rng"
+)
+
+// ProfilePoint is one knot of a piecewise-linear arrival-rate profile.
+type ProfilePoint struct {
+	// T is the knot's time in simulation seconds from the start of the
+	// arrival window.
+	T float64
+	// Rate is the relative arrival intensity at T. Rates are relative
+	// weights, not absolute calls/second: the simulator holds the total
+	// number of offered calls fixed (the figures' load axis) and uses the
+	// profile only to shape *when* they arrive, by thinning.
+	Rate float64
+}
+
+// RateProfile is a piecewise-linear, time-varying arrival-intensity shape:
+// the rate at time t is interpolated between the surrounding knots, and
+// held constant beyond the first/last knot. An empty profile means a flat
+// rate (the stationary arrivals of the paper).
+//
+// Profiles express diurnal load curves, flash crowds ramping up and
+// draining away, and any other deterministic intensity shape; layer an
+// MMPP on top for stochastic burstiness.
+type RateProfile []ProfilePoint
+
+// Validate reports profile errors: non-finite or negative values,
+// out-of-order knots, or a profile that is zero everywhere (which would
+// leave arrival times undefined).
+func (p RateProfile) Validate() error {
+	if len(p) == 0 {
+		return nil
+	}
+	max := 0.0
+	for i, pt := range p {
+		if math.IsNaN(pt.T) || math.IsInf(pt.T, 0) || pt.T < 0 {
+			return fmt.Errorf("traffic: profile knot %d has invalid time %v", i, pt.T)
+		}
+		if math.IsNaN(pt.Rate) || math.IsInf(pt.Rate, 0) || pt.Rate < 0 {
+			return fmt.Errorf("traffic: profile knot %d has invalid rate %v", i, pt.Rate)
+		}
+		if i > 0 && pt.T <= p[i-1].T {
+			return fmt.Errorf("traffic: profile knot %d time %v not after %v", i, pt.T, p[i-1].T)
+		}
+		if pt.Rate > max {
+			max = pt.Rate
+		}
+	}
+	if max == 0 {
+		return fmt.Errorf("traffic: profile rate is zero everywhere")
+	}
+	return nil
+}
+
+// Rate returns the interpolated relative intensity at time t. An empty
+// profile is flat at 1.
+func (p RateProfile) Rate(t float64) float64 {
+	if len(p) == 0 {
+		return 1
+	}
+	if t <= p[0].T {
+		return p[0].Rate
+	}
+	for i := 1; i < len(p); i++ {
+		if t <= p[i].T {
+			a, b := p[i-1], p[i]
+			return a.Rate + (b.Rate-a.Rate)*(t-a.T)/(b.T-a.T)
+		}
+	}
+	return p[len(p)-1].Rate
+}
+
+// MaxRate returns the profile's peak relative intensity (1 for an empty
+// profile), the thinning envelope's upper bound.
+func (p RateProfile) MaxRate() float64 {
+	if len(p) == 0 {
+		return 1
+	}
+	max := 0.0
+	for _, pt := range p {
+		if pt.Rate > max {
+			max = pt.Rate
+		}
+	}
+	return max
+}
+
+// MMPP is a two-state Markov-modulated Poisson process (an interrupted
+// Poisson process generalised to a non-zero quiet rate): arrivals are
+// modulated by a hidden on/off state with exponentially distributed
+// sojourn times. During "on" periods the arrival intensity is multiplied
+// by OnRate, during "off" periods by OffRate. It is the classic model for
+// bursty call traffic — silence, then a burst, then silence.
+//
+// Like RateProfile, the rates are relative thinning weights: the total
+// number of offered calls is held fixed and the MMPP shapes when they
+// arrive. A realised on/off envelope is drawn once per (run, cell) from
+// the run's seed, so runs remain bit-reproducible.
+type MMPP struct {
+	// OnMean and OffMean are the mean sojourn times, in seconds, of the
+	// on and off states. Both must be positive.
+	OnMean  float64
+	OffMean float64
+	// OnRate and OffRate are the relative arrival intensities in each
+	// state. Both must be finite and non-negative, and at least one must
+	// be positive. OnRate > OffRate makes the "on" state the burst.
+	OnRate  float64
+	OffRate float64
+}
+
+// Validate reports MMPP parameter errors.
+func (m MMPP) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"on mean", m.OnMean}, {"off mean", m.OffMean},
+		{"on rate", m.OnRate}, {"off rate", m.OffRate},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("traffic: mmpp %s %v is not finite", f.name, f.v)
+		}
+	}
+	if m.OnMean <= 0 || m.OffMean <= 0 {
+		return fmt.Errorf("traffic: mmpp sojourn means (%v on, %v off) must be positive", m.OnMean, m.OffMean)
+	}
+	if m.OnRate < 0 || m.OffRate < 0 {
+		return fmt.Errorf("traffic: mmpp rates (%v on, %v off) must be non-negative", m.OnRate, m.OffRate)
+	}
+	if m.OnRate == 0 && m.OffRate == 0 {
+		return fmt.Errorf("traffic: mmpp rates are both zero")
+	}
+	return nil
+}
+
+// Envelope is one realised on/off modulation trajectory over an arrival
+// window: a step function of relative arrival intensity.
+type Envelope struct {
+	// starts[i] is the start time of segment i; rates[i] its intensity.
+	// starts[0] is always 0 and starts is strictly increasing.
+	starts []float64
+	rates  []float64
+}
+
+// Envelope draws one on/off trajectory covering [0, window] from src. The
+// process starts in the off state with probability OffMean/(OnMean+OffMean)
+// (the stationary distribution) and alternates exponential sojourns.
+func (m MMPP) Envelope(src *rng.Source, window float64) Envelope {
+	on := src.Float64() < m.OnMean/(m.OnMean+m.OffMean)
+	var env Envelope
+	t := 0.0
+	for t < window {
+		rate := m.OffRate
+		mean := m.OffMean
+		if on {
+			rate = m.OnRate
+			mean = m.OnMean
+		}
+		env.starts = append(env.starts, t)
+		env.rates = append(env.rates, rate)
+		t += src.Exp(mean)
+		on = !on
+	}
+	return env
+}
+
+// Flat reports whether the envelope is the zero value (no modulation).
+func (e Envelope) Flat() bool { return len(e.starts) == 0 }
+
+// Rate returns the envelope's relative intensity at time t. An empty
+// (zero-value) envelope is flat at 1.
+func (e Envelope) Rate(t float64) float64 {
+	if len(e.starts) == 0 {
+		return 1
+	}
+	// Linear scan: envelopes over a simulation window have a handful of
+	// segments, and arrival sampling touches them sequentially anyway.
+	i := len(e.starts) - 1
+	for ; i > 0; i-- {
+		if e.starts[i] <= t {
+			break
+		}
+	}
+	return e.rates[i]
+}
+
+// MaxRate returns the envelope's peak intensity (1 when empty).
+func (e Envelope) MaxRate() float64 {
+	if len(e.rates) == 0 {
+		return 1
+	}
+	max := 0.0
+	for _, r := range e.rates {
+		if r > max {
+			max = r
+		}
+	}
+	return max
+}

@@ -1,0 +1,131 @@
+package traffic
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"facsp/internal/rng"
+)
+
+func TestRateProfileValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       RateProfile
+		wantErr bool
+	}{
+		{name: "empty is flat", p: nil},
+		{name: "single knot", p: RateProfile{{T: 0, Rate: 2}}},
+		{name: "ramp", p: RateProfile{{T: 0, Rate: 1}, {T: 300, Rate: 4}, {T: 600, Rate: 1}}},
+		{name: "NaN rate", p: RateProfile{{T: 0, Rate: math.NaN()}}, wantErr: true},
+		{name: "Inf rate", p: RateProfile{{T: 0, Rate: math.Inf(1)}}, wantErr: true},
+		{name: "negative rate", p: RateProfile{{T: 0, Rate: -1}}, wantErr: true},
+		{name: "NaN time", p: RateProfile{{T: math.NaN(), Rate: 1}}, wantErr: true},
+		{name: "negative time", p: RateProfile{{T: -5, Rate: 1}}, wantErr: true},
+		{name: "out of order", p: RateProfile{{T: 10, Rate: 1}, {T: 5, Rate: 1}}, wantErr: true},
+		{name: "duplicate time", p: RateProfile{{T: 10, Rate: 1}, {T: 10, Rate: 2}}, wantErr: true},
+		{name: "all zero", p: RateProfile{{T: 0, Rate: 0}, {T: 10, Rate: 0}}, wantErr: true},
+	}
+	for _, tt := range tests {
+		if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+			t.Errorf("%s: Validate() = %v, wantErr %v", tt.name, err, tt.wantErr)
+		}
+	}
+}
+
+func TestRateProfileRate(t *testing.T) {
+	p := RateProfile{{T: 100, Rate: 1}, {T: 200, Rate: 3}, {T: 400, Rate: 0}}
+	tests := []struct{ t, want float64 }{
+		{0, 1},     // held flat before the first knot
+		{100, 1},   // at the first knot
+		{150, 2},   // midpoint of the 1->3 ramp
+		{200, 3},   // peak
+		{300, 1.5}, // midpoint of the 3->0 ramp
+		{400, 0},   // final knot
+		{999, 0},   // held flat after the last knot
+	}
+	for _, tt := range tests {
+		if got := p.Rate(tt.t); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Rate(%v) = %v, want %v", tt.t, got, tt.want)
+		}
+	}
+	if got := RateProfile(nil).Rate(42); got != 1 {
+		t.Errorf("empty profile Rate = %v, want 1", got)
+	}
+	if got := p.MaxRate(); got != 3 {
+		t.Errorf("MaxRate = %v, want 3", got)
+	}
+	if got := RateProfile(nil).MaxRate(); got != 1 {
+		t.Errorf("empty MaxRate = %v, want 1", got)
+	}
+}
+
+func TestMMPPValidate(t *testing.T) {
+	ok := MMPP{OnMean: 60, OffMean: 120, OnRate: 3, OffRate: 0.3}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid MMPP rejected: %v", err)
+	}
+	bad := []MMPP{
+		{OnMean: 0, OffMean: 120, OnRate: 3, OffRate: 1},
+		{OnMean: 60, OffMean: -1, OnRate: 3, OffRate: 1},
+		{OnMean: 60, OffMean: 120, OnRate: -3, OffRate: 1},
+		{OnMean: 60, OffMean: 120, OnRate: 0, OffRate: 0},
+		{OnMean: math.NaN(), OffMean: 120, OnRate: 3, OffRate: 1},
+		{OnMean: 60, OffMean: 120, OnRate: math.Inf(1), OffRate: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad MMPP %d accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestMMPPEnvelope(t *testing.T) {
+	m := MMPP{OnMean: 60, OffMean: 120, OnRate: 3, OffRate: 0.3}
+	env := m.Envelope(rng.New(7), 600)
+	if len(env.starts) == 0 {
+		t.Fatal("empty envelope")
+	}
+	if env.starts[0] != 0 {
+		t.Errorf("envelope starts at %v, want 0", env.starts[0])
+	}
+	for i := 1; i < len(env.starts); i++ {
+		if env.starts[i] <= env.starts[i-1] {
+			t.Fatalf("envelope starts not increasing: %v", env.starts)
+		}
+		if env.rates[i] == env.rates[i-1] {
+			t.Fatalf("adjacent segments share rate %v: states must alternate", env.rates[i])
+		}
+	}
+	for _, r := range env.rates {
+		if r != 3 && r != 0.3 {
+			t.Errorf("unexpected envelope rate %v", r)
+		}
+	}
+	// Rate lookups hit the enclosing segment.
+	for i, start := range env.starts {
+		if got := env.Rate(start); got != env.rates[i] {
+			t.Errorf("Rate(%v) = %v, want %v", start, got, env.rates[i])
+		}
+	}
+	if got := env.Rate(-1); got != env.rates[0] {
+		t.Errorf("Rate before window = %v, want first segment %v", got, env.rates[0])
+	}
+	if got, want := env.MaxRate(), 3.0; got != want {
+		t.Errorf("MaxRate = %v, want %v", got, want)
+	}
+	// Zero-value envelope is flat at 1.
+	var flat Envelope
+	if flat.Rate(10) != 1 || flat.MaxRate() != 1 {
+		t.Error("zero-value envelope is not flat at 1")
+	}
+}
+
+func TestMMPPEnvelopeDeterministic(t *testing.T) {
+	m := MMPP{OnMean: 30, OffMean: 90, OnRate: 5, OffRate: 0}
+	a := m.Envelope(rng.New(42), 600)
+	b := m.Envelope(rng.New(42), 600)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("envelopes from equal seeds differ")
+	}
+}

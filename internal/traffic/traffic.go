@@ -1,9 +1,13 @@
-// Package traffic models the paper's workload: three service classes
+// Package traffic models the simulated workload: three service classes
 // (text, voice, video) with fixed bandwidth demands, a configurable class
-// mix, Poisson call arrivals, and exponential call holding times.
+// mix, Poisson call arrivals, and exponential call holding times — plus
+// the non-stationary extensions the scenario harness layers on top:
+// piecewise-linear arrival-rate profiles (RateProfile, for diurnal and
+// flash-crowd shapes) and two-state Markov-modulated on/off burst
+// processes (MMPP).
 //
 // The defaults are the parameters of Section 4 of the paper: 70% text at
-// 1 BU, 20% voice at 5 BU, 10% video at 10 BU.
+// 1 BU, 20% voice at 5 BU, 10% video at 10 BU, with stationary arrivals.
 package traffic
 
 import (
