@@ -1,297 +1,31 @@
-package facsp
+package facsp_test
 
-// Benchmark harness: one benchmark per table and figure of the paper's
-// evaluation, plus micro-benchmarks of the admission hot path.
+// Benchmark harness: every benchmark is a named spec in the
+// internal/perf registry — micro-benchmarks of the inference and
+// admission hot paths plus one reduced sweep per scheme x figure — run
+// here through perf.BenchSpec. cmd/facs-bench measures the same registry
+// into BENCH.json for the CI regression gate, so `go test -bench .` and
+// the gate can never drift apart.
 //
-//	go test -bench=. -benchmem
+//	go test -bench . -benchmem
 //
-// The Table benchmarks measure evaluating the printed rule bases (Tables 1
-// and 2) end to end; each Fig benchmark runs the figure's workload through
-// the same harness cmd/facs-sim uses for the full curves (one reduced
-// sweep per iteration, so relative scheme cost is directly visible).
-// EXPERIMENTS.md records the regenerated curves themselves.
+// EXPERIMENTS.md ("Performance") records the tracked trajectory.
 
 import (
 	"testing"
 	"time"
 
-	"facsp/internal/cellsim"
-	"facsp/internal/core"
-	"facsp/internal/experiment"
-	"facsp/internal/fuzzy"
+	"facsp"
+	"facsp/internal/perf"
 )
 
-// benchLoad is the per-iteration load for figure benchmarks: the upper
-// end of the paper's x axis, where the schemes differ most.
-const benchLoad = 100
-
-func benchOpts() experiment.Options {
-	return experiment.Options{Loads: []int{benchLoad}, Replications: 1, Workers: 1}
-}
-
-// BenchmarkTable1 measures one FLC1 inference: fuzzify (Sp, An, Sr),
-// evaluate the 63 rules of Table 1, defuzzify Cv.
-func BenchmarkTable1(b *testing.B) {
-	flc1, err := core.NewFLC1()
-	if err != nil {
-		b.Fatal(err)
+// BenchmarkPerf runs the full perf registry as sub-benchmarks, one per
+// spec name (e.g. BenchmarkPerf/sweep/adapt-drops/surface).
+func BenchmarkPerf(b *testing.B) {
+	for _, s := range perf.Specs() {
+		s := s
+		b.Run(s.Name, func(b *testing.B) { perf.BenchSpec(b, s) })
 	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := flc1.Infer(72.5, 33, 5); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkTable2 measures one FLC2 inference: fuzzify (Cv, Rq, Cs),
-// evaluate the 27 rules of Table 2, defuzzify A/R.
-func BenchmarkTable2(b *testing.B) {
-	flc2, err := core.NewFLC2()
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := flc2.Infer(0.7, 5, 22); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// benchCurve runs one reduced figure sweep per iteration.
-func benchCurve(b *testing.B, cfg experiment.ConfigFunc, factory experiment.AdmitterFactory) {
-	b.Helper()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		opts := benchOpts()
-		opts.BaseSeed = uint64(i)
-		if _, err := experiment.RunCurve("bench", cfg, factory, experiment.AcceptedPct, opts); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func singleCell(load int, seed uint64) cellsim.Config {
-	c := cellsim.DefaultConfig(load, seed)
-	c.NeighborRequests = 0
-	return c
-}
-
-func homogeneous(load int, seed uint64) cellsim.Config {
-	return cellsim.DefaultConfig(load, seed)
-}
-
-// BenchmarkFig7 regenerates Fig. 7's two curves (FACS vs SCC, single-cell
-// set-up) at the heaviest load point.
-func BenchmarkFig7(b *testing.B) {
-	b.Run("FACS", func(b *testing.B) {
-		benchCurve(b, singleCell, experiment.FACSFactory())
-	})
-	b.Run("SCC", func(b *testing.B) {
-		benchCurve(b, singleCell, experiment.SCCFactory())
-	})
-}
-
-// BenchmarkFig8 regenerates Fig. 8's per-speed workloads (FACS-P).
-func BenchmarkFig8(b *testing.B) {
-	for _, sp := range []float64{4, 10, 30, 60} {
-		sp := sp
-		b.Run("speed="+itoa(int(sp)), func(b *testing.B) {
-			cfg := func(load int, seed uint64) cellsim.Config {
-				c := singleCell(load, seed)
-				c.Speed = cellsim.Fixed(sp)
-				return c
-			}
-			benchCurve(b, cfg, experiment.FACSPFactory())
-		})
-	}
-}
-
-// BenchmarkFig9 regenerates Fig. 9's per-angle workloads (FACS-P, static
-// decision-level mode).
-func BenchmarkFig9(b *testing.B) {
-	for _, an := range []float64{0, 30, 50, 60, 90} {
-		an := an
-		b.Run("angle="+itoa(int(an)), func(b *testing.B) {
-			cfg := func(load int, seed uint64) cellsim.Config {
-				c := singleCell(load, seed)
-				c.Angle = cellsim.Fixed(an)
-				c.Static = true
-				return c
-			}
-			benchCurve(b, cfg, experiment.FACSPFactory())
-		})
-	}
-}
-
-// BenchmarkFig10 regenerates Fig. 10's two curves (FACS-P vs FACS,
-// homogeneous network).
-func BenchmarkFig10(b *testing.B) {
-	b.Run("FACS-P", func(b *testing.B) {
-		benchCurve(b, homogeneous, experiment.FACSPFactory())
-	})
-	b.Run("FACS", func(b *testing.B) {
-		benchCurve(b, homogeneous, experiment.FACSFactory())
-	})
-}
-
-// BenchmarkSurfaceTable1 measures one FLC1 lookup on the precomputed
-// decision surface — compare with BenchmarkTable1 for the exact-inference
-// cost it replaces.
-func BenchmarkSurfaceTable1(b *testing.B) {
-	flc1, err := core.NewFLC1()
-	if err != nil {
-		b.Fatal(err)
-	}
-	s, err := fuzzy.NewSurface(flc1, fuzzy.DefaultSurfaceResolution)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Infer(72.5, 33, 5); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// BenchmarkSurfaceTable2 is BenchmarkTable2 on the precomputed surface.
-func BenchmarkSurfaceTable2(b *testing.B) {
-	flc2, err := core.NewFLC2()
-	if err != nil {
-		b.Fatal(err)
-	}
-	s, err := fuzzy.NewSurface(flc2, fuzzy.DefaultSurfaceResolution)
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := s.Infer(0.7, 5, 22); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-// admitLoop is the shared Admit/Release measurement loop.
-func admitLoop(b *testing.B, ctrl Controller, req Request) {
-	b.Helper()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if d := ctrl.Admit(req); d.Accept {
-			if err := ctrl.Release(req); err != nil {
-				b.Fatal(err)
-			}
-		}
-	}
-}
-
-// BenchmarkAdmit measures the end-to-end admission hot path (FLC1 + FLC2 +
-// bookkeeping) for each controller, the per-decision cost a deployment
-// would see. The surface variants answer from the precomputed decision
-// surfaces (WithSurfaceCache); the acceptance bar for this repository is
-// surface-cached Admit at least 5x faster than exact inference (see
-// TestSurfaceAdmitSpeedup for the enforced check).
-func BenchmarkAdmit(b *testing.B) {
-	b.Run("FACS/surface", func(b *testing.B) {
-		ctrl, err := NewFACS(DefaultConfig().WithSurfaceCache(0))
-		if err != nil {
-			b.Fatal(err)
-		}
-		admitLoop(b, ctrl, NewRequest(Voice, 60, 15))
-	})
-	b.Run("FACS-P/surface", func(b *testing.B) {
-		ctrl, err := NewFACSP(WithSurfaceCache(0))
-		if err != nil {
-			b.Fatal(err)
-		}
-		admitLoop(b, ctrl, NewRequest(Voice, 60, 15))
-	})
-	b.Run("FACS", func(b *testing.B) {
-		ctrl, err := NewFACS()
-		if err != nil {
-			b.Fatal(err)
-		}
-		req := NewRequest(Voice, 60, 15)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if d := ctrl.Admit(req); d.Accept {
-				if err := ctrl.Release(req); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	})
-	b.Run("FACS-P", func(b *testing.B) {
-		ctrl, err := NewFACSP()
-		if err != nil {
-			b.Fatal(err)
-		}
-		req := NewRequest(Voice, 60, 15)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if d := ctrl.Admit(req); d.Accept {
-				if err := ctrl.Release(req); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	})
-	b.Run("GuardChannel", func(b *testing.B) {
-		ctrl, err := NewGuardChannel(40, 8)
-		if err != nil {
-			b.Fatal(err)
-		}
-		req := NewRequest(Voice, 60, 15)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if d := ctrl.Admit(req); d.Accept {
-				if err := ctrl.Release(req); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	})
-}
-
-// BenchmarkAblationDefuzzifier compares the centroid defuzzifier (the
-// default) against the cheap height defuzzifier on the full admission
-// path — the cost/fidelity trade discussed in DESIGN.md.
-func BenchmarkAblationDefuzzifier(b *testing.B) {
-	run := func(b *testing.B, cfg PConfig) {
-		ctrl, err := NewFACSP(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		req := NewRequest(Video, 90, 30)
-		b.ReportAllocs()
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			if d := ctrl.Admit(req); d.Accept {
-				if err := ctrl.Release(req); err != nil {
-					b.Fatal(err)
-				}
-			}
-		}
-	}
-	b.Run("centroid", func(b *testing.B) {
-		run(b, DefaultPConfig())
-	})
-	b.Run("height", func(b *testing.B) {
-		cfg := DefaultPConfig()
-		cfg.Defuzzifier = fuzzy.Height{}
-		run(b, cfg)
-	})
 }
 
 // TestSurfaceAdmitSpeedup enforces the surface cache's reason to exist: the
@@ -302,18 +36,18 @@ func TestSurfaceAdmitSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing comparison")
 	}
-	exact, err := NewFACSP()
+	exact, err := facsp.NewFACSP()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cached, err := NewFACSP(WithSurfaceCache(0))
+	cached, err := facsp.NewFACSP(facsp.WithSurfaceCache(0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	req := NewRequest(Voice, 60, 15)
+	req := facsp.NewRequest(facsp.Voice, 60, 15)
 	// Best of several windows: a single GC pause or scheduler stall landing
 	// in one (sub-millisecond) cached window must not flip the verdict.
-	measure := func(ctrl Controller, n, rounds int) time.Duration {
+	measure := func(ctrl facsp.Controller, n, rounds int) time.Duration {
 		// Warm up (and warm the shared surface cache) before timing.
 		for i := 0; i < 50; i++ {
 			if d := ctrl.Admit(req); d.Accept {
@@ -346,18 +80,4 @@ func TestSurfaceAdmitSpeedup(t *testing.T) {
 	if ratio < 5 {
 		t.Errorf("surface-cached Admit only %.1fx faster than exact inference, want >= 5x", ratio)
 	}
-}
-
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
 }

@@ -1,0 +1,165 @@
+// Command facs-bench runs the repository's performance suite
+// (internal/perf) and emits the machine-readable BENCH.json artifact: one
+// record per benchmark spec with ns/op, allocs/op, bytes/op and — for the
+// figure/scenario sweeps — simulated calls per wall-clock second, plus
+// the environment the numbers were measured in.
+//
+// Usage:
+//
+//	facs-bench                                # smoke suite -> BENCH.json
+//	facs-bench -suite full                    # every spec
+//	facs-bench -filter '^sweep/'              # specs matching a regexp
+//	facs-bench -benchtime 2s                  # longer per-spec budget
+//	facs-bench -loads 50,100 -reps 3          # heavier sweep workload
+//	facs-bench -out -                         # write the report to stdout
+//	facs-bench -baseline BENCH_baseline.json  # CI regression gate
+//
+// The regression gate (-baseline) compares each measured spec's ns/op
+// against the committed baseline and exits non-zero when any spec is more
+// than -max-regress percent slower, or when a baseline spec was silently
+// dropped. Intentional regressions land by regenerating the baseline in
+// the same change; to bypass the gate once (e.g. a known-noisy runner),
+// set BENCH_GATE=off in the environment — CI wires that to the
+// bench-override PR label. See the Performance section of EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"facsp/internal/perf"
+	"facsp/internal/simflag"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("facs-bench", flag.ContinueOnError)
+	var (
+		suite      = fs.String("suite", "smoke", "spec suite: smoke (the reduced CI set) or full")
+		filter     = fs.String("filter", "", "only run specs matching this regexp")
+		benchtime  = fs.Duration("benchtime", time.Second, "minimum timed duration per spec")
+		loads      = fs.String("loads", "", "comma-separated sweep x axis, e.g. 50,100 (default: 100)")
+		reps       = fs.Int("reps", 1, "sweep replications (seeds) per load point")
+		workers    = fs.Int("workers", 1, "sweep shard workers (1 keeps ns/op contention-free)")
+		surface    = fs.Int("surface", 0, "resolution of the /surface sweep variants (0 = the default resolution)")
+		out        = fs.String("out", "BENCH.json", "report path ('-' for stdout)")
+		baseline   = fs.String("baseline", "", "gate: compare ns/op against this baseline report")
+		maxRegress = fs.Float64("max-regress", 30, "gate: fail when a spec is more than this percent slower")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments %q", fs.Args())
+	}
+	if *benchtime <= 0 {
+		return fmt.Errorf("-benchtime %v: must be positive", *benchtime)
+	}
+	if *maxRegress < 0 {
+		return fmt.Errorf("-max-regress %v: must be non-negative", *maxRegress)
+	}
+	// The sweep flags share facs-sim's validation (internal/simflag), so a
+	// bad -loads or -reps fails here instead of deep inside a shard.
+	opts, err := simflag.SweepOptions(*loads, *reps, *workers, *surface, 0)
+	if err != nil {
+		return err
+	}
+	sc := perf.SweepConfig{
+		Loads:        opts.Loads,
+		Replications: opts.Replications,
+		Workers:      opts.Workers,
+		Surface:      opts.SurfaceResolution,
+	}
+
+	specs := perf.Registry(sc)
+	switch *suite {
+	case "full":
+	case "smoke":
+		var smoke []perf.Spec
+		for _, s := range specs {
+			if s.Smoke {
+				smoke = append(smoke, s)
+			}
+		}
+		specs = smoke
+	default:
+		return fmt.Errorf("unknown suite %q (have smoke, full)", *suite)
+	}
+	if *filter != "" {
+		if specs, err = perf.Filter(specs, *filter); err != nil {
+			return err
+		}
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("no specs selected")
+	}
+
+	results := make([]perf.Result, 0, len(specs))
+	for _, s := range specs {
+		r, err := s.Measure(*benchtime)
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("%-32s %12.0f ns/op %10.1f allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		if r.SimCallsPerSec > 0 {
+			line += fmt.Sprintf(" %14.0f simcalls/s", r.SimCallsPerSec)
+		}
+		fmt.Fprintln(os.Stderr, line)
+		results = append(results, r)
+	}
+
+	report := perf.NewReport(*suite, results)
+	if err := report.WriteFile(*out); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "facs-bench: wrote %s (%d specs)\n", *out, len(results))
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	return gate(*baseline, report, *maxRegress/100)
+}
+
+// gate compares the fresh report against the committed baseline and
+// returns an error on regression, unless BENCH_GATE=off. The ns/op
+// comparison is normalized by the median ratio across the micro/ specs
+// (perf.Compare's Scale; all specs only as a fallback), so a baseline
+// measured on different hardware gates relative regressions instead of
+// the hardware gap; the allocs/op comparison is absolute and travels
+// between machines unchanged.
+func gate(baselinePath string, current *perf.Report, maxRegress float64) error {
+	base, err := perf.ReadReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	cmp := perf.Compare(base, current, maxRegress)
+	fmt.Fprintf(os.Stderr, "facs-bench: hardware scale vs baseline: %.2fx (median ns/op ratio)\n", cmp.Scale)
+	for _, m := range cmp.Missing {
+		fmt.Fprintf(os.Stderr, "facs-bench: baseline spec %q was not measured\n", m)
+	}
+	for _, r := range cmp.Regressions {
+		fmt.Fprintf(os.Stderr, "facs-bench: REGRESSION %s: %.0f -> %.0f %s (%.2fx, tolerance %.2fx)\n",
+			r.Name, r.Baseline, r.Current, r.Metric, r.Ratio, 1+maxRegress)
+	}
+	if len(cmp.Regressions) == 0 && len(cmp.Missing) == 0 {
+		fmt.Fprintf(os.Stderr, "facs-bench: gate clean vs %s (%d specs within %.0f%%)\n",
+			baselinePath, len(base.Results), maxRegress*100)
+		return nil
+	}
+	if os.Getenv("BENCH_GATE") == "off" {
+		fmt.Fprintln(os.Stderr, "facs-bench: BENCH_GATE=off — reporting only, not failing")
+		return nil
+	}
+	return fmt.Errorf("%d regression(s), %d missing baseline spec(s) vs %s",
+		len(cmp.Regressions), len(cmp.Missing), baselinePath)
+}

@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"facsp/internal/perf"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{name: "bad-suite", args: []string{"-suite", "nope"}, want: "unknown suite"},
+		{name: "bad-loads", args: []string{"-loads", "10,x"}, want: "bad load"},
+		{name: "negative-load", args: []string{"-loads", "-5"}, want: "negative load"},
+		{name: "zero-reps", args: []string{"-reps", "0"}, want: "-reps"},
+		{name: "negative-workers", args: []string{"-workers", "-1"}, want: "-workers"},
+		{name: "surface-one", args: []string{"-surface", "1"}, want: "-surface"},
+		{name: "bad-benchtime", args: []string{"-benchtime", "-1s"}, want: "-benchtime"},
+		{name: "bad-filter", args: []string{"-filter", "["}, want: "bad filter"},
+		{name: "positional", args: []string{"extra"}, want: "unexpected arguments"},
+		{name: "no-specs", args: []string{"-filter", "^matches-nothing$"}, want: "no specs"},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			err := run(tt.args)
+			if err == nil || !strings.Contains(err.Error(), tt.want) {
+				t.Fatalf("run(%v) error = %v, want mention of %q", tt.args, err, tt.want)
+			}
+		})
+	}
+}
+
+// TestRunEmitsValidReport measures one cheap spec with a tiny time budget
+// and checks the emitted BENCH.json parses and carries the environment.
+func TestRunEmitsValidReport(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH.json")
+	err := run([]string{
+		"-suite", "full",
+		"-filter", "^micro/des/schedule$",
+		"-benchtime", "10ms",
+		"-out", out,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perf.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "micro/des/schedule" {
+		t.Fatalf("report results = %+v", rep.Results)
+	}
+	if rep.Results[0].NsPerOp <= 0 || rep.GoVersion == "" || rep.CPUs < 1 {
+		t.Errorf("implausible report: %+v", rep)
+	}
+}
+
+// TestGateFailsOnRegression pins the CI contract: a spec measured
+// >max-regress slower than its baseline (relative to the suite's median
+// hardware scale) makes the command fail, and BENCH_GATE=off downgrades
+// the failure to a report.
+func TestGateFailsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "BENCH.json")
+	// Three cheap micro specs: enough peers for the median normalization
+	// to anchor on the two honest ones.
+	args := []string{
+		"-suite", "full",
+		"-filter", "^micro/(des/schedule|flc1/exact|flc2/exact)$",
+		"-benchtime", "50ms",
+		"-out", out,
+	}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := perf.ReadReport(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("measured %d specs, want 3", len(rep.Results))
+	}
+	clone := func() *perf.Report {
+		c := *rep
+		c.Results = append([]perf.Result(nil), rep.Results...)
+		return &c
+	}
+
+	// The measurement gating itself passes. Every gate invocation below
+	// re-measures, so this assertion uses a widened tolerance: it checks
+	// the self-consistency plumbing, not measurement stability at a small
+	// time budget.
+	baseline := filepath.Join(dir, "BENCH_baseline.json")
+	writeReport(t, baseline, rep)
+	if err := run(append(args, "-baseline", baseline, "-max-regress", "100")); err != nil {
+		t.Fatalf("gate failed against its own measurement: %v", err)
+	}
+
+	// An injected 2x slowdown of one spec (its baseline claims it used to
+	// run twice as fast as measured): certain failure.
+	fast := clone()
+	fast.Results[0].NsPerOp /= 2
+	writeReport(t, baseline, fast)
+	err = run(append(args, "-baseline", baseline))
+	if err == nil || !strings.Contains(err.Error(), "regression") {
+		t.Fatalf("gate error = %v, want a regression failure", err)
+	}
+
+	// The documented override downgrades the same comparison.
+	t.Setenv("BENCH_GATE", "off")
+	if err := run(append(args, "-baseline", baseline)); err != nil {
+		t.Fatalf("BENCH_GATE=off still failed: %v", err)
+	}
+	t.Setenv("BENCH_GATE", "")
+
+	// An allocs/op explosion fails even at identical ns/op: the
+	// hardware-independent half of the gate.
+	lean := clone()
+	lean.Results[1].AllocsPerOp = 0
+	writeReport(t, baseline, lean)
+	if rep.Results[1].AllocsPerOp > 2 { // flc1/exact allocates ~6/op
+		err = run(append(args, "-baseline", baseline))
+		if err == nil || !strings.Contains(err.Error(), "regression") {
+			t.Fatalf("gate error = %v, want an allocs/op regression failure", err)
+		}
+	}
+
+	// Dropping a gated spec from the measurement must also fail.
+	gone := clone()
+	gone.Results = append(gone.Results, perf.Result{Name: "micro/never-measured", NsPerOp: 1})
+	writeReport(t, baseline, gone)
+	err = run(append(args, "-baseline", baseline))
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("gate error = %v, want a missing-spec failure", err)
+	}
+}
+
+func writeReport(t *testing.T, path string, r *perf.Report) {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

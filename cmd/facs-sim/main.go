@@ -49,12 +49,12 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	"facsp/internal/experiment"
 	"facsp/internal/plot"
 	"facsp/internal/scenario"
+	"facsp/internal/simflag"
 	"facsp/internal/stats"
 )
 
@@ -100,18 +100,12 @@ func run(args []string) error {
 		return printScenarios(os.Stdout)
 	}
 
-	opts := experiment.Options{
-		Replications:      *reps,
-		BaseSeed:          *seed,
-		Workers:           *workers,
-		SurfaceResolution: *surface,
-	}
-	if *loads != "" {
-		parsed, err := parseLoads(*loads)
-		if err != nil {
-			return err
-		}
-		opts.Loads = parsed
+	// Flag validation is shared with cmd/facs-bench (internal/simflag): an
+	// invalid -loads/-reps/-workers/-surface fails here as a usage error
+	// instead of a panic deep inside a sweep worker.
+	opts, err := simflag.SweepOptions(*loads, *reps, *workers, *surface, *seed)
+	if err != nil {
+		return err
 	}
 
 	if *scen != "" {
@@ -209,22 +203,6 @@ func runScenario(arg, metricID string, opts experiment.Options, csvPath string, 
 	}
 	title := fmt.Sprintf("Scenario %s (%s)", s.Name, metricID)
 	return emit(s.Name, title, yLabel, curves, csvPath, chart, withCI)
-}
-
-func parseLoads(s string) ([]int, error) {
-	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
-	for _, p := range parts {
-		n, err := strconv.Atoi(strings.TrimSpace(p))
-		if err != nil {
-			return nil, fmt.Errorf("bad load %q: %w", p, err)
-		}
-		if n < 0 {
-			return nil, fmt.Errorf("negative load %d", n)
-		}
-		out = append(out, n)
-	}
-	return out, nil
 }
 
 // figureChartMeta returns the chart title and y label for a figure id.

@@ -13,40 +13,6 @@ import (
 	"facsp/internal/scenario"
 )
 
-func TestParseLoads(t *testing.T) {
-	tests := []struct {
-		in      string
-		want    []int
-		wantErr bool
-	}{
-		{in: "10,25,50", want: []int{10, 25, 50}},
-		{in: " 5 , 10 ", want: []int{5, 10}},
-		{in: "100", want: []int{100}},
-		{in: "", wantErr: true},
-		{in: "a,b", wantErr: true},
-		{in: "-5", wantErr: true},
-	}
-	for _, tt := range tests {
-		got, err := parseLoads(tt.in)
-		if (err != nil) != tt.wantErr {
-			t.Errorf("parseLoads(%q) error = %v", tt.in, err)
-			continue
-		}
-		if err != nil {
-			continue
-		}
-		if len(got) != len(tt.want) {
-			t.Errorf("parseLoads(%q) = %v, want %v", tt.in, got, tt.want)
-			continue
-		}
-		for i := range got {
-			if got[i] != tt.want[i] {
-				t.Errorf("parseLoads(%q)[%d] = %d, want %d", tt.in, i, got[i], tt.want[i])
-			}
-		}
-	}
-}
-
 func TestRunUnknownFigure(t *testing.T) {
 	if err := run([]string{"-fig", "99"}); err == nil {
 		t.Error("unknown figure accepted")

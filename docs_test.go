@@ -13,6 +13,7 @@ import (
 	"testing"
 
 	"facsp/internal/experiment"
+	"facsp/internal/perf"
 	"facsp/internal/scenario"
 )
 
@@ -101,6 +102,65 @@ func TestDocsSchemeTableMatchesRegistries(t *testing.T) {
 	for _, id := range serverSchemes(t) {
 		if !strings.Contains(norm, normalize(id)) {
 			t.Errorf("README scheme table does not cover facs-server scheme %q", id)
+		}
+	}
+}
+
+// TestDocsPerfSuiteMatchesRegistry diffs the Performance section of
+// EXPERIMENTS.md against the live perf registry: every benchmark spec
+// must be documented, and the section must describe the artifact and the
+// gate's escape hatch.
+func TestDocsPerfSuiteMatchesRegistry(t *testing.T) {
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	if !strings.Contains(experiments, "## Performance") {
+		t.Fatal("EXPERIMENTS.md has no Performance section")
+	}
+	for _, s := range perf.Specs() {
+		if !strings.Contains(experiments, "`"+s.Name+"`") {
+			t.Errorf("EXPERIMENTS.md does not document perf spec `%s`", s.Name)
+		}
+	}
+	for _, token := range []string{"BENCH.json", "BENCH_baseline.json", "facs-bench", "bench-override", "BENCH_GATE"} {
+		if !strings.Contains(experiments, token) {
+			t.Errorf("EXPERIMENTS.md Performance section does not mention %s", token)
+		}
+	}
+	readme := readDoc(t, "README.md")
+	for _, token := range []string{"facs-bench", "BENCH_baseline.json", "perf"} {
+		if !strings.Contains(readme, token) {
+			t.Errorf("README architecture map does not mention %s", token)
+		}
+	}
+}
+
+// TestDocsBenchBaselineMatchesRegistry keeps the committed gate baseline
+// honest: every baseline spec must still exist in the registry (a rename
+// would silently un-gate it) and every smoke-suite spec must be gated.
+func TestDocsBenchBaselineMatchesRegistry(t *testing.T) {
+	base, err := perf.ReadReport("BENCH_baseline.json")
+	if err != nil {
+		t.Fatalf("committed baseline unreadable: %v", err)
+	}
+	if base.Suite != "smoke" {
+		t.Errorf("baseline suite = %q, want the smoke suite", base.Suite)
+	}
+	registry := map[string]bool{}
+	for _, s := range perf.Specs() {
+		registry[s.Name] = true
+	}
+	gated := map[string]bool{}
+	for _, r := range base.Results {
+		gated[r.Name] = true
+		if !registry[r.Name] {
+			t.Errorf("baseline spec %q no longer exists in the perf registry", r.Name)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("baseline spec %q has non-positive ns/op", r.Name)
+		}
+	}
+	for _, s := range perf.SmokeSpecs() {
+		if !gated[s.Name] {
+			t.Errorf("smoke spec %q is missing from BENCH_baseline.json — regenerate the baseline", s.Name)
 		}
 	}
 }

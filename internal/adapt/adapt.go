@@ -116,7 +116,7 @@ type Controller struct {
 
 	mu       sync.Mutex
 	conns    map[uint64]*conn
-	sorted   []*conn // conns in id order; nil after a membership change
+	sorted   []*conn // conns in id order, maintained incrementally
 	total    float64 // BU currently allocated
 	observer cac.BandwidthObserver
 }
@@ -258,7 +258,7 @@ func (c *Controller) admitLocked(req cac.Request) cac.Decision {
 		}
 		cn := &conn{id: req.ID, ladder: ladder, level: lvl, realTime: req.RealTime}
 		c.conns[req.ID] = cn
-		c.sorted = nil
+		c.insertSorted(cn)
 		c.total += cn.alloc()
 		outcome := "fits"
 		switch {
@@ -287,22 +287,36 @@ func (c *Controller) Release(req cac.Request) error {
 		c.total = 0
 	}
 	delete(c.conns, req.ID)
-	c.sorted = nil
+	c.removeSorted(req.ID)
 	c.upgradeLocked()
 	return nil
 }
 
-// sortedConns returns the live connections in deterministic (id) order,
-// memoized between membership changes (several phases of one admission
-// walk the same set; degradations only change levels, not membership).
-func (c *Controller) sortedConns() []*conn {
-	if c.sorted == nil {
-		c.sorted = make([]*conn, 0, len(c.conns))
-		for _, cn := range c.conns {
-			c.sorted = append(c.sorted, cn)
-		}
-		sort.Slice(c.sorted, func(i, j int) bool { return c.sorted[i].id < c.sorted[j].id })
+// insertSorted places cn into the id-ordered connection list. The list is
+// maintained incrementally on membership changes — a binary-search insert
+// into a capacity-retaining slice — so the deterministic walks over it
+// never re-sort or re-allocate in steady state.
+func (c *Controller) insertSorted(cn *conn) {
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i].id >= cn.id })
+	c.sorted = append(c.sorted, nil)
+	copy(c.sorted[i+1:], c.sorted[i:])
+	c.sorted[i] = cn
+}
+
+// removeSorted drops the connection with the given id from the id-ordered
+// list.
+func (c *Controller) removeSorted(id uint64) {
+	i := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i].id >= id })
+	if i >= len(c.sorted) || c.sorted[i].id != id {
+		return
 	}
+	copy(c.sorted[i:], c.sorted[i+1:])
+	c.sorted[len(c.sorted)-1] = nil
+	c.sorted = c.sorted[:len(c.sorted)-1]
+}
+
+// sortedConns returns the live connections in deterministic (id) order.
+func (c *Controller) sortedConns() []*conn {
 	return c.sorted
 }
 

@@ -18,6 +18,12 @@
 // arrival-rate profile, and MMPP on/off burst modulation — which is what
 // internal/scenario compiles its declarative scenario files into.
 //
+// The simulation core is allocation-free in steady state: events are
+// typed des ops over pre-drawn arrival and call slabs, per-run state is
+// recycled through a pool across replications, and per-cell lookups run
+// over a compiled dense cluster index (hexgrid.Index) instead of maps.
+// Sweep throughput is tracked by internal/perf and cmd/facs-bench.
+//
 // All randomness flows from the Config seed; runs are reproducible
 // bit-for-bit regardless of how the enclosing sweep is sharded.
 package cellsim
@@ -25,6 +31,7 @@ package cellsim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"facsp/internal/cac"
 	"facsp/internal/des"
@@ -59,37 +66,110 @@ type AdaptiveAdmitter interface {
 	SetBandwidthObserver(func(cell hexgrid.Coord, id uint64, allocBU float64))
 }
 
+// ClusterCompiler is implemented by admitters that can precompile
+// per-cell state over a cluster's dense index (hexgrid.Index). The
+// simulator invokes it once at construction so per-cell lookups on the
+// admission hot path become slice indexing instead of map access.
+type ClusterCompiler interface {
+	CompileCluster(hexgrid.Index)
+}
+
 // PerCell adapts a factory of independent per-cell controllers (the shape
 // of FACS, FACS-P and the classic baselines) to the Admitter interface.
 // When a controller implements cac.Adaptive, its mid-call bandwidth
 // changes are forwarded to the observer installed with
 // SetBandwidthObserver, tagged with the controller's cell.
+//
+// Controllers for cells inside a compiled cluster (CompileCluster) live
+// in a dense slice; cells outside it fall back to a map, so a PerCell
+// admitter keeps working for arbitrary coordinates.
 type PerCell struct {
-	controllers map[hexgrid.Coord]cac.Controller
-	factory     func(hexgrid.Coord) cac.Controller
-	obs         func(cell hexgrid.Coord, id uint64, allocBU float64)
+	factory func(hexgrid.Coord) cac.Controller
+	obs     func(cell hexgrid.Coord, id uint64, allocBU float64)
+
+	idx     hexgrid.Index
+	indexed bool
+	dense   []cac.Controller
+	extra   map[hexgrid.Coord]cac.Controller // cells outside the compiled index
 }
 
 var (
 	_ Admitter         = (*PerCell)(nil)
 	_ AdaptiveAdmitter = (*PerCell)(nil)
+	_ ClusterCompiler  = (*PerCell)(nil)
 )
 
 // NewPerCell builds a PerCell admitter; factory is invoked lazily, once
 // per cell.
 func NewPerCell(factory func(hexgrid.Coord) cac.Controller) *PerCell {
 	return &PerCell{
-		controllers: make(map[hexgrid.Coord]cac.Controller),
-		factory:     factory,
+		factory: factory,
+		extra:   make(map[hexgrid.Coord]cac.Controller),
 	}
+}
+
+// CompileCluster implements ClusterCompiler: controllers for cells of the
+// indexed cluster are kept in a dense slice. Controllers created before
+// the call are re-homed, preserving their state.
+func (p *PerCell) CompileCluster(ix hexgrid.Index) {
+	if p.indexed && p.idx == ix {
+		return
+	}
+	old := p.all()
+	p.idx = ix
+	p.indexed = true
+	p.dense = make([]cac.Controller, ix.Slots())
+	p.extra = make(map[hexgrid.Coord]cac.Controller)
+	for cell, c := range old {
+		p.put(cell, c)
+	}
+}
+
+// all snapshots every live controller keyed by cell.
+func (p *PerCell) all() map[hexgrid.Coord]cac.Controller {
+	out := make(map[hexgrid.Coord]cac.Controller, len(p.extra)+len(p.dense))
+	for cell, c := range p.extra {
+		out[cell] = c
+	}
+	if p.indexed {
+		for _, cell := range hexgrid.Disk(p.idx.Center(), p.idx.Radius()) {
+			if slot, ok := p.idx.Of(cell); ok && p.dense[slot] != nil {
+				out[cell] = p.dense[slot]
+			}
+		}
+	}
+	return out
+}
+
+// put stores a controller in the dense slice when its cell is indexed,
+// the fallback map otherwise.
+func (p *PerCell) put(cell hexgrid.Coord, c cac.Controller) {
+	if p.indexed {
+		if slot, ok := p.idx.Of(cell); ok {
+			p.dense[slot] = c
+			return
+		}
+	}
+	p.extra[cell] = c
 }
 
 // Controller returns the cell's controller, creating it on first use.
 func (p *PerCell) Controller(cell hexgrid.Coord) cac.Controller {
-	c, ok := p.controllers[cell]
+	if p.indexed {
+		if slot, ok := p.idx.Of(cell); ok {
+			if c := p.dense[slot]; c != nil {
+				return c
+			}
+			c := p.factory(cell)
+			p.dense[slot] = c
+			p.install(cell, c)
+			return c
+		}
+	}
+	c, ok := p.extra[cell]
 	if !ok {
 		c = p.factory(cell)
-		p.controllers[cell] = c
+		p.extra[cell] = c
 		p.install(cell, c)
 	}
 	return c
@@ -99,7 +179,7 @@ func (p *PerCell) Controller(cell hexgrid.Coord) cac.Controller {
 // future adaptive per-cell controllers to the observer.
 func (p *PerCell) SetBandwidthObserver(obs func(cell hexgrid.Coord, id uint64, allocBU float64)) {
 	p.obs = obs
-	for cell, c := range p.controllers {
+	for cell, c := range p.all() {
 		p.install(cell, c)
 	}
 }
@@ -378,7 +458,9 @@ func (r Result) BandwidthRatio() float64 {
 	return r.BandwidthGranted / r.BandwidthRequested
 }
 
-// call is the simulator's per-connection state.
+// call is the simulator's per-connection state. Calls live by value in a
+// pre-sized per-run slab; events reference them by pointer, which stays
+// valid because the slab never grows past its pre-sized capacity.
 type call struct {
 	req     cac.Request
 	class   traffic.Class
@@ -393,17 +475,19 @@ type call struct {
 	// bandwidth integrals were last accrued to.
 	alloc float64
 	lastT float64
+	// moverSrc is the call's private mobility stream, reseeded per call
+	// from the arrival's pre-drawn split seed.
+	moverSrc rng.Source
 }
 
 // Sim runs cellular admission simulations.
 type Sim struct {
-	cfg     Config
-	adm     Admitter
-	layout  hexgrid.Layout
-	cluster map[hexgrid.Coord]bool
-	cells   []hexgrid.Coord // cluster cells in stable (ring) order
-	centre  hexgrid.Coord
-	active  map[uint64]*call // live calls by connection ID, per run
+	cfg    Config
+	adm    Admitter
+	layout hexgrid.Layout
+	idx    hexgrid.Index   // compiled dense cluster index
+	cells  []hexgrid.Coord // cluster cells in stable (ring) order
+	centre hexgrid.Coord
 }
 
 // New constructs a simulator for the given config and admitter.
@@ -417,69 +501,131 @@ func New(cfg Config, adm Admitter) (*Sim, error) {
 	if cfg.Mobility == nil {
 		cfg.Mobility = mobility.DefaultSmoothTurn()
 	}
-	cells := hexgrid.Disk(hexgrid.Coord{}, cfg.Rings)
-	cluster := make(map[hexgrid.Coord]bool, len(cells))
-	for _, c := range cells {
-		cluster[c] = true
+	centre := hexgrid.Coord{}
+	idx := hexgrid.NewIndex(centre, cfg.Rings)
+	if cc, ok := adm.(ClusterCompiler); ok {
+		cc.CompileCluster(idx)
 	}
 	return &Sim{
-		cfg:     cfg,
-		adm:     adm,
-		layout:  hexgrid.NewLayout(cfg.CellRadius),
-		cluster: cluster,
-		cells:   cells,
-		centre:  hexgrid.Coord{},
+		cfg:    cfg,
+		adm:    adm,
+		layout: hexgrid.NewLayout(cfg.CellRadius),
+		idx:    idx,
+		cells:  hexgrid.Disk(centre, cfg.Rings),
+		centre: centre,
 	}, nil
 }
 
+// Typed event op codes (des.Op.Code). Args are pointers into the run's
+// arrival/call slabs, so scheduling an event never allocates.
+const (
+	opArrival = iota // Arg: *arrival
+	opEnd            // Arg: *call
+	opCheck          // Arg: *call
+)
+
+// runState is the per-run mutable state: the event queue, the RNG stream,
+// the arrival and call slabs, and the accumulating counters. States are
+// recycled through runPool across replications, so a long sweep reuses
+// the same arenas instead of re-allocating them every run.
+type runState struct {
+	s        *Sim
+	sim      des.Sim
+	src      rng.Source
+	res      Result
+	util     stats.TimeWeighted
+	centreBU float64
+	firstErr error
+
+	arrivals []arrival
+	calls    []call
+	// active maps connection ID -> live call for the adaptive observer;
+	// IDs are dense (1..totalRequests), so a slice replaces the map. Nil
+	// when the admitter cannot reallocate; activeBuf retains the backing
+	// array across pooled runs.
+	active    []*call
+	activeBuf []*call
+
+	// Per-class counters for the centre cell, indexed by traffic.Class.
+	acceptedByClass [numClassSlots]int
+	requestsByClass [numClassSlots]int
+}
+
+// numClassSlots sizes the per-class counter arrays; traffic classes are
+// small consecutive integers starting at 1.
+const numClassSlots = int(traffic.Video) + 1
+
+var runPool = sync.Pool{New: func() any { return new(runState) }}
+
 // Run executes one complete simulation and returns its accounting.
 func (s *Sim) Run() (Result, error) {
-	src := rng.New(s.cfg.Seed)
-	var sim des.Sim
-	res := Result{
-		AcceptedByClass: make(map[traffic.Class]int),
-		RequestsByClass: make(map[traffic.Class]int),
-	}
-	var util stats.TimeWeighted
-	centreBU := 0.0
-	var firstErr error
-	fail := func(err error) {
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	observe := func(now float64) {
-		if err := util.Observe(now, centreBU); err != nil {
-			fail(err)
-		}
-	}
-	observe(0) // open the utilization window at time zero
+	rs := runPool.Get().(*runState)
+	res, err := rs.run(s)
+	rs.release()
+	runPool.Put(rs)
+	return res, err
+}
 
-	// Adaptive admitters reallocate on-going calls mid-flight; track those
-	// changes so the bandwidth-ratio metric and the centre occupancy stay
-	// exact. The observer fires synchronously from inside Admit/Release,
-	// so sim.Now() is the event's timestamp. The tracking map is only
-	// populated when the controllers can actually reallocate — PerCell
-	// implements AdaptiveAdmitter for every scheme, so probe the centre
-	// cell's controller (factories are homogeneous across the cluster) to
-	// spare non-adaptive sweeps the per-call map churn.
-	s.active = nil
-	if aa, ok := s.adm.(AdaptiveAdmitter); ok && s.reallocates() {
-		s.active = make(map[uint64]*call)
-		aa.SetBandwidthObserver(func(cell hexgrid.Coord, id uint64, allocBU float64) {
-			c, live := s.active[id]
-			if !live || c.ended {
-				return
-			}
-			now := sim.Now()
-			s.accrue(&res, c, now)
-			if cell == s.centre {
-				centreBU += allocBU - c.alloc
-				observe(now)
-			}
-			c.alloc = allocBU
-		})
+// release drops references held by the run so pooled states do not pin
+// controllers, movers or the enclosing Sim.
+func (rs *runState) release() {
+	rs.s = nil
+	clear(rs.arrivals)
+	clear(rs.calls)
+	clear(rs.activeBuf)
+	rs.active = nil
+	rs.res = Result{}
+}
+
+// fail records the run's first error.
+func (rs *runState) fail(err error) {
+	if rs.firstErr == nil {
+		rs.firstErr = err
 	}
+}
+
+// observe samples the centre-cell occupancy into the utilization integral.
+func (rs *runState) observe(now float64) {
+	if err := rs.util.Observe(now, rs.centreBU); err != nil {
+		rs.fail(err)
+	}
+}
+
+// RunOp implements des.Handler, dispatching the simulator's typed events.
+func (rs *runState) RunOp(now float64, op des.Op) {
+	switch op.Code {
+	case opArrival:
+		rs.arrive(op.Arg.(*arrival), now)
+	case opEnd:
+		rs.endCall(op.Arg.(*call), now)
+	case opCheck:
+		rs.checkPosition(op.Arg.(*call), now)
+	}
+}
+
+// grow returns buf with length n, reusing its capacity when possible.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// run executes one simulation on a (possibly recycled) runState.
+func (rs *runState) run(s *Sim) (Result, error) {
+	rs.s = s
+	rs.sim.Reset()
+	rs.sim.SetHandler(rs)
+	rs.src.Reseed(s.cfg.Seed)
+	rs.res = Result{}
+	rs.util = stats.TimeWeighted{}
+	rs.centreBU = 0
+	rs.firstErr = nil
+	rs.acceptedByClass = [numClassSlots]int{}
+	rs.requestsByClass = [numClassSlots]int{}
+	rs.observe(0) // open the utilization window at time zero
 
 	// Schedule each cell's request stream in stable order (centre first in
 	// the homogeneous set-up, PerCell order otherwise). Drawing all request
@@ -488,75 +634,119 @@ func (s *Sim) Run() (Result, error) {
 	// rejections — comes sequentially from the run source, so runs are a
 	// pure function of the Config seed.
 	streams := s.streams()
+	total := 0
 	for _, st := range streams {
+		total += st.n
 		if st.counted {
-			res.Requests += st.n
+			rs.res.Requests += st.n
 		}
 	}
+	rs.arrivals = grow(rs.arrivals, total)[:0]
+	rs.calls = grow(rs.calls, total)[:0]
+
+	// Adaptive admitters reallocate on-going calls mid-flight; track those
+	// changes so the bandwidth-ratio metric and the centre occupancy stay
+	// exact. The observer fires synchronously from inside Admit/Release,
+	// so sim.Now() is the event's timestamp. Tracking is only armed when
+	// the controllers can actually reallocate — PerCell implements
+	// AdaptiveAdmitter for every scheme, so probe the centre cell's
+	// controller (factories are homogeneous across the cluster) to spare
+	// non-adaptive sweeps the per-call bookkeeping.
+	rs.active = nil
+	if aa, ok := s.adm.(AdaptiveAdmitter); ok && s.reallocates() {
+		rs.activeBuf = grow(rs.activeBuf, total+1)
+		rs.active = rs.activeBuf
+		aa.SetBandwidthObserver(func(cell hexgrid.Coord, id uint64, allocBU float64) {
+			if id >= uint64(len(rs.active)) {
+				return
+			}
+			c := rs.active[id]
+			if c == nil || c.ended {
+				return
+			}
+			now := rs.sim.Now()
+			rs.accrue(c, now)
+			if cell == s.centre {
+				rs.centreBU += allocBU - c.alloc
+				rs.observe(now)
+			}
+			c.alloc = allocBU
+		})
+	}
+
 	nextID := uint64(1)
-	schedule := func(st stream) error {
+	for _, st := range streams {
 		var env traffic.Envelope
 		if st.burst != nil {
-			env = st.burst.Envelope(src, s.cfg.Window)
+			env = st.burst.Envelope(&rs.src, s.cfg.Window)
 		}
 		for i := 0; i < st.n; i++ {
-			at, err := sampleArrival(src, s.cfg.Window, st.profile, env)
+			at, err := sampleArrival(&rs.src, s.cfg.Window, st.profile, env)
 			if err != nil {
-				return err
+				return Result{}, err
 			}
-			class := st.mix.Sample(src)
-			speed := st.speed(src)
-			angle := st.angle(src)
-			holding := src.Exp(s.cfg.HoldingMean)
+			class := st.mix.Sample(&rs.src)
+			speed := st.speed(&rs.src)
+			angle := st.angle(&rs.src)
+			holding := rs.src.Exp(s.cfg.HoldingMean)
 			id := nextID
 			nextID++
 			if st.counted {
-				res.RequestsByClass[class]++
+				rs.requestsByClass[class]++
 			}
 
 			// Spawn uniformly inside the cell's hexagon by rejection from
 			// the bounding box.
-			x, y := s.randomPointInCell(src, st.cell)
-			moverSrc := src.Split()
+			x, y := s.randomPointInCell(&rs.src, st.cell)
+			moverSeed := rs.src.SplitSeed()
 
-			cell, counted := st.cell, st.counted
-			if _, err := sim.At(at, func(now float64) {
-				s.arrive(&sim, &res, arrival{
-					id: id, class: class, speed: speed, angle: angle,
-					holding: holding, x: x, y: y, moverSrc: moverSrc,
-					cell: cell, counted: counted,
-				}, &centreBU, observe, fail, now)
-			}); err != nil {
-				return err
+			rs.arrivals = append(rs.arrivals, arrival{
+				id: id, class: class, speed: speed, angle: angle,
+				holding: holding, x: x, y: y, moverSeed: moverSeed,
+				cell: st.cell, counted: st.counted,
+			})
+			a := &rs.arrivals[len(rs.arrivals)-1]
+			if _, err := rs.sim.AtOp(at, des.Op{Code: opArrival, Arg: a}); err != nil {
+				return Result{}, err
 			}
 		}
-		return nil
 	}
-	for _, st := range streams {
-		if err := schedule(st); err != nil {
-			return Result{}, err
+
+	rs.sim.Run(0)
+	if rs.firstErr != nil {
+		return Result{}, rs.firstErr
+	}
+	rs.observe(rs.sim.Now()) // flush the final occupancy segment
+	rs.res.CentreUtilization = rs.util.Mean()
+
+	// Publish the per-class counters as the Result's maps. Only classes
+	// that were actually seen get an entry, matching incremental map
+	// accumulation.
+	rs.res.AcceptedByClass = make(map[traffic.Class]int)
+	rs.res.RequestsByClass = make(map[traffic.Class]int)
+	for _, cl := range traffic.Classes() {
+		if n := rs.acceptedByClass[cl]; n > 0 {
+			rs.res.AcceptedByClass[cl] = n
+		}
+		if n := rs.requestsByClass[cl]; n > 0 {
+			rs.res.RequestsByClass[cl] = n
 		}
 	}
-
-	sim.Run(0)
-	if firstErr != nil {
-		return Result{}, firstErr
-	}
-	observe(sim.Now()) // flush the final occupancy segment
-	res.CentreUtilization = util.Mean()
-	return res, nil
+	return rs.res, nil
 }
 
+// arrival is one pre-drawn connection request, stored by value in the
+// run's arrival slab.
 type arrival struct {
-	id       uint64
-	class    traffic.Class
-	speed    float64
-	angle    float64
-	holding  float64
-	x, y     float64
-	moverSrc *rng.Source
-	cell     hexgrid.Coord
-	counted  bool
+	id        uint64
+	class     traffic.Class
+	speed     float64
+	angle     float64
+	holding   float64
+	x, y      float64
+	moverSeed uint64
+	cell      hexgrid.Coord
+	counted   bool
 }
 
 // stream is one fully resolved per-cell request source: a CellTraffic
@@ -650,9 +840,8 @@ func sampleArrival(src *rng.Source, window float64, profile traffic.RateProfile,
 }
 
 // arrive processes a new-call request at its cell.
-func (s *Sim) arrive(sim *des.Sim, res *Result, a arrival,
-	centreBU *float64, observe func(float64), fail func(error), now float64) {
-
+func (rs *runState) arrive(a *arrival, now float64) {
+	s := rs.s
 	bsX, bsY := s.layout.Center(a.cell)
 	heading := hexgrid.NormalizeAngle(hexgrid.BearingDeg(a.x, a.y, bsX, bsY) + a.angle)
 
@@ -665,93 +854,96 @@ func (s *Sim) arrive(sim *des.Sim, res *Result, a arrival,
 		Bandwidth: a.class.Bandwidth(),
 		RealTime:  a.class.RealTime(),
 	}
-	res.NetworkRequests++
+	rs.res.NetworkRequests++
 	d := s.adm.Admit(a.cell, req)
 	if !d.Accept {
 		if a.counted {
-			res.Blocked++
+			rs.res.Blocked++
 		}
 		return
 	}
-	res.NetworkAccepted++
+	rs.res.NetworkAccepted++
 	if a.counted {
-		res.Accepted++
-		res.AcceptedByClass[a.class]++
+		rs.res.Accepted++
+		rs.acceptedByClass[a.class]++
 	}
 
-	c := &call{
-		req:   req,
-		class: a.class,
-		mover: s.cfg.Mobility.NewMover(mobility.State{
-			X: a.x, Y: a.y, SpeedKmh: a.speed, HeadingDeg: heading,
-		}, a.moverSrc),
+	// The call slab was pre-sized to the total request count, so the
+	// append never reallocates and event pointers into it stay valid.
+	rs.calls = append(rs.calls, call{
+		req:     req,
+		class:   a.class,
 		cell:    a.cell,
 		counted: a.counted,
 		endAt:   now + a.holding,
 		alloc:   d.Granted(req), // adaptive schemes may grant below the request
 		lastT:   now,
-	}
-	if s.active != nil {
-		s.active[a.id] = c
+	})
+	c := &rs.calls[len(rs.calls)-1]
+	c.moverSrc.Reseed(a.moverSeed)
+	c.mover = s.cfg.Mobility.NewMover(mobility.State{
+		X: a.x, Y: a.y, SpeedKmh: a.speed, HeadingDeg: heading,
+	}, &c.moverSrc)
+	if rs.active != nil {
+		rs.active[a.id] = c
 	}
 	if a.cell == s.centre {
-		*centreBU += c.alloc
-		observe(now)
+		rs.centreBU += c.alloc
+		rs.observe(now)
 	}
 
-	endEvt, err := sim.At(c.endAt, func(endNow float64) {
-		s.endCall(sim, res, c, centreBU, observe, fail, endNow)
-	})
+	endEvt, err := rs.sim.AtOp(c.endAt, des.Op{Code: opEnd, Arg: c})
 	if err != nil {
-		fail(err)
+		rs.fail(err)
 		return
 	}
 	c.endEvt = endEvt
 	if !s.cfg.Static {
-		s.scheduleCheck(sim, res, c, centreBU, observe, fail)
+		rs.scheduleCheck(c)
 	}
 }
 
 // scheduleCheck arms the next handoff-detection tick for an active call.
-func (s *Sim) scheduleCheck(sim *des.Sim, res *Result, c *call,
-	centreBU *float64, observe func(float64), fail func(error)) {
-
-	if _, err := sim.After(s.cfg.CheckInterval, func(now float64) {
-		s.checkPosition(sim, res, c, centreBU, observe, fail, now)
-	}); err != nil {
-		fail(err)
+func (rs *runState) scheduleCheck(c *call) {
+	if _, err := rs.sim.AfterOp(rs.s.cfg.CheckInterval, des.Op{Code: opCheck, Arg: c}); err != nil {
+		rs.fail(err)
 	}
 }
 
 // checkPosition advances the mobile and performs a handoff if it crossed a
 // cell boundary.
-func (s *Sim) checkPosition(sim *des.Sim, res *Result, c *call,
-	centreBU *float64, observe func(float64), fail func(error), now float64) {
-
+func (rs *runState) checkPosition(c *call, now float64) {
 	if c.ended {
 		return
 	}
+	s := rs.s
 	c.mover.Advance(s.cfg.CheckInterval)
 	st := c.mover.State()
+	// Fast path: still inside the serving cell's inscribed circle — no
+	// boundary crossing possible, so skip the full cube-rounding lookup.
+	if s.layout.InCell(c.cell, st.X, st.Y) {
+		rs.scheduleCheck(c)
+		return
+	}
 	newCell := s.layout.CellAt(st.X, st.Y)
 	if newCell == c.cell {
-		s.scheduleCheck(sim, res, c, centreBU, observe, fail)
+		rs.scheduleCheck(c)
 		return
 	}
 
-	if !s.cluster[newCell] {
+	if !s.idx.Contains(newCell) {
 		// The mobile left the simulated network; its capacity is freed.
-		s.release(res, c, centreBU, observe, fail, now)
-		s.retire(c, sim)
+		rs.releaseCall(c, now)
+		rs.retire(c)
 		if c.counted {
-			res.LeftNetwork++
+			rs.res.LeftNetwork++
 		}
 		return
 	}
 
 	// Handoff: the on-going call requests admission at the new cell.
 	if c.counted {
-		res.HandoffAttempts++
+		rs.res.HandoffAttempts++
 	}
 	bsX, bsY := s.layout.Center(newCell)
 	hreq := c.req
@@ -764,25 +956,25 @@ func (s *Sim) checkPosition(sim *des.Sim, res *Result, c *call,
 	if !d.Accept {
 		// Dropped mid-call: the QoS violation the paper's priority scheme
 		// is designed to avoid.
-		s.release(res, c, centreBU, observe, fail, now)
-		s.retire(c, sim)
+		rs.releaseCall(c, now)
+		rs.retire(c)
 		if c.counted {
-			res.Dropped++
+			rs.res.Dropped++
 		}
 		return
 	}
-	s.release(res, c, centreBU, observe, fail, now)
+	rs.releaseCall(c, now)
 	if c.counted {
-		res.HandoffAccepted++
+		rs.res.HandoffAccepted++
 	}
 	c.cell = newCell
 	c.req = hreq
 	c.alloc = d.Granted(hreq) // the new cell may grant a degraded rate
 	if c.cell == s.centre {
-		*centreBU += c.alloc
-		observe(now)
+		rs.centreBU += c.alloc
+		rs.observe(now)
 	}
-	s.scheduleCheck(sim, res, c, centreBU, observe, fail)
+	rs.scheduleCheck(c)
 }
 
 // reallocates reports whether the admitter's controllers can change
@@ -803,49 +995,47 @@ func (s *Sim) reallocates() bool {
 
 // retire removes a finished call from the simulation: it stops tracking
 // reallocations for it and cancels its pending end event.
-func (s *Sim) retire(c *call, sim *des.Sim) {
+func (rs *runState) retire(c *call) {
 	c.ended = true
-	delete(s.active, c.req.ID)
-	sim.Cancel(c.endEvt)
+	if rs.active != nil {
+		rs.active[c.req.ID] = nil
+	}
+	rs.sim.Cancel(c.endEvt)
 }
 
 // endCall completes a call that finished its holding time. Cancelling the
 // already-fired end event inside retire is a safe no-op.
-func (s *Sim) endCall(sim *des.Sim, res *Result, c *call,
-	centreBU *float64, observe func(float64), fail func(error), now float64) {
-
+func (rs *runState) endCall(c *call, now float64) {
 	if c.ended {
 		return
 	}
-	s.retire(c, sim)
-	s.release(res, c, centreBU, observe, fail, now)
+	rs.retire(c)
+	rs.releaseCall(c, now)
 	if c.counted {
-		res.Completed++
+		rs.res.Completed++
 	}
 }
 
-// release frees the call's bandwidth at its current cell, closing its
+// releaseCall frees the call's bandwidth at its current cell, closing its
 // bandwidth-integral accounting up to now.
-func (s *Sim) release(res *Result, c *call,
-	centreBU *float64, observe func(float64), fail func(error), now float64) {
-
-	s.accrue(res, c, now)
-	if err := s.adm.Release(c.cell, c.req); err != nil {
-		fail(fmt.Errorf("cellsim: release at %v: %w", c.cell, err))
+func (rs *runState) releaseCall(c *call, now float64) {
+	rs.accrue(c, now)
+	if err := rs.s.adm.Release(c.cell, c.req); err != nil {
+		rs.fail(fmt.Errorf("cellsim: release at %v: %w", c.cell, err))
 		return
 	}
-	if c.cell == s.centre {
-		*centreBU -= c.alloc
-		observe(now)
+	if c.cell == rs.s.centre {
+		rs.centreBU -= c.alloc
+		rs.observe(now)
 	}
 }
 
 // accrue extends the result's received/requested bandwidth integrals for
 // a counted call up to now at its current allocation.
-func (s *Sim) accrue(res *Result, c *call, now float64) {
+func (rs *runState) accrue(c *call, now float64) {
 	if c.counted && now > c.lastT {
-		res.BandwidthGranted += c.alloc * (now - c.lastT)
-		res.BandwidthRequested += c.req.Bandwidth * (now - c.lastT)
+		rs.res.BandwidthGranted += c.alloc * (now - c.lastT)
+		rs.res.BandwidthRequested += c.req.Bandwidth * (now - c.lastT)
 	}
 	c.lastT = now
 }

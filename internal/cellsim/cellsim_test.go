@@ -174,7 +174,7 @@ func TestControllersDrainedAfterRun(t *testing.T) {
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	for cell, ctrl := range adm.controllers {
+	for cell, ctrl := range adm.all() {
 		if got := ctrl.Occupancy(); got != 0 {
 			t.Errorf("cell %v occupancy after run = %v, want 0", cell, got)
 		}

@@ -36,7 +36,7 @@ func TestStaticModeDrainsControllers(t *testing.T) {
 	if _, err := s.Run(); err != nil {
 		t.Fatal(err)
 	}
-	for cell, ctrl := range adm.controllers {
+	for cell, ctrl := range adm.all() {
 		if got := ctrl.Occupancy(); got != 0 {
 			t.Errorf("cell %v occupancy after static run = %v", cell, got)
 		}

@@ -16,7 +16,7 @@ func TestAdaptBeatsGuardChannelOnDrops(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	guardCurve, err := RunCurve("guard", homogeneousConfig, GuardFactory(core.CounterMax, guardBand), DropPct, opts)
+	guardCurve, err := RunCurve("guard", homogeneousConfig, GuardFactory(core.CounterMax, GuardBand), DropPct, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

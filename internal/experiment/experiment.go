@@ -232,6 +232,29 @@ func SCCFactory() AdmitterFactory {
 	}
 }
 
+// SchemeFactory returns the admitter factory for one of the scheme ids in
+// SchemeIDs, honouring the options' surface setting — the paper-default
+// configuration of every scheme, as used by the figure head-to-heads. The
+// perf harness (internal/perf) builds its scheme x figure sweeps from it.
+func (o Options) SchemeFactory(id string) (AdmitterFactory, error) {
+	switch id {
+	case "facs":
+		return o.facsFactory(), nil
+	case "facsp":
+		return o.facspFactory(), nil
+	case "scc":
+		return SCCFactory(), nil
+	case "guard":
+		return GuardFactory(core.CounterMax, GuardBand), nil
+	case "adapt":
+		return AdaptFactory(), nil
+	case "adapt-fuzzy":
+		return o.adaptFuzzyFactory(), nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheme %q (have %v)", id, SchemeIDs())
+	}
+}
+
 // ConfigFunc produces the simulation config for one (load, seed) pair;
 // figure runners use it to pin speeds/angles and choose the cluster setup.
 type ConfigFunc func(load int, seed uint64) cellsim.Config
@@ -396,11 +419,12 @@ func Drops(opts Options) ([]Curve, error) {
 	return []Curve{facsp, facs}, nil
 }
 
-// guardBand is the handoff reservation of the guard-channel comparator in
+// GuardBand is the handoff reservation of the guard-channel comparator in
 // the adaptive-bandwidth experiments: 8 of the 40 BU, i.e. 20% of the cell
 // — a strong classical protection level for the degradation schemes to
-// beat (and the default of cmd/facs-server's guard scheme).
-const guardBand = 8
+// beat (and the default of cmd/facs-server's guard scheme). Exported so
+// the perf harness (internal/perf) can rebuild the same head-to-head.
+const GuardBand = 8
 
 // AdaptDrops is the adaptive-bandwidth head-to-head on the QoS metric the
 // scheme exists for: the percentage of admitted calls later dropped at a
@@ -422,7 +446,7 @@ func AdaptDrops(opts Options) ([]Curve, error) {
 		return nil, err
 	}
 	guard, err := RunCurve("guard-channel drop%", homogeneousConfig,
-		GuardFactory(core.CounterMax, guardBand), DropPct, opts)
+		GuardFactory(core.CounterMax, GuardBand), DropPct, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -444,7 +468,7 @@ func AdaptRatio(opts Options) ([]Curve, error) {
 		return nil, err
 	}
 	guard, err := RunCurve("guard-channel", homogeneousConfig,
-		GuardFactory(core.CounterMax, guardBand), BandwidthRatioPct, opts)
+		GuardFactory(core.CounterMax, GuardBand), BandwidthRatioPct, opts)
 	if err != nil {
 		return nil, err
 	}

@@ -87,8 +87,8 @@ func perCellCapacityFactory(capAt func(hexgrid.Coord) float64, build func(capaci
 
 // guardFraction is the guard-channel comparator's handoff reservation as a
 // fraction of each cell's capacity in scenario sweeps: the same 20%
-// protection level as the fixed guardBand on the paper's 40 BU cell.
-const guardFraction = guardBand / float64(core.CounterMax)
+// protection level as the fixed GuardBand on the paper's 40 BU cell.
+const guardFraction = GuardBand / float64(core.CounterMax)
 
 // ScenarioSchemeFactory returns the named scheme's admitter factory wired
 // to the scenario's per-cell capacities. The scheme ids are those of

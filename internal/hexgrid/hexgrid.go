@@ -120,6 +120,18 @@ func (l Layout) Center(c Coord) (x, y float64) {
 	return x, y
 }
 
+// InCell reports whether the world point (x, y) certainly lies inside the
+// given cell, by testing against the cell's inscribed circle. A false
+// return means "maybe outside": the point is in the corner region where
+// only full cube rounding (CellAt) can decide. Simulation tick loops use
+// it as a cheap same-cell fast path.
+func (l Layout) InCell(c Coord, x, y float64) bool {
+	cx, cy := l.Center(c)
+	dx, dy := x-cx, y-cy
+	w := l.Size * math.Sqrt(3) / 2 // inradius of a pointy-top hexagon
+	return dx*dx+dy*dy < w*w
+}
+
 // CellAt returns the cell containing the world point (x, y), using
 // fractional axial coordinates with cube rounding.
 func (l Layout) CellAt(x, y float64) Coord {

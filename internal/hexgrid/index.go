@@ -1,0 +1,61 @@
+package hexgrid
+
+import "fmt"
+
+// Index is a compiled dense numbering of the cells of a disk-shaped
+// cluster: every cell within Radius hops of Center maps to a stable small
+// integer in [0, Slots), so per-cell state can live in a flat slice
+// instead of a map on simulation hot paths.
+//
+// The numbering is positional (a (2R+1) x (2R+1) axial bounding square),
+// so some slot numbers in [0, Slots) correspond to no cluster cell; Slots
+// is the array size to allocate, Cells the number of live cells.
+type Index struct {
+	center Coord
+	radius int
+	side   int
+}
+
+// NewIndex compiles the dense index of the disk of the given radius
+// around center. It panics on a negative radius: cluster geometry is
+// static configuration, so a bad value is a programming error.
+func NewIndex(center Coord, radius int) Index {
+	if radius < 0 {
+		panic(fmt.Sprintf("hexgrid: negative index radius %d", radius))
+	}
+	return Index{center: center, radius: radius, side: 2*radius + 1}
+}
+
+// Center returns the cluster's centre cell.
+func (ix Index) Center() Coord { return ix.center }
+
+// Radius returns the cluster radius in cells.
+func (ix Index) Radius() int { return ix.radius }
+
+// Slots returns the dense numbering's exclusive upper bound: the length
+// to allocate for a slice indexed by Of.
+func (ix Index) Slots() int { return ix.side * ix.side }
+
+// Cells returns the number of cells in the cluster (1 + 3R(R+1)).
+func (ix Index) Cells() int { return 1 + 3*ix.radius*(ix.radius+1) }
+
+// Of returns the cell's dense slot and whether the cell lies inside the
+// cluster. It is pure arithmetic — no map lookups, no allocation.
+func (ix Index) Of(c Coord) (int, bool) {
+	dq := c.Q - ix.center.Q
+	dr := c.R - ix.center.R
+	if !ix.inDisk(dq, dr) {
+		return 0, false
+	}
+	return (dq+ix.radius)*ix.side + (dr + ix.radius), true
+}
+
+// Contains reports whether the cell lies inside the cluster.
+func (ix Index) Contains(c Coord) bool {
+	return ix.inDisk(c.Q-ix.center.Q, c.R-ix.center.R)
+}
+
+// inDisk tests hex distance <= radius on centre-relative axial offsets.
+func (ix Index) inDisk(dq, dr int) bool {
+	return abs(dq) <= ix.radius && abs(dr) <= ix.radius && abs(dq+dr) <= ix.radius
+}

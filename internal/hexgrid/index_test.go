@@ -1,0 +1,49 @@
+package hexgrid
+
+import "testing"
+
+func TestIndexCoversDisk(t *testing.T) {
+	for _, radius := range []int{0, 1, 2, 3} {
+		center := Coord{Q: 2, R: -1}
+		ix := NewIndex(center, radius)
+		cells := Disk(center, radius)
+		if got := ix.Cells(); got != len(cells) {
+			t.Errorf("radius %d: Cells = %d, want %d", radius, got, len(cells))
+		}
+		seen := make(map[int]bool)
+		for _, c := range cells {
+			slot, ok := ix.Of(c)
+			if !ok {
+				t.Fatalf("radius %d: cluster cell %v not indexed", radius, c)
+			}
+			if slot < 0 || slot >= ix.Slots() {
+				t.Fatalf("radius %d: slot %d outside [0, %d)", radius, slot, ix.Slots())
+			}
+			if seen[slot] {
+				t.Fatalf("radius %d: slot %d assigned twice", radius, slot)
+			}
+			seen[slot] = true
+			if !ix.Contains(c) {
+				t.Errorf("radius %d: Contains(%v) = false for a cluster cell", radius, c)
+			}
+		}
+		// Every cell just outside the disk must be rejected.
+		for _, c := range Ring(center, radius+1) {
+			if _, ok := ix.Of(c); ok {
+				t.Errorf("radius %d: outside cell %v indexed", radius, c)
+			}
+			if ix.Contains(c) {
+				t.Errorf("radius %d: Contains(%v) = true outside the disk", radius, c)
+			}
+		}
+	}
+}
+
+func TestIndexPanicsOnNegativeRadius(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewIndex(-1) did not panic")
+		}
+	}()
+	NewIndex(Coord{}, -1)
+}

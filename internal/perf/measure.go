@@ -1,0 +1,91 @@
+package perf
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// maxIterations bounds the measurement loop's growth; at any realistic
+// per-op cost the time budget is hit long before it.
+const maxIterations = 1 << 30
+
+// Measure runs the spec until the timed region has covered at least
+// minTime (growing the iteration count geometrically, the way the
+// testing package does) and returns its per-op numbers. Setup (Spec.New)
+// and one warm-up iteration run outside the timed region, so process-wide
+// caches — compiled decision surfaces, pooled run state — are warm when
+// timing starts.
+func (s Spec) Measure(minTime time.Duration) (Result, error) {
+	body, err := s.New()
+	if err != nil {
+		return Result{}, fmt.Errorf("perf: %s: setup: %w", s.Name, err)
+	}
+	if _, err := body(1); err != nil {
+		return Result{}, fmt.Errorf("perf: %s: warm-up: %w", s.Name, err)
+	}
+	var m0, m1 runtime.MemStats
+	n := 1
+	for {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		calls, err := body(n)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return Result{}, fmt.Errorf("perf: %s: %w", s.Name, err)
+		}
+		if elapsed >= minTime || n >= maxIterations {
+			r := Result{
+				Name:        s.Name,
+				Iterations:  n,
+				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
+				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(n),
+				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+			}
+			if calls > 0 && elapsed > 0 {
+				r.SimCallsPerSec = float64(calls) / elapsed.Seconds()
+			}
+			return r, nil
+		}
+		// Predict the iteration count that lands past minTime with ~20%
+		// headroom, growing at most 100x per round (the testing package's
+		// strategy against wildly wrong early estimates).
+		next := n * 100
+		if elapsed > 0 {
+			next = int(1.2 * float64(minTime) / (float64(elapsed) / float64(n)))
+		}
+		switch {
+		case next <= n:
+			next = n + 1
+		case next > n*100:
+			next = n * 100
+		}
+		n = next
+	}
+}
+
+// BenchSpec adapts a spec to a testing benchmark, so `go test -bench .`
+// exercises exactly the bodies the facs-bench gate measures. Sweep specs
+// additionally report simulated calls per wall-clock second.
+func BenchSpec(b *testing.B, s Spec) {
+	b.Helper()
+	body, err := s.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := body(1); err != nil { // warm process-wide caches
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	calls, err := body(b.N)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if calls > 0 && b.Elapsed() > 0 {
+		b.ReportMetric(float64(calls)/b.Elapsed().Seconds(), "simcalls/s")
+	}
+}

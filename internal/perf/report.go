@@ -1,0 +1,215 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ReportSchema is the BENCH.json schema version; bump on breaking layout
+// changes so downstream tooling can reject files it does not understand.
+const ReportSchema = 1
+
+// Result is one spec's measured numbers.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// SimCallsPerSec is the sweep throughput: simulated connection
+	// requests driven per wall-clock second. 0 for micro-benchmarks.
+	SimCallsPerSec float64 `json:"sim_calls_per_sec,omitempty"`
+}
+
+// Report is the machine-readable BENCH.json artifact: every measured
+// result plus the environment it was measured in.
+type Report struct {
+	Schema      int    `json:"schema"`
+	GoVersion   string `json:"go"`
+	GOOS        string `json:"goos"`
+	GOARCH      string `json:"goarch"`
+	CPUs        int    `json:"cpus"`
+	Suite       string `json:"suite"`
+	GeneratedAt string `json:"generated_at,omitempty"`
+	// Note records caveats for human readers (e.g. which machine class
+	// the committed baseline was measured on).
+	Note    string   `json:"note,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// NewReport assembles a report for the current environment.
+func NewReport(suite string, results []Result) *Report {
+	return &Report{
+		Schema:      ReportSchema,
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		CPUs:        runtime.NumCPU(),
+		Suite:       suite,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Results:     results,
+	}
+}
+
+// Write emits the report as indented JSON.
+func (r *Report) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to path ("-" means stdout).
+func (r *Report) WriteFile(path string) error {
+	if path == "-" {
+		return r.Write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Write(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadReport loads a BENCH.json report.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("perf: %s: unsupported schema %d (want %d)", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// Regression is one spec that regressed past the gate tolerance.
+type Regression struct {
+	Name string
+	// Metric is "ns/op" or "allocs/op".
+	Metric   string
+	Baseline float64
+	Current  float64
+	// Ratio is Current / Baseline (1.30 = 30% worse). For ns/op it is the
+	// hardware-normalized ratio (divided by the comparison's Scale).
+	Ratio float64
+}
+
+// Comparison is the outcome of diffing a fresh report against a
+// committed baseline.
+type Comparison struct {
+	// Regressions lists the specs that regressed, in name order.
+	Regressions []Regression
+	// Missing lists baseline specs absent from the current report —
+	// renaming or dropping a gated spec must be an explicit baseline
+	// update, never a silent pass.
+	Missing []string
+	// Scale is the hardware-delta estimate the ns/op gate normalizes by:
+	// the median current/baseline ns/op ratio across the common micro/
+	// specs (falling back to all common specs when none are micro). A
+	// baseline measured on a slower machine yields Scale < 1; a faster
+	// one, Scale > 1. Values far from 1 mean the baseline should be
+	// regenerated on comparable hardware.
+	Scale float64
+}
+
+// allocSlack is the absolute allocs/op jitter tolerated on top of the
+// relative tolerance: the runtime's MemStats accounting can attribute a
+// couple of background allocations to the measured window.
+const allocSlack = 2
+
+// Compare diffs current against baseline with tolerance maxRegress
+// (0.30 = 30%) on two gates:
+//
+//   - allocs/op, compared directly — allocation counts are
+//     hardware-independent, so this gate travels between machines.
+//   - ns/op, normalized by the median current/baseline ratio across the
+//     micro/ specs (Comparison.Scale). The normalization absorbs the
+//     uniform speed difference between the machine that produced the
+//     committed baseline and the machine running the gate, so what fails
+//     is a spec that regressed relative to its peers. Anchoring the
+//     median on the micro specs (tiny deterministic kernels, the set
+//     least likely to co-move with a sweep change) keeps the gate honest
+//     when several sweep specs regress together: the corner conceded is
+//     a change that uniformly slows the majority of micro specs without
+//     touching their allocation counts, which the allocs/op gate and the
+//     printed Scale still surface.
+//
+// Specs new in current are ignored (they gate once they enter the
+// baseline).
+func Compare(baseline, current *Report, maxRegress float64) Comparison {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	base := append([]Result(nil), baseline.Results...)
+	sort.Slice(base, func(i, j int) bool { return base[i].Name < base[j].Name })
+
+	cmp := Comparison{Scale: 1}
+	var microRatios, allRatios []float64
+	for _, b := range base {
+		if c, ok := cur[b.Name]; ok && b.NsPerOp > 0 && c.NsPerOp > 0 {
+			allRatios = append(allRatios, c.NsPerOp/b.NsPerOp)
+			if strings.HasPrefix(b.Name, "micro/") {
+				microRatios = append(microRatios, c.NsPerOp/b.NsPerOp)
+			}
+		}
+	}
+	if ratios := microRatios; len(ratios) > 0 {
+		cmp.Scale = median(ratios)
+	} else if len(allRatios) > 0 {
+		cmp.Scale = median(allRatios)
+	}
+
+	for _, b := range base {
+		c, ok := cur[b.Name]
+		if !ok {
+			cmp.Missing = append(cmp.Missing, b.Name)
+			continue
+		}
+		if b.NsPerOp > 0 {
+			ratio := c.NsPerOp / b.NsPerOp / cmp.Scale
+			if ratio > 1+maxRegress {
+				cmp.Regressions = append(cmp.Regressions, Regression{
+					Name: b.Name, Metric: "ns/op",
+					Baseline: b.NsPerOp, Current: c.NsPerOp, Ratio: ratio,
+				})
+			}
+		}
+		if c.AllocsPerOp > b.AllocsPerOp*(1+maxRegress)+allocSlack {
+			ratio := 0.0
+			if b.AllocsPerOp > 0 {
+				ratio = c.AllocsPerOp / b.AllocsPerOp
+			}
+			cmp.Regressions = append(cmp.Regressions, Regression{
+				Name: b.Name, Metric: "allocs/op",
+				Baseline: b.AllocsPerOp, Current: c.AllocsPerOp, Ratio: ratio,
+			})
+		}
+	}
+	return cmp
+}
+
+// median returns the median of the values, averaging the middle pair for
+// even counts. It sorts its argument in place.
+func median(v []float64) float64 {
+	sort.Float64s(v)
+	n := len(v)
+	if n%2 == 0 {
+		return (v[n/2-1] + v[n/2]) / 2
+	}
+	return v[n/2]
+}

@@ -85,10 +85,17 @@ func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 // Use it to hand child components their own streams so that inserting a new
 // consumer does not perturb the draws seen by existing ones.
 func (s *Source) Split() *Source {
+	return New(s.SplitSeed())
+}
+
+// SplitSeed advances s exactly as Split does and returns the derived
+// stream's seed instead of allocating a Source for it. Reseeding any
+// Source with the result reproduces Split's child stream bit for bit;
+// allocation-averse callers keep a Source by value and Reseed it.
+func (s *Source) SplitSeed() uint64 {
 	// Mix two outputs through SplitMix64 to decorrelate the child stream
 	// from the parent's continuation.
-	seed := s.Uint64() ^ rotl(s.Uint64(), 32)
-	return New(seed)
+	return s.Uint64() ^ rotl(s.Uint64(), 32)
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.

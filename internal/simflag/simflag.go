@@ -1,0 +1,64 @@
+// Package simflag holds the flag parsing and validation shared by the
+// sweep-driving commands (cmd/facs-sim, cmd/facs-bench), so an invalid
+// -loads or -reps value fails with one consistent usage error at the flag
+// boundary instead of a panic deep inside a worker goroutine.
+package simflag
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"facsp/internal/experiment"
+)
+
+// ParseLoads parses a comma-separated -loads list ("10,25,50,100") into
+// the sweep's x axis. Empty and negative entries are usage errors.
+func ParseLoads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad load %q: %w", p, err)
+		}
+		if n < 0 {
+			return nil, fmt.Errorf("negative load %d", n)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// SweepOptions validates the shared sweep flags and assembles the
+// experiment options. loads == "" keeps the caller's default grid
+// (Options.Loads nil); reps must be at least 1, workers non-negative
+// (0 = GOMAXPROCS), and surface 0 (exact inference) or a grid resolution
+// of at least 2.
+func SweepOptions(loads string, reps, workers, surface int, baseSeed uint64) (experiment.Options, error) {
+	if reps < 1 {
+		return experiment.Options{}, fmt.Errorf("-reps %d: must be at least 1", reps)
+	}
+	if workers < 0 {
+		return experiment.Options{}, fmt.Errorf("-workers %d: must be non-negative (0 = GOMAXPROCS)", workers)
+	}
+	if surface < 0 || surface == 1 {
+		// Phrased neutrally: 0 means exact inference to facs-sim but the
+		// default surface resolution to facs-bench's /surface variants.
+		return experiment.Options{}, fmt.Errorf("-surface %d: must be 0 (the command's default) or a grid resolution >= 2", surface)
+	}
+	opts := experiment.Options{
+		Replications:      reps,
+		Workers:           workers,
+		BaseSeed:          baseSeed,
+		SurfaceResolution: surface,
+	}
+	if loads != "" {
+		parsed, err := ParseLoads(loads)
+		if err != nil {
+			return experiment.Options{}, err
+		}
+		opts.Loads = parsed
+	}
+	return opts, nil
+}

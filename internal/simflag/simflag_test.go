@@ -1,0 +1,82 @@
+package simflag
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseLoads(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{in: "10", want: []int{10}},
+		{in: "10, 25,50", want: []int{10, 25, 50}},
+		{in: "0,5", want: []int{0, 5}},
+		{in: "", wantErr: true},
+		{in: "x", wantErr: true},
+		{in: "10,,20", wantErr: true},
+		{in: "-5", wantErr: true},
+	}
+	for _, tt := range tests {
+		got, err := ParseLoads(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("ParseLoads(%q) = %v, want error", tt.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseLoads(%q) error = %v", tt.in, err)
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("ParseLoads(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("ParseLoads(%q)[%d] = %d, want %d", tt.in, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+func TestSweepOptionsValidation(t *testing.T) {
+	for _, tt := range []struct {
+		name                   string
+		loads                  string
+		reps, workers, surface int
+		wantErr                string
+	}{
+		{name: "ok-defaults", loads: "", reps: 20},
+		{name: "ok-explicit", loads: "10,100", reps: 2, workers: 4, surface: 33},
+		{name: "zero-reps", reps: 0, wantErr: "-reps"},
+		{name: "negative-reps", reps: -3, wantErr: "-reps"},
+		{name: "negative-workers", reps: 1, workers: -1, wantErr: "-workers"},
+		{name: "surface-one", reps: 1, surface: 1, wantErr: "-surface"},
+		{name: "surface-negative", reps: 1, surface: -2, wantErr: "-surface"},
+		{name: "bad-loads", loads: "10,x", reps: 1, wantErr: "bad load"},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			opts, err := SweepOptions(tt.loads, tt.reps, tt.workers, tt.surface, 7)
+			if tt.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("SweepOptions error = %v, want mention of %q", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if opts.Replications != tt.reps || opts.Workers != tt.workers ||
+				opts.SurfaceResolution != tt.surface || opts.BaseSeed != 7 {
+				t.Errorf("SweepOptions = %+v, want the inputs passed through", opts)
+			}
+			if tt.loads == "" && opts.Loads != nil {
+				t.Errorf("empty -loads produced %v, want nil (default grid)", opts.Loads)
+			}
+		})
+	}
+}
