@@ -16,6 +16,10 @@
 //	facs-sim -scenario flash-crowd   # rank every scheme on a scenario
 //	facs-sim -scenario highway -metric drops   # ... on dropped-call %
 //	facs-sim -scenario my-city.json  # run your own scenario file
+//	facs-sim -generate-city > c.json           # emit a synthetic city
+//	facs-sim -generate-city -city-radius 18    # ... at ~1000 cells
+//	facs-sim -city metro-city                  # one sharded city run
+//	facs-sim -city c.json -city-workers 8      # ... across 8 workers
 //
 // Figures: 7 (FACS vs SCC), 8 (FACS-P by speed), 9 (FACS-P by angle),
 // 10 (FACS-P vs FACS), drops (dropped-call percentage, FACS-P vs FACS),
@@ -32,9 +36,22 @@
 // adapt-fuzzy) on the same sweep; -metric picks the y axis: accepted
 // (acceptance %), drops (dropped-call %), or ratio (received/requested
 // bandwidth %). The named library holds flash-crowd, stadium-hotspot,
-// highway and diurnal-city; -scenario also accepts a path to your own
-// JSON file (any argument containing a path separator or ending in
-// .json).
+// highway, diurnal-city and metro-city; -scenario also accepts a path to
+// your own JSON file (any argument containing a path separator or ending
+// in .json).
+//
+// City-scale runs (-city, -generate-city) use the multi-cluster topology
+// support (scenario schema 2) and the cell-group-sharded engine.
+// -generate-city emits a parameterised synthetic city — downtown core,
+// suburb band, arterial highways, stadium hotspots, dead zones — as
+// scenario JSON on stdout (-city-radius, -city-seed, -city-name). -city
+// runs ONE simulation of a scenario (name or file) sharded across
+// worker-owned cell groups and prints its call accounting plus simulated
+// calls per wall-clock second; -city-scheme picks the admission scheme
+// (any per-cell scheme; scc cannot shard), -city-load scales the offered
+// traffic, and -city-groups / -city-workers control the split. Workers
+// own whole cell groups, so -city-workers above the group count is a
+// usage error; the metrics are bit-identical for every worker count.
 //
 // Sweeps are sharded: every (load, replication) cell runs as an independent
 // simulation with a deterministic RNG substream, so -workers changes only
@@ -50,12 +67,15 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"facsp/internal/experiment"
+	"facsp/internal/hexgrid"
 	"facsp/internal/plot"
 	"facsp/internal/scenario"
 	"facsp/internal/simflag"
 	"facsp/internal/stats"
+	"facsp/internal/traffic"
 )
 
 func main() {
@@ -80,6 +100,16 @@ func run(args []string) error {
 		csvPath  = fs.String("csv", "", "also write tidy CSV to this path ('-' for stdout)")
 		noChart  = fs.Bool("no-chart", false, "suppress the ASCII chart")
 		withCI   = fs.Bool("ci", false, "print a per-point table with 95% confidence half-widths")
+
+		genCity     = fs.Bool("generate-city", false, "emit a synthetic-city scenario as JSON on stdout and exit")
+		cityRadius  = fs.Int("city-radius", 0, "generator: metro disk radius in cells (0 = default 8; 18 is ~1000 cells)")
+		citySeed    = fs.Uint64("city-seed", 0, "generator: layout seed (0 = the default layout)")
+		cityName    = fs.String("city-name", "", "generator: scenario name (default city)")
+		city        = fs.String("city", "", "run ONE sharded city simulation of this scenario (library name or JSON path)")
+		cityScheme  = fs.String("city-scheme", "facsp", "city: admission scheme (per-cell schemes only)")
+		cityLoad    = fs.Int("city-load", 8, "city: per-unit-load requesting connections (each cell offers load x its multiplier)")
+		cityGroups  = fs.Int("city-groups", 0, "city: cell-group count (0 = topology default); part of the run's identity, not a tuning knob")
+		cityWorkers = fs.Int("city-workers", 0, "city: worker goroutines, at most the group count (0 = GOMAXPROCS capped)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,9 +125,22 @@ func run(args []string) error {
 	if explicit["metric"] && *scen == "" {
 		return fmt.Errorf("-metric applies only to -scenario runs")
 	}
+	modes := 0
+	for _, on := range []bool{explicit["fig"] || *scen != "", *genCity, *city != ""} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		return fmt.Errorf("-generate-city, -city and figure/scenario sweeps are mutually exclusive")
+	}
 
 	if *listScen {
 		return printScenarios(os.Stdout)
+	}
+
+	if *genCity {
+		return generateCity(os.Stdout, *cityName, *cityRadius, *citySeed)
 	}
 
 	// Flag validation is shared with cmd/facs-bench (internal/simflag): an
@@ -106,6 +149,10 @@ func run(args []string) error {
 	opts, err := simflag.SweepOptions(*loads, *reps, *workers, *surface, *seed)
 	if err != nil {
 		return err
+	}
+
+	if *city != "" {
+		return runCity(os.Stdout, *city, *cityScheme, *cityLoad, *cityGroups, *cityWorkers, *seed, opts)
 	}
 
 	if *scen != "" {
@@ -185,6 +232,90 @@ func scenarioMetric(id string) (experiment.Metric, string, error) {
 	default:
 		return nil, "", fmt.Errorf("unknown metric %q (have accepted, drops, ratio)", id)
 	}
+}
+
+// generateCity emits a synthetic-city scenario as JSON.
+func generateCity(w io.Writer, name string, radius int, seed uint64) error {
+	s, err := scenario.GenerateCity(scenario.CityParams{Name: name, MetroRadius: radius, Seed: seed})
+	if err != nil {
+		return err
+	}
+	data, err := s.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// runCity executes one sharded city simulation and prints its call
+// accounting. Unlike the sweep modes, this is a single run: the topology
+// is partitioned into cell groups and workers own whole groups, so the
+// wall clock drops with -city-workers while every metric stays
+// bit-identical.
+func runCity(w io.Writer, arg, scheme string, load, groups, workers int, seed uint64, opts experiment.Options) error {
+	s, err := loadScenarioArg(arg)
+	if err != nil {
+		return err
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	// Validate the group/worker split at the flag boundary, against the
+	// same topology the run will shard (a scenario without a topology
+	// section shards its legacy rings disk).
+	cfg, err := s.ConfigFor(load, seed)
+	if err != nil {
+		return err
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = hexgrid.DiskTopology(hexgrid.Coord{}, cfg.Rings)
+	}
+	shard, err := simflag.CityShard(groups, workers, topo)
+	if err != nil {
+		return err
+	}
+	resolvedGroups, resolvedWorkers, err := shard.Resolve(topo)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	res, err := experiment.RunCity(s, experiment.CityRun{
+		Scheme: scheme, Load: load, Seed: seed, Shard: shard,
+	}, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	fmt.Fprintf(w, "city %s: %d cells, %d groups, %d workers, scheme %s, load %d, seed %d\n",
+		s.Name, topo.Cells(), resolvedGroups, resolvedWorkers, scheme, load, seed)
+	fmt.Fprintf(w, "  new calls        %8d offered, %d accepted (%.1f%%), %d blocked\n",
+		res.Requests, res.Accepted, pct(res.Accepted, res.Requests), res.Blocked)
+	fmt.Fprintf(w, "  handoffs         %8d attempted, %d accepted (%.1f%%), %d calls dropped\n",
+		res.HandoffAttempts, res.HandoffAccepted, pct(res.HandoffAccepted, res.HandoffAttempts), res.Dropped)
+	fmt.Fprintf(w, "  call fates       %8d completed, %d left the network\n", res.Completed, res.LeftNetwork)
+	for _, class := range traffic.Classes() {
+		fmt.Fprintf(w, "  class %-10s %8d offered, %d accepted (%.1f%%)\n",
+			class, res.RequestsByClass[class], res.AcceptedByClass[class],
+			pct(res.AcceptedByClass[class], res.RequestsByClass[class]))
+	}
+	fmt.Fprintf(w, "  bandwidth        %12.1f BU*s granted / %.1f BU*s requested (%.1f%%)\n",
+		res.BandwidthGranted, res.BandwidthRequested, 100*res.BandwidthRatio())
+	fmt.Fprintf(w, "  centre cell      %12.1f BU mean occupancy\n", res.CentreUtilization)
+	fmt.Fprintf(w, "  wall clock       %12v  (%.0f simulated calls/s)\n",
+		elapsed.Round(time.Millisecond), float64(res.NetworkRequests)/elapsed.Seconds())
+	return nil
+}
+
+// pct is a safe percentage for report lines.
+func pct(part, whole int) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
 }
 
 // runScenario ranks every scheme on one scenario and emits the result.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -155,7 +156,11 @@ func TestDocCommentMatchesRegistries(t *testing.T) {
 			t.Errorf("facs-sim doc comment does not mention scheme id %q", id)
 		}
 	}
-	for _, flagName := range []string{"-scenario", "-list-scenarios", "-metric", "-fig", "-csv", "-workers", "-surface"} {
+	for _, flagName := range []string{
+		"-scenario", "-list-scenarios", "-metric", "-fig", "-csv", "-workers", "-surface",
+		"-generate-city", "-city", "-city-scheme", "-city-load", "-city-groups", "-city-workers",
+		"-city-radius", "-city-seed", "-city-name",
+	} {
 		if !strings.Contains(doc, flagName) {
 			t.Errorf("facs-sim doc comment does not mention flag %q", flagName)
 		}
@@ -198,5 +203,64 @@ func TestRunWritesCSV(t *testing.T) {
 	// 2 curves x 2 loads + header = 5 lines.
 	if got := strings.Count(out, "\n"); got != 5 {
 		t.Errorf("CSV has %d lines, want 5:\n%s", got, out)
+	}
+}
+
+func TestGenerateCityEmitsValidScenario(t *testing.T) {
+	var buf bytes.Buffer
+	if err := generateCity(&buf, "", 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.FromJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("generated city does not parse back: %v", err)
+	}
+	if s.Schema != scenario.SchemaVersion || s.Topology == nil {
+		t.Errorf("generated city schema=%d topology=%v", s.Schema, s.Topology)
+	}
+	if err := generateCity(io.Discard, "", 1, 0); err == nil {
+		t.Error("bad -city-radius accepted")
+	}
+}
+
+func TestRunCityMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := runCity(&buf, "metro-city", "guard", 4, 8, 2, 1, experiment.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"222 cells", "8 groups", "2 workers", "simulated calls/s", "class video"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("city report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunCityRejectsWorkerOverflow(t *testing.T) {
+	err := run([]string{"-city", "metro-city", "-city-groups", "4", "-city-workers", "9"})
+	if err == nil {
+		t.Fatal("9 workers over 4 groups accepted")
+	}
+	if !strings.Contains(err.Error(), "-city-workers") {
+		t.Errorf("error %q does not name the flag", err)
+	}
+}
+
+func TestRunCityRejectsSCCScheme(t *testing.T) {
+	if err := run([]string{"-city", "metro-city", "-city-scheme", "scc", "-city-load", "2"}); err == nil {
+		t.Error("network-level scc accepted for a sharded city run")
+	}
+}
+
+func TestCityModeExclusivity(t *testing.T) {
+	if err := run([]string{"-city", "metro-city", "-fig", "10"}); err == nil {
+		t.Error("-city with -fig accepted")
+	}
+	if err := run([]string{"-generate-city", "-scenario", "highway"}); err == nil {
+		t.Error("-generate-city with -scenario accepted")
+	}
+	if err := run([]string{"-generate-city", "-city", "metro-city"}); err == nil {
+		t.Error("-generate-city with -city accepted")
 	}
 }

@@ -7,6 +7,7 @@ package facsp_test
 // registries grow. CI runs them on every push.
 
 import (
+	"fmt"
 	"os"
 	"regexp"
 	"strings"
@@ -56,8 +57,15 @@ func TestDocsScenarioCookbookMatchesLibrary(t *testing.T) {
 			t.Errorf("SCENARIOS.md does not mention scheme id `%s`", id)
 		}
 	}
-	if !strings.Contains(cookbook, `"schema": 1`) {
-		t.Error("SCENARIOS.md does not show the current schema version")
+	current := fmt.Sprintf(`"schema": %d`, scenario.SchemaVersion)
+	if !strings.Contains(cookbook, current) {
+		t.Errorf("SCENARIOS.md does not show the current schema version (%s)", current)
+	}
+	if !strings.Contains(cookbook, "`topology`") {
+		t.Error("SCENARIOS.md does not document the topology section")
+	}
+	if !strings.Contains(cookbook, "-generate-city") {
+		t.Error("SCENARIOS.md does not document the city generator")
 	}
 }
 

@@ -323,6 +323,37 @@ func RunScenario(s *Scenario, opts ExperimentOptions) ([]Curve, error) {
 	return experiment.RunScenario(s, opts)
 }
 
+// CityParams parameterizes the synthetic-city scenario generator: a
+// metro disk with a downtown core, a suburb band, arterial highway
+// corridors extending past the metro edge, stadium-style hot spots and
+// dead zones. The zero value (plus a Name) generates the embedded
+// metro-city scenario; see SCENARIOS.md "Generate a city".
+type CityParams = scenario.CityParams
+
+// GenerateCity builds a schema-2 scenario from city parameters. The
+// output is a pure function of p, so the same parameters always produce
+// the same scenario document.
+func GenerateCity(p CityParams) (*Scenario, error) { return scenario.GenerateCity(p) }
+
+// ShardOptions sizes the cell-group-sharded city engine: how many cell
+// groups the topology is partitioned into and how many workers own
+// them. Zero values pick defaults at run time.
+type ShardOptions = cellsim.ShardOptions
+
+// CityRun names one city-scale simulation: a scheme, a load level, a
+// seed and the shard sizing.
+type CityRun = experiment.CityRun
+
+// RunCity executes ONE simulation over a scenario's multi-cluster
+// topology, sharded cell-group-per-worker. Per-cell RNG substreams are
+// keyed by topology slot and cross-group handoffs merge in a canonical
+// order, so results are bit-identical for any ShardOptions — worker
+// count and group count alike. Schemes without per-cell compiled state
+// (scc) are rejected.
+func RunCity(s *Scenario, run CityRun, opts ExperimentOptions) (SimResult, error) {
+	return experiment.RunCity(s, run, opts)
+}
+
 // RenderChart draws curves as an ASCII chart onto w.
 func RenderChart(w io.Writer, title string, curves []Curve) error {
 	series := make([]stats.Series, len(curves))

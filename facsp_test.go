@@ -186,3 +186,21 @@ func TestRunFigureAndRender(t *testing.T) {
 		t.Error("CSV missing header")
 	}
 }
+
+func TestGenerateCityAndRunCity(t *testing.T) {
+	s, err := GenerateCity(CityParams{Name: "wrapper-city", MetroRadius: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := CityRun{Scheme: "guard", Load: 6, Seed: 1, Shard: ShardOptions{Workers: 2}}
+	res, err := RunCity(s, run, ExperimentOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetworkRequests == 0 {
+		t.Error("city run offered no calls")
+	}
+	if _, err := GenerateCity(CityParams{Name: "bad", MetroRadius: 1}); err == nil {
+		t.Error("GenerateCity accepted a degenerate radius")
+	}
+}

@@ -21,8 +21,15 @@
 // The simulation core is allocation-free in steady state: events are
 // typed des ops over pre-drawn arrival and call slabs, per-run state is
 // recycled through a pool across replications, and per-cell lookups run
-// over a compiled dense cluster index (hexgrid.Index) instead of maps.
+// over a compiled dense topology (hexgrid.Topology) instead of maps.
 // Sweep throughput is tracked by internal/perf and cmd/facs-bench.
+//
+// Two execution engines share that model. Run executes one event loop over
+// the whole network — the paper's reference path, bit-for-bit stable since
+// the first release. RunSharded (sharded.go) partitions the topology into
+// cell groups, runs each group on its own event heap and RNG substream,
+// and exchanges cross-cell handoffs at epoch barriers — the engine for
+// city-scale topologies of hundreds to thousands of cells.
 //
 // All randomness flows from the Config seed; runs are reproducible
 // bit-for-bit regardless of how the enclosing sweep is sharded.
@@ -30,7 +37,6 @@ package cellsim
 
 import (
 	"fmt"
-	"math"
 	"sync"
 
 	"facsp/internal/cac"
@@ -66,12 +72,16 @@ type AdaptiveAdmitter interface {
 	SetBandwidthObserver(func(cell hexgrid.Coord, id uint64, allocBU float64))
 }
 
-// ClusterCompiler is implemented by admitters that can precompile
-// per-cell state over a cluster's dense index (hexgrid.Index). The
-// simulator invokes it once at construction so per-cell lookups on the
-// admission hot path become slice indexing instead of map access.
-type ClusterCompiler interface {
-	CompileCluster(hexgrid.Index)
+// TopologyCompiler is implemented by admitters that can precompile
+// per-cell state over a network topology's dense slot numbering
+// (hexgrid.Topology). The simulator invokes it once at construction so
+// per-cell lookups on the admission hot path become slice indexing
+// instead of map access. Compilation must instantiate every cell's state
+// eagerly: the sharded runner admits on different cells from different
+// worker goroutines, which is only race-free when no lazy first-use
+// writes remain.
+type TopologyCompiler interface {
+	CompileTopology(*hexgrid.Topology)
 }
 
 // PerCell adapts a factory of independent per-cell controllers (the shape
@@ -80,23 +90,22 @@ type ClusterCompiler interface {
 // changes are forwarded to the observer installed with
 // SetBandwidthObserver, tagged with the controller's cell.
 //
-// Controllers for cells inside a compiled cluster (CompileCluster) live
+// Controllers for cells inside a compiled topology (CompileTopology) live
 // in a dense slice; cells outside it fall back to a map, so a PerCell
 // admitter keeps working for arbitrary coordinates.
 type PerCell struct {
 	factory func(hexgrid.Coord) cac.Controller
 	obs     func(cell hexgrid.Coord, id uint64, allocBU float64)
 
-	idx     hexgrid.Index
-	indexed bool
-	dense   []cac.Controller
-	extra   map[hexgrid.Coord]cac.Controller // cells outside the compiled index
+	topo  *hexgrid.Topology
+	dense []cac.Controller
+	extra map[hexgrid.Coord]cac.Controller // cells outside the compiled topology
 }
 
 var (
 	_ Admitter         = (*PerCell)(nil)
 	_ AdaptiveAdmitter = (*PerCell)(nil)
-	_ ClusterCompiler  = (*PerCell)(nil)
+	_ TopologyCompiler = (*PerCell)(nil)
 )
 
 // NewPerCell builds a PerCell admitter; factory is invoked lazily, once
@@ -108,20 +117,29 @@ func NewPerCell(factory func(hexgrid.Coord) cac.Controller) *PerCell {
 	}
 }
 
-// CompileCluster implements ClusterCompiler: controllers for cells of the
-// indexed cluster are kept in a dense slice. Controllers created before
-// the call are re-homed, preserving their state.
-func (p *PerCell) CompileCluster(ix hexgrid.Index) {
-	if p.indexed && p.idx == ix {
+// CompileTopology implements TopologyCompiler: controllers for cells of
+// the topology are kept in a dense slice, and every cell's controller is
+// instantiated eagerly so concurrent Admit calls on distinct cells (the
+// sharded runner) never race on lazy first-use writes. Controllers
+// created before the call are re-homed, preserving their state.
+func (p *PerCell) CompileTopology(t *hexgrid.Topology) {
+	if p.topo == t {
 		return
 	}
 	old := p.all()
-	p.idx = ix
-	p.indexed = true
-	p.dense = make([]cac.Controller, ix.Slots())
+	p.topo = t
+	p.dense = make([]cac.Controller, t.Slots())
 	p.extra = make(map[hexgrid.Coord]cac.Controller)
 	for cell, c := range old {
 		p.put(cell, c)
+	}
+	for slot := range p.dense {
+		if p.dense[slot] == nil {
+			cell := t.At(slot)
+			c := p.factory(cell)
+			p.dense[slot] = c
+			p.install(cell, c)
+		}
 	}
 }
 
@@ -131,21 +149,21 @@ func (p *PerCell) all() map[hexgrid.Coord]cac.Controller {
 	for cell, c := range p.extra {
 		out[cell] = c
 	}
-	if p.indexed {
-		for _, cell := range hexgrid.Disk(p.idx.Center(), p.idx.Radius()) {
-			if slot, ok := p.idx.Of(cell); ok && p.dense[slot] != nil {
-				out[cell] = p.dense[slot]
+	if p.topo != nil {
+		for slot, c := range p.dense {
+			if c != nil {
+				out[p.topo.At(slot)] = c
 			}
 		}
 	}
 	return out
 }
 
-// put stores a controller in the dense slice when its cell is indexed,
-// the fallback map otherwise.
+// put stores a controller in the dense slice when its cell belongs to the
+// compiled topology, the fallback map otherwise.
 func (p *PerCell) put(cell hexgrid.Coord, c cac.Controller) {
-	if p.indexed {
-		if slot, ok := p.idx.Of(cell); ok {
+	if p.topo != nil {
+		if slot, ok := p.topo.Of(cell); ok {
 			p.dense[slot] = c
 			return
 		}
@@ -154,16 +172,12 @@ func (p *PerCell) put(cell hexgrid.Coord, c cac.Controller) {
 }
 
 // Controller returns the cell's controller, creating it on first use.
+// Cells of a compiled topology are always pre-created, so for them this is
+// a read-only slice lookup.
 func (p *PerCell) Controller(cell hexgrid.Coord) cac.Controller {
-	if p.indexed {
-		if slot, ok := p.idx.Of(cell); ok {
-			if c := p.dense[slot]; c != nil {
-				return c
-			}
-			c := p.factory(cell)
-			p.dense[slot] = c
-			p.install(cell, c)
-			return c
+	if p.topo != nil {
+		if slot, ok := p.topo.Of(cell); ok {
+			return p.dense[slot]
 		}
 	}
 	c, ok := p.extra[cell]
@@ -275,8 +289,14 @@ type Config struct {
 	// HoldingMean is the mean exponential call duration in seconds.
 	HoldingMean float64
 	// Rings is the cluster radius in cells around the tagged centre
-	// (1 -> 7 cells, 2 -> 19 cells).
+	// (1 -> 7 cells, 2 -> 19 cells). Ignored when Topology is set.
 	Rings int
+	// Topology, when non-nil, replaces the Rings disk with an arbitrary
+	// compiled cell set — multiple clusters, irregular shapes, dead zones
+	// (the city generator's output). The tagged centre cell is the
+	// topology's slot-0 cell; for a DiskTopology that is the disk's
+	// centre, so disk configs behave identically either way.
+	Topology *hexgrid.Topology
 	// CellRadius is the hexagon circumradius in metres.
 	CellRadius float64
 	// Mix is the service-class distribution.
@@ -357,7 +377,11 @@ func (c Config) Validate() error {
 		}
 		seen := make(map[hexgrid.Coord]bool, len(c.PerCell))
 		for i, ct := range c.PerCell {
-			if hexgrid.Distance(ct.Cell, hexgrid.Coord{}) > c.Rings {
+			if c.Topology != nil {
+				if !c.Topology.Contains(ct.Cell) {
+					return fmt.Errorf("cellsim: PerCell[%d] cell %v outside the topology", i, ct.Cell)
+				}
+			} else if hexgrid.Distance(ct.Cell, hexgrid.Coord{}) > c.Rings {
 				return fmt.Errorf("cellsim: PerCell[%d] cell %v outside the %d-ring cluster", i, ct.Cell, c.Rings)
 			}
 			if seen[ct.Cell] {
@@ -475,6 +499,13 @@ type call struct {
 	// bandwidth integrals were last accrued to.
 	alloc float64
 	lastT float64
+	// Sharded-engine fields (sharded.go; unused by the single-heap path):
+	// grp is the owning cell group, and granted/requested accumulate the
+	// call's bandwidth integrals call-locally so parallel groups never
+	// write a shared sum.
+	grp       int32
+	granted   float64
+	requested float64
 	// moverSrc is the call's private mobility stream, reseeded per call
 	// from the arrival's pre-drawn split seed.
 	moverSrc rng.Source
@@ -485,8 +516,8 @@ type Sim struct {
 	cfg    Config
 	adm    Admitter
 	layout hexgrid.Layout
-	idx    hexgrid.Index   // compiled dense cluster index
-	cells  []hexgrid.Coord // cluster cells in stable (ring) order
+	topo   *hexgrid.Topology // compiled dense network topology
+	cells  []hexgrid.Coord   // network cells in stable (slot) order
 	centre hexgrid.Coord
 }
 
@@ -501,18 +532,24 @@ func New(cfg Config, adm Admitter) (*Sim, error) {
 	if cfg.Mobility == nil {
 		cfg.Mobility = mobility.DefaultSmoothTurn()
 	}
-	centre := hexgrid.Coord{}
-	idx := hexgrid.NewIndex(centre, cfg.Rings)
-	if cc, ok := adm.(ClusterCompiler); ok {
-		cc.CompileCluster(idx)
+	topo := cfg.Topology
+	if topo == nil {
+		// The classic set-up: a disk around the origin in ring order, so
+		// slot 0 is the tagged centre and stream scheduling order — and
+		// with it every RNG draw — matches the pre-topology simulator
+		// bit for bit.
+		topo = hexgrid.DiskTopology(hexgrid.Coord{}, cfg.Rings)
+	}
+	if tc, ok := adm.(TopologyCompiler); ok {
+		tc.CompileTopology(topo)
 	}
 	return &Sim{
 		cfg:    cfg,
 		adm:    adm,
 		layout: hexgrid.NewLayout(cfg.CellRadius),
-		idx:    idx,
-		cells:  hexgrid.Disk(centre, cfg.Rings),
-		centre: centre,
+		topo:   topo,
+		cells:  topo.Coords(),
+		centre: topo.At(0),
 	}, nil
 }
 
@@ -931,7 +968,7 @@ func (rs *runState) checkPosition(c *call, now float64) {
 		return
 	}
 
-	if !s.idx.Contains(newCell) {
+	if !s.topo.Contains(newCell) {
 		// The mobile left the simulated network; its capacity is freed.
 		rs.releaseCall(c, now)
 		rs.retire(c)
@@ -1041,13 +1078,21 @@ func (rs *runState) accrue(c *call, now float64) {
 }
 
 // randomPointInCell draws a uniform point inside the hexagon of the given
-// cell by rejection sampling from its bounding box.
+// cell by rejection sampling from its tight bounding box: a pointy-top
+// hexagon spans exactly [-inradius, inradius] in x and
+// [-circumradius, circumradius] in y around its centre, so every point of
+// the cell is reachable and the acceptance probability is the fixed
+// area ratio (3√3/4)·r·w / (4·r·w) ≈ 0.65. Both half-extents come from
+// s.layout — the same geometry the InCell inradius fast path and CellAt
+// use — so the sampler cannot drift from the lookup even if cell size
+// ever becomes per-topology.
 func (s *Sim) randomPointInCell(src *rng.Source, cell hexgrid.Coord) (x, y float64) {
 	cx, cy := s.layout.Center(cell)
-	w := s.cfg.CellRadius * math.Sqrt(3) / 2 // inradius: half width of pointy-top hex
+	w := s.layout.Inradius()
+	r := s.layout.Size
 	for {
 		px := src.Uniform(-w, w)
-		py := src.Uniform(-s.cfg.CellRadius, s.cfg.CellRadius)
+		py := src.Uniform(-r, r)
 		if s.layout.CellAt(cx+px, cy+py) == cell {
 			return cx + px, cy + py
 		}

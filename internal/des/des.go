@@ -89,6 +89,17 @@ func (s *Sim) Pending() int { return len(s.heap) }
 // Executed returns the number of events run so far.
 func (s *Sim) Executed() uint64 { return s.popped }
 
+// NextAt returns the scheduled time of the earliest pending event. The
+// second result is false when the queue is empty. Epoch-stepping drivers
+// (the sharded cell simulator) use it to skip idle epochs deterministically
+// instead of ticking through empty simulated time.
+func (s *Sim) NextAt() (float64, bool) {
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
 // SetHandler installs the Handler for typed events. It must be set before
 // the first AtOp/AfterOp and is kept across Reset.
 func (s *Sim) SetHandler(h Handler) { s.handler = h }

@@ -120,6 +120,15 @@ func (l Layout) Center(c Coord) (x, y float64) {
 	return x, y
 }
 
+// Inradius returns the hexagon's inscribed-circle radius (half the
+// centre-to-centre distance of adjacent cells). It is the single source of
+// truth for every consumer that brackets a cell between its inscribed and
+// circumscribed circles — the InCell fast path and the simulator's
+// rejection-sampling bounding box — so the two can never drift apart.
+func (l Layout) Inradius() float64 {
+	return l.Size * math.Sqrt(3) / 2
+}
+
 // InCell reports whether the world point (x, y) certainly lies inside the
 // given cell, by testing against the cell's inscribed circle. A false
 // return means "maybe outside": the point is in the corner region where
@@ -128,7 +137,7 @@ func (l Layout) Center(c Coord) (x, y float64) {
 func (l Layout) InCell(c Coord, x, y float64) bool {
 	cx, cy := l.Center(c)
 	dx, dy := x-cx, y-cy
-	w := l.Size * math.Sqrt(3) / 2 // inradius of a pointy-top hexagon
+	w := l.Inradius()
 	return dx*dx+dy*dy < w*w
 }
 

@@ -1,0 +1,261 @@
+package hexgrid
+
+import "fmt"
+
+// Topology is a compiled, immutable set of cells — the generalisation of
+// the disk-shaped Index to city-scale networks: multiple clusters,
+// irregular shapes, coverage holes. Every cell maps to a stable dense
+// slot in [0, Cells()): unlike Index's positional numbering, Topology
+// slots are contiguous, so per-cell state lives in a slice of length
+// Cells() with no wasted entries.
+//
+// Lookups keep the Index contract: Of and Contains are pure arithmetic
+// over a precompiled bounding-box grid — no map lookups, no allocation —
+// so they are safe on simulation hot paths and for concurrent readers.
+//
+// Slot numbering follows the construction order of the cells (NewTopology
+// argument order, Builder insertion order), which makes a Topology's
+// numbering — and everything seeded per slot, like the sharded
+// simulator's per-cell RNG substreams — a pure function of how it was
+// built.
+type Topology struct {
+	cells      []Coord
+	minQ, minR int
+	w, h       int
+	grid       []int32 // positional (dq*h + dr) -> dense slot, -1 = no cell
+}
+
+// NewTopology compiles a topology from an explicit cell list. The slice
+// is copied; its order defines the dense slot numbering. Empty lists and
+// duplicate cells are errors: a topology is validated configuration, not
+// a programming constant, so bad input reports instead of panicking.
+func NewTopology(cells []Coord) (*Topology, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("hexgrid: topology with no cells")
+	}
+	minQ, maxQ := cells[0].Q, cells[0].Q
+	minR, maxR := cells[0].R, cells[0].R
+	for _, c := range cells[1:] {
+		minQ, maxQ = min(minQ, c.Q), max(maxQ, c.Q)
+		minR, maxR = min(minR, c.R), max(maxR, c.R)
+	}
+	w, h := maxQ-minQ+1, maxR-minR+1
+	// The grid is bounding-box sized; cap it so a degenerate topology
+	// (two cells a million hexes apart) fails loudly instead of
+	// allocating gigabytes.
+	const maxGridCells = 1 << 24
+	if int64(w)*int64(h) > maxGridCells {
+		return nil, fmt.Errorf("hexgrid: topology bounding box %dx%d exceeds %d grid cells", w, h, maxGridCells)
+	}
+	t := &Topology{
+		cells: append([]Coord(nil), cells...),
+		minQ:  minQ, minR: minR, w: w, h: h,
+		grid: make([]int32, w*h),
+	}
+	for i := range t.grid {
+		t.grid[i] = -1
+	}
+	for i, c := range t.cells {
+		pos := (c.Q-minQ)*h + (c.R - minR)
+		if t.grid[pos] >= 0 {
+			return nil, fmt.Errorf("hexgrid: duplicate topology cell %v", c)
+		}
+		t.grid[pos] = int32(i)
+	}
+	return t, nil
+}
+
+// DiskTopology returns the topology of the disk of the given radius
+// around center, cells in ring order — the same enumeration order as
+// Disk, so the classic single-cluster set-up keeps its slot numbering.
+// It panics on a negative radius, mirroring NewIndex: disk geometry is
+// static configuration.
+func DiskTopology(center Coord, radius int) *Topology {
+	if radius < 0 {
+		panic(fmt.Sprintf("hexgrid: negative disk radius %d", radius))
+	}
+	t, err := NewTopology(Disk(center, radius))
+	if err != nil {
+		panic("hexgrid: " + err.Error()) // Disk never yields duplicates
+	}
+	return t
+}
+
+// Cells returns the number of cells in the topology.
+func (t *Topology) Cells() int { return len(t.cells) }
+
+// Slots returns the dense numbering's exclusive upper bound — the length
+// to allocate for a slice indexed by Of. For Topology (unlike Index) the
+// numbering is dense: Slots() == Cells().
+func (t *Topology) Slots() int { return len(t.cells) }
+
+// At returns the cell of a dense slot. It panics on an out-of-range
+// slot, like any slice index.
+func (t *Topology) At(slot int) Coord { return t.cells[slot] }
+
+// Coords returns a copy of the cells in slot order.
+func (t *Topology) Coords() []Coord {
+	return append([]Coord(nil), t.cells...)
+}
+
+// Of returns the cell's dense slot and whether the cell belongs to the
+// topology. It is pure arithmetic plus one grid load — no allocation.
+func (t *Topology) Of(c Coord) (int, bool) {
+	dq := c.Q - t.minQ
+	dr := c.R - t.minR
+	if dq < 0 || dq >= t.w || dr < 0 || dr >= t.h {
+		return 0, false
+	}
+	slot := t.grid[dq*t.h+dr]
+	if slot < 0 {
+		return 0, false
+	}
+	return int(slot), true
+}
+
+// Contains reports whether the cell belongs to the topology.
+func (t *Topology) Contains(c Coord) bool {
+	_, ok := t.Of(c)
+	return ok
+}
+
+// NeighborSlots returns the dense slots of the six adjacent cells, -1
+// for neighbours outside the topology (cluster edges, coverage holes).
+// It allocates nothing.
+func (t *Topology) NeighborSlots(slot int) [6]int32 {
+	var out [6]int32
+	for i, n := range t.cells[slot].Neighbors() {
+		if s, ok := t.Of(n); ok {
+			out[i] = int32(s)
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// Partition splits the dense slot range into the given number of
+// near-equal contiguous groups — the unit of parallelism of the sharded
+// simulator. Every slot lands in exactly one group; the first
+// Cells()%groups groups are one slot larger. groups is clamped to
+// [1, Cells()], so callers may pass any positive worker budget.
+func (t *Topology) Partition(groups int) [][]int {
+	n := len(t.cells)
+	if groups < 1 {
+		groups = 1
+	}
+	if groups > n {
+		groups = n
+	}
+	out := make([][]int, groups)
+	base, extra := n/groups, n%groups
+	start := 0
+	for g := range out {
+		size := base
+		if g < extra {
+			size++
+		}
+		slots := make([]int, size)
+		for i := range slots {
+			slots[i] = start + i
+		}
+		out[g] = slots
+		start += size
+	}
+	return out
+}
+
+// DefaultGroups is the cell-group count the city tooling uses when the
+// caller does not pick one: enough groups to keep 8+ workers busy, capped
+// by the cell count so no group is empty.
+func (t *Topology) DefaultGroups() int {
+	const groups = 16
+	return min(groups, len(t.cells))
+}
+
+// Line returns the cells of the straight-line hex path from a to b,
+// inclusive, via cube-coordinate interpolation with rounding — the
+// standard hex line-drawing construction. Adjacent result cells are
+// always neighbours; a == b yields a single cell.
+func Line(a, b Coord) []Coord {
+	n := Distance(a, b)
+	out := make([]Coord, 0, n+1)
+	if n == 0 {
+		return append(out, a)
+	}
+	for i := 0; i <= n; i++ {
+		f := float64(i) / float64(n)
+		// Lerp in axial (equivalently cube) space, then cube-round. The
+		// epsilon nudge keeps midpoints off cell boundaries so rounding
+		// is stable.
+		qf := float64(a.Q) + (float64(b.Q)-float64(a.Q))*f + 1e-6
+		rf := float64(a.R) + (float64(b.R)-float64(a.R))*f + 1e-6
+		out = append(out, roundAxial(qf, rf))
+	}
+	return out
+}
+
+// Builder accumulates cells for a Topology: Add/AddDisk/AddLine ignore
+// cells already present (overlapping clusters merge), Remove punches
+// holes (dead zones). Build preserves first-insertion order for the slot
+// numbering.
+type Builder struct {
+	order []Coord
+	seen  map[Coord]bool
+}
+
+// NewBuilder returns an empty topology builder.
+func NewBuilder() *Builder {
+	return &Builder{seen: make(map[Coord]bool)}
+}
+
+// Add inserts cells, ignoring ones already present.
+func (b *Builder) Add(cells ...Coord) *Builder {
+	for _, c := range cells {
+		if !b.seen[c] {
+			b.seen[c] = true
+			b.order = append(b.order, c)
+		}
+	}
+	return b
+}
+
+// AddDisk inserts the disk of the given radius around center.
+func (b *Builder) AddDisk(center Coord, radius int) *Builder {
+	return b.Add(Disk(center, radius)...)
+}
+
+// AddLine inserts the straight-line hex path from a to b.
+func (b *Builder) AddLine(a, c Coord) *Builder {
+	return b.Add(Line(a, c)...)
+}
+
+// Remove deletes cells, ignoring ones not present. Removed cells may be
+// re-Added later.
+func (b *Builder) Remove(cells ...Coord) *Builder {
+	changed := false
+	for _, c := range cells {
+		if b.seen[c] {
+			delete(b.seen, c)
+			changed = true
+		}
+	}
+	if changed {
+		kept := b.order[:0]
+		for _, c := range b.order {
+			if b.seen[c] {
+				kept = append(kept, c)
+			}
+		}
+		b.order = kept
+	}
+	return b
+}
+
+// Len returns the number of cells currently in the builder.
+func (b *Builder) Len() int { return len(b.order) }
+
+// Build compiles the accumulated cells into a Topology.
+func (b *Builder) Build() (*Topology, error) {
+	return NewTopology(b.order)
+}

@@ -1,0 +1,266 @@
+package hexgrid
+
+import (
+	"fmt"
+	"testing"
+)
+
+// diskSize is the closed-form cell count of a radius-r disk.
+func diskSize(r int) int { return 1 + 3*r*(r+1) }
+
+func TestDiskEnumerationLargeRadius(t *testing.T) {
+	// The satellite contract: enumeration and dense indexing must hold
+	// well past the paper's 7-cell cluster, at radius >= 10.
+	for _, radius := range []int{10, 12, 16} {
+		center := Coord{Q: -3, R: 7}
+		cells := Disk(center, radius)
+		if len(cells) != diskSize(radius) {
+			t.Fatalf("radius %d: Disk yields %d cells, want %d", radius, len(cells), diskSize(radius))
+		}
+		seen := make(map[Coord]bool, len(cells))
+		for _, c := range cells {
+			if seen[c] {
+				t.Fatalf("radius %d: Disk yields %v twice", radius, c)
+			}
+			seen[c] = true
+			if d := Distance(center, c); d > radius {
+				t.Fatalf("radius %d: Disk yields %v at distance %d", radius, c, d)
+			}
+		}
+
+		ix := NewIndex(center, radius)
+		if ix.Cells() != len(cells) {
+			t.Fatalf("radius %d: Index.Cells = %d, want %d", radius, ix.Cells(), len(cells))
+		}
+		slots := make(map[int]bool, len(cells))
+		for _, c := range cells {
+			slot, ok := ix.Of(c)
+			if !ok || slot < 0 || slot >= ix.Slots() {
+				t.Fatalf("radius %d: Of(%v) = (%d, %v)", radius, c, slot, ok)
+			}
+			if slots[slot] {
+				t.Fatalf("radius %d: Index slot %d assigned twice", radius, slot)
+			}
+			slots[slot] = true
+		}
+	}
+}
+
+func TestTopologyDiskMatchesIndex(t *testing.T) {
+	center := Coord{Q: 1, R: -2}
+	const radius = 10
+	topo := DiskTopology(center, radius)
+	cells := Disk(center, radius)
+	if topo.Cells() != len(cells) || topo.Slots() != len(cells) {
+		t.Fatalf("Cells/Slots = %d/%d, want dense %d", topo.Cells(), topo.Slots(), len(cells))
+	}
+	// Slot order must be Disk ring order: that is what keeps the classic
+	// single-cluster stream numbering stable.
+	for i, c := range cells {
+		if got := topo.At(i); got != c {
+			t.Fatalf("At(%d) = %v, want %v (ring order)", i, got, c)
+		}
+		slot, ok := topo.Of(c)
+		if !ok || slot != i {
+			t.Fatalf("Of(%v) = (%d, %v), want (%d, true)", c, slot, ok, i)
+		}
+	}
+	for _, c := range Ring(center, radius+1) {
+		if topo.Contains(c) {
+			t.Errorf("Contains(%v) = true outside the disk", c)
+		}
+	}
+}
+
+func TestTopologyMultiClusterRoundTrip(t *testing.T) {
+	// Property test from the satellite list: every generated cell
+	// round-trips Slot -> Cell -> Slot, and disjoint clusters never share
+	// slots.
+	clusters := []struct {
+		center Coord
+		radius int
+	}{
+		{Coord{Q: 0, R: 0}, 3},
+		{Coord{Q: 40, R: -7}, 5},
+		{Coord{Q: -25, R: 30}, 0},
+		{Coord{Q: 12, R: 60}, 2},
+	}
+	b := NewBuilder()
+	owner := make(map[Coord]int)
+	for ci, cl := range clusters {
+		for _, c := range Disk(cl.center, cl.radius) {
+			if _, dup := owner[c]; dup {
+				t.Fatalf("test clusters overlap at %v; pick farther centers", c)
+			}
+			owner[c] = ci
+		}
+		b.AddDisk(cl.center, cl.radius)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Cells() != len(owner) {
+		t.Fatalf("Cells = %d, want %d", topo.Cells(), len(owner))
+	}
+
+	slotOwner := make(map[int]int, topo.Cells())
+	for slot := 0; slot < topo.Slots(); slot++ {
+		c := topo.At(slot)
+		got, ok := topo.Of(c)
+		if !ok || got != slot {
+			t.Fatalf("slot %d cell %v: Of = (%d, %v), want (%d, true)", slot, c, got, ok, slot)
+		}
+		ci, known := owner[c]
+		if !known {
+			t.Fatalf("slot %d cell %v not in any cluster", slot, c)
+		}
+		if prev, dup := slotOwner[slot]; dup {
+			t.Fatalf("slot %d owned by clusters %d and %d", slot, prev, ci)
+		}
+		slotOwner[slot] = ci
+	}
+	// Cells between the clusters are outside the topology.
+	if topo.Contains(Coord{Q: 20, R: 10}) {
+		t.Error("Contains reports a cell between clusters")
+	}
+}
+
+func TestTopologyRejectsEmptyAndDuplicates(t *testing.T) {
+	if _, err := NewTopology(nil); err == nil {
+		t.Error("NewTopology(nil) succeeded")
+	}
+	if _, err := NewTopology([]Coord{{Q: 1}, {Q: 2}, {Q: 1}}); err == nil {
+		t.Error("NewTopology with a duplicate succeeded")
+	}
+}
+
+func TestTopologyNeighborSlots(t *testing.T) {
+	topo := DiskTopology(Coord{}, 1)
+	centerSlot, _ := topo.Of(Coord{})
+	ns := topo.NeighborSlots(centerSlot)
+	for i, n := range (Coord{}).Neighbors() {
+		want, _ := topo.Of(n)
+		if int(ns[i]) != want {
+			t.Errorf("neighbor %d: slot %d, want %d", i, ns[i], want)
+		}
+	}
+	// A ring cell has neighbours outside the disk: those must be -1.
+	edgeSlot, _ := topo.Of(Coord{Q: 1, R: 0})
+	outside := 0
+	for _, s := range topo.NeighborSlots(edgeSlot) {
+		if s == -1 {
+			outside++
+		} else if int(s) >= topo.Slots() {
+			t.Fatalf("neighbor slot %d out of range", s)
+		}
+	}
+	if outside != 3 {
+		t.Errorf("edge cell has %d outside neighbours, want 3", outside)
+	}
+}
+
+func TestTopologyPartition(t *testing.T) {
+	topo := DiskTopology(Coord{}, 5) // 91 cells
+	for _, groups := range []int{1, 2, 7, 16, 91, 200} {
+		parts := topo.Partition(groups)
+		wantGroups := min(groups, topo.Cells())
+		if len(parts) != wantGroups {
+			t.Fatalf("Partition(%d): %d groups, want %d", groups, len(parts), wantGroups)
+		}
+		seen := make(map[int]bool, topo.Cells())
+		next := 0
+		for g, slots := range parts {
+			if len(slots) == 0 {
+				t.Fatalf("Partition(%d): group %d empty", groups, g)
+			}
+			for _, s := range slots {
+				if s != next {
+					t.Fatalf("Partition(%d): group %d slot %d, want contiguous %d", groups, g, s, next)
+				}
+				if seen[s] {
+					t.Fatalf("Partition(%d): slot %d in two groups", groups, s)
+				}
+				seen[s] = true
+				next++
+			}
+		}
+		if len(seen) != topo.Cells() {
+			t.Fatalf("Partition(%d): covered %d slots, want %d", groups, len(seen), topo.Cells())
+		}
+	}
+}
+
+func TestBuilderRemove(t *testing.T) {
+	b := NewBuilder().AddDisk(Coord{}, 2)
+	before := b.Len()
+	b.Remove(Coord{Q: 1, R: 0}, Coord{Q: 99, R: 99})
+	if b.Len() != before-1 {
+		t.Fatalf("Len after Remove = %d, want %d", b.Len(), before-1)
+	}
+	topo, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Contains(Coord{Q: 1, R: 0}) {
+		t.Error("removed cell still present")
+	}
+	// Remaining cells keep their relative insertion order.
+	prevSlot := -1
+	for _, c := range Disk(Coord{}, 2) {
+		if c == (Coord{Q: 1, R: 0}) {
+			continue
+		}
+		slot, ok := topo.Of(c)
+		if !ok {
+			t.Fatalf("kept cell %v missing", c)
+		}
+		if slot <= prevSlot {
+			t.Fatalf("cell %v slot %d breaks insertion order (prev %d)", c, slot, prevSlot)
+		}
+		prevSlot = slot
+	}
+}
+
+func TestLine(t *testing.T) {
+	cases := []struct {
+		a, b Coord
+	}{
+		{Coord{}, Coord{}},
+		{Coord{}, Coord{Q: 5, R: 0}},
+		{Coord{}, Coord{Q: 0, R: -7}},
+		{Coord{Q: -3, R: 2}, Coord{Q: 6, R: -5}},
+		{Coord{Q: 2, R: 2}, Coord{Q: -4, R: 9}},
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("%v->%v", tc.a, tc.b), func(t *testing.T) {
+			line := Line(tc.a, tc.b)
+			if len(line) != Distance(tc.a, tc.b)+1 {
+				t.Fatalf("len = %d, want %d", len(line), Distance(tc.a, tc.b)+1)
+			}
+			if line[0] != tc.a || line[len(line)-1] != tc.b {
+				t.Fatalf("endpoints %v..%v, want %v..%v", line[0], line[len(line)-1], tc.a, tc.b)
+			}
+			for i := 1; i < len(line); i++ {
+				if Distance(line[i-1], line[i]) != 1 {
+					t.Fatalf("cells %v and %v not adjacent", line[i-1], line[i])
+				}
+			}
+		})
+	}
+}
+
+func TestTopologyOfAllocationFree(t *testing.T) {
+	topo := DiskTopology(Coord{}, 10)
+	cells := topo.Coords()
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, c := range cells {
+			if _, ok := topo.Of(c); !ok {
+				t.Fatal("cell missing")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Of allocates %.1f times per sweep, want 0", allocs)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"regexp"
+	"strings"
 	"sync/atomic"
 
 	"facsp/internal/baseline"
@@ -186,7 +187,82 @@ func Registry(sc SweepConfig) []Spec {
 		adaptRatioSpec("sweep/adapt-ratio", false, exact),
 		scenarioSpec("sweep/scenario/flash-crowd", false, exact),
 	)
+
+	// The city suite: ONE ~1000-cell sharded simulation per op
+	// (experiment.RunEvalCity), reported as simulated-calls/s. The worker
+	// variants share one fixed 16-group partition, so their metrics are
+	// bit-identical and only wall clock changes — the w1/w4/w8 column is a
+	// direct read of the sharded engine's scaling. The smoke variant runs
+	// the embedded 200-cell metro-city, sized for the CI gate.
+	specs = append(specs,
+		citySmokeSpec("city/metro/guard", true, exact),
+		cityEvalSpec("city/eval/guard/w1", 1, exact),
+		cityEvalSpec("city/eval/guard/w4", 4, exact),
+		cityEvalSpec("city/eval/guard/w8", 8, exact),
+		cityEvalSpec("city/eval/facsp/w4", 4, exact),
+	)
 	return specs
+}
+
+// cityGroups is the fixed cell-group count of the city suite; every
+// worker variant runs the identical partition.
+const cityGroups = 16
+
+// cityLoad is the per-unit-load request count of the city specs; each
+// cell offers round(cityLoad x its band multiplier).
+const cityLoad = 8
+
+// cityBody runs one sharded city simulation per op over a pre-validated
+// scenario, counting offered calls for the simcalls/s column.
+func cityBody(s *scenario.Scenario, run experiment.CityRun, opts experiment.Options) Body {
+	return func(n int) (int64, error) {
+		var calls int64
+		for i := 0; i < n; i++ {
+			r := run
+			r.Seed = uint64(i) + 1
+			res, err := experiment.RunCity(s, r, opts)
+			if err != nil {
+				return 0, err
+			}
+			calls += int64(res.NetworkRequests)
+		}
+		return calls, nil
+	}
+}
+
+// cityEvalSpec measures the ~1000-cell evaluation city at a given worker
+// count. The scheme id is embedded in the spec name's third segment.
+func cityEvalSpec(name string, workers int, opts experiment.Options) Spec {
+	return Spec{Name: name, New: func() (Body, error) {
+		s, err := scenario.GenerateCity(scenario.EvalCityParams())
+		if err != nil {
+			return nil, err
+		}
+		scheme := strings.Split(name, "/")[2]
+		run := experiment.CityRun{
+			Scheme: scheme,
+			Load:   cityLoad,
+			Shard:  cellsim.ShardOptions{Groups: cityGroups, Workers: workers},
+		}
+		return cityBody(s, run, opts), nil
+	}}
+}
+
+// citySmokeSpec is the reduced CI variant: the embedded metro-city
+// scenario (about 200 cells) on the default worker split.
+func citySmokeSpec(name string, smoke bool, opts experiment.Options) Spec {
+	return Spec{Name: name, Smoke: smoke, New: func() (Body, error) {
+		s, err := scenario.Load("metro-city")
+		if err != nil {
+			return nil, err
+		}
+		run := experiment.CityRun{
+			Scheme: "guard",
+			Load:   cityLoad,
+			Shard:  cellsim.ShardOptions{Groups: cityGroups},
+		}
+		return cityBody(s, run, opts), nil
+	}}
 }
 
 // --- micro bodies ---

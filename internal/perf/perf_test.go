@@ -25,8 +25,8 @@ func TestRegistryNamesUniqueAndStable(t *testing.T) {
 		if s.Name != b[i].Name {
 			t.Fatalf("registry order unstable at %d: %q vs %q", i, s.Name, b[i].Name)
 		}
-		if !strings.HasPrefix(s.Name, "micro/") && !strings.HasPrefix(s.Name, "sweep/") {
-			t.Errorf("spec %q outside the micro/ and sweep/ namespaces", s.Name)
+		if !strings.HasPrefix(s.Name, "micro/") && !strings.HasPrefix(s.Name, "sweep/") && !strings.HasPrefix(s.Name, "city/") {
+			t.Errorf("spec %q outside the micro/, sweep/ and city/ namespaces", s.Name)
 		}
 	}
 }
@@ -57,6 +57,16 @@ func TestSmokeSpecsAreSubset(t *testing.T) {
 	}
 	if !found {
 		t.Error("smoke suite does not gate sweep/adapt-drops/surface")
+	}
+	// The sharded city engine must be gated too (its reduced variant).
+	found = false
+	for _, s := range smoke {
+		if s.Name == "city/metro/guard" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("smoke suite does not gate city/metro/guard")
 	}
 }
 

@@ -1,0 +1,252 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"facsp/internal/hexgrid"
+	"facsp/internal/rng"
+)
+
+// CityParams parameterises the synthetic-city generator. The zero value
+// of every field takes the documented default, so CityParams{} is a
+// complete medium-sized city. All randomness in the layout (highway
+// bearings, hotspot and dead-zone placement) flows from Seed, so the same
+// parameters always generate byte-identical scenario JSON.
+type CityParams struct {
+	// Name is the scenario name (default "city").
+	Name string
+	// MetroRadius is the metro-area disk radius in cells (default 8,
+	// 217 cells; 18 gives the ~1000-cell evaluation topology).
+	MetroRadius int
+	// DowntownRadius bounds the high-load downtown core (default
+	// MetroRadius/4, at least 1).
+	DowntownRadius int
+	// SuburbRadius bounds the medium-load suburb ring band around
+	// downtown (default 2*MetroRadius/3); beyond it lies low-load exurb.
+	SuburbRadius int
+	// Highways is the number of arterial corridors radiating from
+	// downtown past the metro edge (default 4). Highway cells carry
+	// elevated load and fast (80-120 km/h) users, and the corridor
+	// segments beyond the metro edge extend the topology itself.
+	Highways int
+	// HighwayExtension is how many cells each highway continues beyond
+	// the metro edge (default MetroRadius/3).
+	HighwayExtension int
+	// Hotspots is the number of stadium/event hotspots scattered through
+	// the suburb band (default 2): heavy bursty load on one cell.
+	Hotspots int
+	// DeadZones is the number of coverage holes punched into the suburb
+	// and exurb bands (default 3). Dead-zone cells are excluded from the
+	// topology: mobiles entering one leave the network.
+	DeadZones int
+	// Seed drives the layout randomness (default 9).
+	Seed uint64
+}
+
+// withDefaults returns the parameters with zero values filled in.
+func (p CityParams) withDefaults() CityParams {
+	if p.Name == "" {
+		p.Name = "city"
+	}
+	if p.MetroRadius == 0 {
+		p.MetroRadius = 8
+	}
+	if p.DowntownRadius == 0 {
+		p.DowntownRadius = max(1, p.MetroRadius/4)
+	}
+	if p.SuburbRadius == 0 {
+		p.SuburbRadius = 2 * p.MetroRadius / 3
+	}
+	if p.Highways == 0 {
+		p.Highways = 4
+	}
+	if p.HighwayExtension == 0 {
+		p.HighwayExtension = max(1, p.MetroRadius/3)
+	}
+	if p.Hotspots == 0 {
+		p.Hotspots = 2
+	}
+	if p.DeadZones == 0 {
+		p.DeadZones = 3
+	}
+	if p.Seed == 0 {
+		p.Seed = 9
+	}
+	return p
+}
+
+// Load multipliers and traffic shape of the generated city's bands.
+var (
+	cityExurbLoad    = 0.25
+	citySuburbLoad   = 0.75
+	cityDowntownLoad = 2.0
+	cityHighwayLoad  = 1.25
+	cityHotspotLoad  = 4.0
+
+	cityHighwayMobility = []MobilityGroup{{Weight: 1, SpeedKmh: [2]float64{80, 120}}}
+	cityHotspotBurst    = BurstSpec{OnMeanS: 60, OffMeanS: 120, OnRate: 3, OffRate: 0.25}
+	cityHotspotMix      = MixSpec{Text: 0.4, Voice: 0.3, Video: 0.3}
+)
+
+// GenerateCity builds a synthetic-city scenario: a metro disk with a
+// heavy downtown core, a medium suburb band, a low-load exurb fringe,
+// arterial highway corridors with fast users, bursty stadium hotspots,
+// and dead-zone coverage holes. The output is an ordinary schema-2
+// scenario document — validated here — that any scenario consumer
+// (facs-sim, the experiment harness, the perf suite) can run.
+func GenerateCity(p CityParams) (*Scenario, error) {
+	p = p.withDefaults()
+	if p.MetroRadius < 2 || p.MetroRadius > maxClusterRadius {
+		return nil, fmt.Errorf("citygen: metro radius %d outside [2, %d]", p.MetroRadius, maxClusterRadius)
+	}
+	if p.DowntownRadius < 1 || p.DowntownRadius >= p.SuburbRadius || p.SuburbRadius >= p.MetroRadius {
+		return nil, fmt.Errorf("citygen: band radii must satisfy 1 <= downtown (%d) < suburb (%d) < metro (%d)",
+			p.DowntownRadius, p.SuburbRadius, p.MetroRadius)
+	}
+	if p.Highways < 0 || p.Highways > 12 {
+		return nil, fmt.Errorf("citygen: highway count %d outside [0, 12]", p.Highways)
+	}
+	if p.Hotspots < 0 || p.DeadZones < 0 {
+		return nil, fmt.Errorf("citygen: negative hotspot or dead-zone count")
+	}
+	src := rng.New(p.Seed)
+	origin := hexgrid.Coord{}
+
+	// Highways: straight corridors from downtown through the metro edge,
+	// extended HighwayExtension cells beyond it. Bearings are spread
+	// around the ring with a random rotation, so multiple highways never
+	// collapse onto one corridor.
+	edge := hexgrid.Ring(origin, p.MetroRadius+p.HighwayExtension)
+	var lines []LineSpec
+	highway := make(map[hexgrid.Coord]bool)
+	if p.Highways > 0 {
+		offset := src.Intn(len(edge))
+		for h := 0; h < p.Highways; h++ {
+			end := edge[(offset+h*len(edge)/p.Highways)%len(edge)]
+			lines = append(lines, LineSpec{From: [2]int{origin.Q, origin.R}, To: [2]int{end.Q, end.R}})
+			for _, c := range hexgrid.Line(origin, end) {
+				highway[c] = true
+			}
+		}
+	}
+
+	spec := &TopologySpec{
+		Clusters: []ClusterSpec{{Center: [2]int{0, 0}, Radius: p.MetroRadius}},
+		Lines:    lines,
+	}
+	topo, err := spec.compile()
+	if err != nil {
+		return nil, fmt.Errorf("citygen: %w", err)
+	}
+
+	// Hotspots sit in the suburb band, off the highways; dead zones in the
+	// suburb/exurb bands, off the highways and hotspots, and never
+	// adjacent to one another so they stay isolated holes. Candidates are
+	// scanned in slot order and picked by index, keeping the layout a pure
+	// function of the seed.
+	pickCells := func(n int, ok func(hexgrid.Coord) bool) []hexgrid.Coord {
+		var cand []hexgrid.Coord
+		for _, c := range topo.Coords() {
+			if ok(c) {
+				cand = append(cand, c)
+			}
+		}
+		var out []hexgrid.Coord
+		for ; n > 0 && len(cand) > 0; n-- {
+			i := src.Intn(len(cand))
+			out = append(out, cand[i])
+			cand = append(cand[:i], cand[i+1:]...)
+		}
+		return out
+	}
+	inBand := func(c hexgrid.Coord, lo, hi int) bool {
+		d := hexgrid.Distance(origin, c)
+		return d > lo && d <= hi
+	}
+	hotspots := pickCells(p.Hotspots, func(c hexgrid.Coord) bool {
+		return inBand(c, p.DowntownRadius, p.SuburbRadius) && !highway[c]
+	})
+	isHotspot := make(map[hexgrid.Coord]bool, len(hotspots))
+	for _, c := range hotspots {
+		isHotspot[c] = true
+	}
+	dead := pickCells(p.DeadZones, func(c hexgrid.Coord) bool {
+		if !inBand(c, p.DowntownRadius, p.MetroRadius-1) || highway[c] || isHotspot[c] {
+			return false
+		}
+		for _, n := range c.Neighbors() {
+			if isHotspot[n] {
+				return false
+			}
+		}
+		return true
+	})
+	for _, c := range dead {
+		spec.Exclude = append(spec.Exclude, [2]int{c.Q, c.R})
+	}
+	topo, err = spec.compile()
+	if err != nil {
+		return nil, fmt.Errorf("citygen: %w", err)
+	}
+
+	// Per-cell load overrides, one spec per cell in slot order. Exurb
+	// cells ride on default_load; everything else gets an explicit entry.
+	// Priority: hotspot > highway > downtown > suburb.
+	exurb := cityExurbLoad
+	s := &Scenario{
+		Schema: SchemaVersion,
+		Name:   p.Name,
+		Description: fmt.Sprintf(
+			"Synthetic city (seed %d): %d-cell metro, downtown core to radius %d, suburbs to %d, %d highways, %d hotspots, %d dead zones.",
+			p.Seed, topo.Cells(), p.DowntownRadius, p.SuburbRadius, p.Highways, len(hotspots), len(dead)),
+		Topology:    spec,
+		DefaultLoad: &exurb,
+	}
+	for _, c := range topo.Coords() {
+		at := [2]int{c.Q, c.R}
+		switch {
+		case isHotspot[c]:
+			load, mix, burst := cityHotspotLoad, cityHotspotMix, cityHotspotBurst
+			s.Cells = append(s.Cells, CellSpec{At: at, Load: &load, Mix: &mix, Burst: &burst})
+		case highway[c]:
+			load := cityHighwayLoad
+			s.Cells = append(s.Cells, CellSpec{At: at, Load: &load, Mobility: cityHighwayMobility})
+		case hexgrid.Distance(origin, c) <= p.DowntownRadius:
+			load := cityDowntownLoad
+			s.Cells = append(s.Cells, CellSpec{At: at, Load: &load})
+		case hexgrid.Distance(origin, c) <= p.SuburbRadius:
+			load := citySuburbLoad
+			s.Cells = append(s.Cells, CellSpec{At: at, Load: &load})
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("citygen: generated scenario invalid: %w", err)
+	}
+	return s, nil
+}
+
+// MetroCityParams are the parameters of the embedded "metro-city"
+// scenario, pinned so the committed JSON and the generator never drift (a
+// library test regenerates and compares).
+func MetroCityParams() CityParams {
+	return CityParams{Name: "metro-city"}.withDefaults()
+}
+
+// EvalCityParams returns the ~1000-cell evaluation city used by the perf
+// suite and the city-scale acceptance runs: the metro-city layout scaled
+// to an 18-cell metro radius (1027 metro cells plus highway spokes).
+func EvalCityParams() CityParams {
+	return CityParams{Name: "eval-city", MetroRadius: 18}.withDefaults()
+}
+
+// JSON renders the scenario as indented, deterministic JSON with a
+// trailing newline — the exact bytes facs-sim -generate-city emits and
+// the embedded library stores.
+func (s *Scenario) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	return append(data, '\n'), nil
+}

@@ -1,0 +1,161 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"facsp/internal/hexgrid"
+)
+
+// TestMetroCityPinned regenerates the embedded metro-city scenario from
+// its pinned parameters and requires byte equality with the committed
+// JSON, so the generator and the library can never drift apart.
+func TestMetroCityPinned(t *testing.T) {
+	s, err := GenerateCity(MetroCityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := libraryFS.ReadFile("scenarios/metro-city.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("embedded scenarios/metro-city.json differs from GenerateCity(MetroCityParams()); regenerate the file")
+	}
+	loaded, err := Load("metro-city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Schema != SchemaVersion {
+		t.Errorf("metro-city schema = %d, want %d", loaded.Schema, SchemaVersion)
+	}
+}
+
+// TestGenerateCityDeterministic pins that generation is a pure function
+// of the parameters.
+func TestGenerateCityDeterministic(t *testing.T) {
+	p := CityParams{MetroRadius: 10, Seed: 4}
+	a, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := a.JSON()
+	bj, _ := b.JSON()
+	if !bytes.Equal(aj, bj) {
+		t.Error("same parameters generated different scenarios")
+	}
+	c, err := GenerateCity(CityParams{MetroRadius: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cj, _ := c.JSON()
+	if bytes.Equal(aj, cj) {
+		t.Error("different seeds generated identical scenarios")
+	}
+}
+
+// TestGenerateCityStructure checks the generated layout honours its own
+// band contract: dead zones really are holes, highways extend past the
+// metro edge, hotspots are burst cells inside the suburb band, and the
+// whole document round-trips through ConfigFor.
+func TestGenerateCityStructure(t *testing.T) {
+	p := MetroCityParams()
+	s, err := GenerateCity(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := s.CompileTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Topology.Exclude) != p.DeadZones {
+		t.Errorf("dead zones = %d, want %d", len(s.Topology.Exclude), p.DeadZones)
+	}
+	for _, at := range s.Topology.Exclude {
+		if topo.Contains(specCoord(at)) {
+			t.Errorf("dead zone %v still in topology", at)
+		}
+	}
+	if len(s.Topology.Lines) != p.Highways {
+		t.Fatalf("highways = %d, want %d", len(s.Topology.Lines), p.Highways)
+	}
+	for _, l := range s.Topology.Lines {
+		end := specCoord(l.To)
+		if d := hexgrid.Distance(hexgrid.Coord{}, end); d != p.MetroRadius+p.HighwayExtension {
+			t.Errorf("highway end %v at distance %d, want %d", end, d, p.MetroRadius+p.HighwayExtension)
+		}
+		if !topo.Contains(end) {
+			t.Errorf("highway end %v missing from topology", end)
+		}
+	}
+	hotspots, highways := 0, 0
+	for _, cs := range s.Cells {
+		if cs.Burst != nil {
+			hotspots++
+			d := hexgrid.Distance(hexgrid.Coord{}, specCoord(cs.At))
+			if d <= p.DowntownRadius || d > p.SuburbRadius {
+				t.Errorf("hotspot %v at distance %d outside suburb band (%d, %d]", cs.At, d, p.DowntownRadius, p.SuburbRadius)
+			}
+		}
+		if len(cs.Mobility) > 0 {
+			highways++
+		}
+	}
+	if hotspots != p.Hotspots {
+		t.Errorf("hotspot cells = %d, want %d", hotspots, p.Hotspots)
+	}
+	if highways == 0 {
+		t.Error("no highway cells carry a mobility override")
+	}
+
+	cfg, err := s.ConfigFor(1.0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.Topology.Cells() != topo.Cells() {
+		t.Fatalf("ConfigFor topology cells = %v, want %d", cfg.Topology, topo.Cells())
+	}
+}
+
+// TestEvalCityScale pins the ~1000-cell evaluation topology used by the
+// perf suite and the acceptance runs.
+func TestEvalCityScale(t *testing.T) {
+	s, err := GenerateCity(EvalCityParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := s.CompileTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Cells() < 1000 {
+		t.Errorf("eval city has %d cells, want >= 1000", topo.Cells())
+	}
+}
+
+// TestGenerateCityRejectsBadParams covers the parameter validation.
+func TestGenerateCityRejectsBadParams(t *testing.T) {
+	cases := map[string]CityParams{
+		"tiny metro":        {MetroRadius: 1, DowntownRadius: 1, SuburbRadius: 1},
+		"oversized metro":   {MetroRadius: maxClusterRadius + 1},
+		"inverted bands":    {MetroRadius: 8, DowntownRadius: 6, SuburbRadius: 4},
+		"too many highways": {Highways: 13},
+		"negative hotspots": {Hotspots: -1},
+	}
+	for name, p := range cases {
+		if _, err := GenerateCity(p); err == nil {
+			t.Errorf("%s: accepted %+v", name, p)
+		} else if !strings.Contains(err.Error(), "citygen:") {
+			t.Errorf("%s: error %q lacks citygen prefix", name, err)
+		}
+	}
+}

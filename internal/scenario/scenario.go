@@ -15,11 +15,15 @@ import (
 	"facsp/internal/traffic"
 )
 
-// SchemaVersion is the scenario file format version this package reads.
-// Files must carry it in their "schema" field; the version is bumped on
-// incompatible changes so old files fail loudly instead of silently
-// meaning something else.
-const SchemaVersion = 1
+// SchemaVersion is the current scenario file format version. Schema 2
+// added the optional "topology" section (multi-cluster, city-scale cell
+// sets); schema 1 files contain no topology section and keep loading —
+// and simulating — exactly as before. Versions outside [SchemaV1,
+// SchemaVersion] fail loudly instead of silently meaning something else.
+const (
+	SchemaV1      = 1
+	SchemaVersion = 2
+)
 
 // Defaults applied by ConfigFor to fields left at their zero value. They
 // mirror the paper's Section 4 set-up (cellsim.DefaultConfig).
@@ -38,7 +42,7 @@ const (
 // zero value of every optional field inherits the paper's defaults, so a
 // minimal scenario is just a schema version and a name.
 type Scenario struct {
-	// Schema is the file format version; must equal SchemaVersion.
+	// Schema is the file format version: SchemaV1 or SchemaVersion.
 	Schema int `json:"schema"`
 	// Name identifies the scenario (lower-case letters, digits, dashes);
 	// it is the -scenario argument of cmd/facs-sim and the key in docs.
@@ -46,8 +50,14 @@ type Scenario struct {
 	// Description says what the scenario models and stresses.
 	Description string `json:"description,omitempty"`
 	// Rings is the cluster radius around the tagged centre cell
-	// (1 -> 7 cells, 2 -> 19 cells). 0 means DefaultRings.
+	// (1 -> 7 cells, 2 -> 19 cells). 0 means DefaultRings. Mutually
+	// exclusive with Topology.
 	Rings int `json:"rings,omitempty"`
+	// Topology (schema 2) replaces the Rings disk with an arbitrary cell
+	// set: union of clusters, explicit cells and corridor lines, minus the
+	// excluded dead zones. The tagged centre cell is the first cell of the
+	// section's build order (the first cluster's centre, normally).
+	Topology *TopologySpec `json:"topology,omitempty"`
 	// CellRadiusM is the hexagon circumradius in metres (default 1000).
 	CellRadiusM float64 `json:"cell_radius_m,omitempty"`
 	// WindowS is the arrival window in seconds (default 600).
@@ -152,6 +162,75 @@ type CellSpec struct {
 // Coord returns the cell's hex coordinate.
 func (c CellSpec) Coord() hexgrid.Coord { return hexgrid.Coord{Q: c.At[0], R: c.At[1]} }
 
+// TopologySpec is the schema-2 "topology" section: a declarative
+// constructive description of the network's cell set. The set is built in
+// listed order — clusters, then cells, then lines, then exclusions — and
+// the build order defines the dense slot numbering, so a file is also a
+// complete specification of the simulator's per-cell stream seeding.
+type TopologySpec struct {
+	// Clusters are hexagonal disks (center, radius); overlaps merge.
+	Clusters []ClusterSpec `json:"clusters,omitempty"`
+	// Cells are individual [q, r] cells added to the set.
+	Cells [][2]int `json:"cells,omitempty"`
+	// Lines are straight hex corridors (arterial highways) between two
+	// cells, inclusive.
+	Lines []LineSpec `json:"lines,omitempty"`
+	// Exclude removes cells from the set (dead zones, coverage holes).
+	Exclude [][2]int `json:"exclude,omitempty"`
+}
+
+// ClusterSpec is one hexagonal disk of a topology.
+type ClusterSpec struct {
+	Center [2]int `json:"center"`
+	Radius int    `json:"radius"`
+}
+
+// LineSpec is one straight hex corridor of a topology.
+type LineSpec struct {
+	From [2]int `json:"from"`
+	To   [2]int `json:"to"`
+}
+
+// maxClusterRadius bounds a single cluster disk: radius 64 is ~12k cells,
+// far beyond the simulator's intended city scale, so anything larger is
+// almost certainly a typo.
+const maxClusterRadius = 64
+
+func specCoord(at [2]int) hexgrid.Coord { return hexgrid.Coord{Q: at[0], R: at[1]} }
+
+// compile builds the section's cell set.
+func (t *TopologySpec) compile() (*hexgrid.Topology, error) {
+	b := hexgrid.NewBuilder()
+	for _, cl := range t.Clusters {
+		b.AddDisk(specCoord(cl.Center), cl.Radius)
+	}
+	for _, at := range t.Cells {
+		b.Add(specCoord(at))
+	}
+	for _, l := range t.Lines {
+		b.AddLine(specCoord(l.From), specCoord(l.To))
+	}
+	for _, at := range t.Exclude {
+		b.Remove(specCoord(at))
+	}
+	return b.Build()
+}
+
+// CompileTopology compiles the scenario's topology section into the
+// simulator's dense cell set. Scenarios without a topology section return
+// nil: they are Rings-disk scenarios and the simulator builds the disk
+// itself.
+func (s *Scenario) CompileTopology() (*hexgrid.Topology, error) {
+	if s.Topology == nil {
+		return nil, nil
+	}
+	topo, err := s.Topology.compile()
+	if err != nil {
+		return nil, fmt.Errorf("scenario %s: topology: %w", s.Name, err)
+	}
+	return topo, nil
+}
+
 var nameRE = regexp.MustCompile(`^[a-z0-9]+(-[a-z0-9]+)*$`)
 
 // finite reports whether v is a usable number.
@@ -161,14 +240,30 @@ func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 // names, non-finite or negative quantities, unknown or duplicate cell
 // coordinates, and invalid mixes, profiles or burst processes.
 func (s *Scenario) Validate() error {
-	if s.Schema != SchemaVersion {
-		return fmt.Errorf("scenario: schema version %d, this build reads %d", s.Schema, SchemaVersion)
+	if s.Schema < SchemaV1 || s.Schema > SchemaVersion {
+		return fmt.Errorf("scenario: schema version %d, this build reads %d through %d", s.Schema, SchemaV1, SchemaVersion)
 	}
 	if !nameRE.MatchString(s.Name) {
 		return fmt.Errorf("scenario: name %q must be lower-case letters, digits and dashes", s.Name)
 	}
 	if s.Rings < 0 || s.Rings > 4 {
 		return fmt.Errorf("scenario %s: rings %d outside [0, 4]", s.Name, s.Rings)
+	}
+	if s.Topology != nil {
+		if s.Schema < 2 {
+			return fmt.Errorf("scenario %s: the topology section requires schema 2 (file declares schema %d)", s.Name, s.Schema)
+		}
+		if s.Rings != 0 {
+			return fmt.Errorf("scenario %s: rings and topology are mutually exclusive", s.Name)
+		}
+		for i, cl := range s.Topology.Clusters {
+			if cl.Radius < 0 || cl.Radius > maxClusterRadius {
+				return fmt.Errorf("scenario %s: topology cluster %d radius %d outside [0, %d]", s.Name, i, cl.Radius, maxClusterRadius)
+			}
+		}
+		if _, err := s.CompileTopology(); err != nil {
+			return err
+		}
 	}
 	for _, f := range []struct {
 		name string
@@ -209,10 +304,18 @@ func (s *Scenario) Validate() error {
 	if rings == 0 {
 		rings = DefaultRings
 	}
+	var topo *hexgrid.Topology
+	if s.Topology != nil {
+		topo, _ = s.CompileTopology() // compiled successfully above
+	}
 	seen := make(map[hexgrid.Coord]bool, len(s.Cells))
 	for i, cs := range s.Cells {
 		at := cs.Coord()
-		if hexgrid.Distance(at, hexgrid.Coord{}) > rings {
+		if topo != nil {
+			if !topo.Contains(at) {
+				return fmt.Errorf("scenario %s: cells[%d] coordinate %v outside the topology", s.Name, i, at)
+			}
+		} else if hexgrid.Distance(at, hexgrid.Coord{}) > rings {
 			return fmt.Errorf("scenario %s: cells[%d] coordinate %v outside the %d-ring cluster", s.Name, i, at, rings)
 		}
 		if seen[at] {
@@ -292,8 +395,16 @@ func profile(knots []ProfileKnot) traffic.RateProfile {
 	return out
 }
 
-// Cluster returns the scenario's cells in stable (ring) order.
+// Cluster returns the scenario's cells in stable slot order: ring order
+// for Rings-disk scenarios, topology build order otherwise. Index 0 is
+// the tagged centre cell.
 func (s *Scenario) Cluster() []hexgrid.Coord {
+	if s.Topology != nil {
+		if topo, err := s.CompileTopology(); err == nil {
+			return topo.Coords()
+		}
+		return nil // invalid topology; Validate reports the error
+	}
 	rings := s.Rings
 	if rings == 0 {
 		rings = DefaultRings
@@ -407,7 +518,13 @@ func (s *Scenario) ConfigFor(load int, seed uint64) (cellsim.Config, error) {
 		Mobility:      mobility.DefaultSmoothTurn(),
 		Seed:          seed,
 	}
-	if cfg.Rings == 0 {
+	if s.Topology != nil {
+		topo, err := s.CompileTopology()
+		if err != nil {
+			return cellsim.Config{}, err
+		}
+		cfg.Topology = topo
+	} else if cfg.Rings == 0 {
 		cfg.Rings = DefaultRings
 	}
 	if cfg.CellRadius == 0 {
@@ -426,7 +543,13 @@ func (s *Scenario) ConfigFor(load int, seed uint64) (cellsim.Config, error) {
 		cfg.Mix = s.Mix.mix()
 	}
 
-	for _, at := range s.Cluster() {
+	var cells []hexgrid.Coord
+	if cfg.Topology != nil {
+		cells = cfg.Topology.Coords()
+	} else {
+		cells = s.Cluster()
+	}
+	for _, at := range cells {
 		ct := cellsim.CellTraffic{
 			Cell:     at,
 			Requests: int(math.Round(float64(load) * s.LoadAt(at))),

@@ -144,6 +144,42 @@ func TestValidateRejections(t *testing.T) {
 			want: "outside",
 		},
 		{
+			name: "topology in schema-1 document",
+			mut: func(s *Scenario) {
+				s.Schema = SchemaV1
+				s.Topology = &TopologySpec{Cells: [][2]int{{0, 0}}}
+			},
+			want: "schema",
+		},
+		{
+			name: "topology alongside rings",
+			mut: func(s *Scenario) {
+				s.Rings = 2
+				s.Topology = &TopologySpec{Cells: [][2]int{{0, 0}}}
+			},
+			want: "rings",
+		},
+		{
+			name: "empty topology",
+			mut:  func(s *Scenario) { s.Topology = &TopologySpec{} },
+			want: "topology",
+		},
+		{
+			name: "oversized cluster radius",
+			mut: func(s *Scenario) {
+				s.Topology = &TopologySpec{Clusters: []ClusterSpec{{Radius: maxClusterRadius + 1}}}
+			},
+			want: "radius",
+		},
+		{
+			name: "cell outside topology",
+			mut: func(s *Scenario) {
+				s.Topology = &TopologySpec{Clusters: []ClusterSpec{{Center: [2]int{0, 0}, Radius: 1}}}
+				s.Cells = []CellSpec{{At: [2]int{5, 5}}}
+			},
+			want: "outside the topology",
+		},
+		{
 			name: "duplicate cell",
 			mut: func(s *Scenario) {
 				s.Cells = []CellSpec{{At: [2]int{0, 0}}, {At: [2]int{0, 0}}}
@@ -213,7 +249,8 @@ func TestFromJSONRejectsMalformed(t *testing.T) {
 		"syntax error":     `{"schema": 1, "name": }`,
 		"unknown field":    `{"schema": 1, "name": "x", "surprise": true}`,
 		"trailing garbage": `{"schema": 1, "name": "x"}{"schema": 1, "name": "y"}`,
-		"wrong schema":     `{"schema": 2, "name": "x"}`,
+		"wrong schema":     `{"schema": 99, "name": "x"}`,
+		"v1 topology":      `{"schema": 1, "name": "x", "topology": {"clusters": [{"center": [0, 0], "radius": 2}]}}`,
 		"NaN-ish rate":     `{"schema": 1, "name": "x", "profile": [{"t_s": 0, "rate": "NaN"}]}`,
 	}
 	for name, doc := range cases {
@@ -351,5 +388,93 @@ func TestScenarioJSONRoundTrip(t *testing.T) {
 		if !reflect.DeepEqual(s, back) {
 			t.Errorf("%s round-trip mismatch:\n a: %+v\n b: %+v", name, s, back)
 		}
+	}
+}
+
+// TestSchemaV1BackCompat pins that schema-1 documents still load and
+// compile exactly as before the topology extension: no Topology field, a
+// defaulted ring count, and the legacy cluster enumeration.
+func TestSchemaV1BackCompat(t *testing.T) {
+	s, err := FromJSON([]byte(`{"schema": 1, "name": "legacy", "default_load": 0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Topology != nil {
+		t.Fatal("v1 document grew a topology")
+	}
+	cfg, err := s.ConfigFor(10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology != nil {
+		t.Errorf("v1 config carries a topology: %v", cfg.Topology)
+	}
+	if cfg.Rings != DefaultRings {
+		t.Errorf("v1 config rings = %d, want %d", cfg.Rings, DefaultRings)
+	}
+	if got, want := len(s.Cluster()), len(hexgrid.Disk(hexgrid.Coord{}, DefaultRings)); got != want {
+		t.Errorf("v1 cluster has %d cells, want %d", got, want)
+	}
+}
+
+// TestTopologySection covers the schema-2 topology block end to end:
+// compile, Cluster(), and ConfigFor wiring.
+func TestTopologySection(t *testing.T) {
+	doc := `{
+		"schema": 2,
+		"name": "twin-towns",
+		"topology": {
+			"clusters": [
+				{"center": [0, 0], "radius": 2},
+				{"center": [9, 0], "radius": 1}
+			],
+			"lines": [{"from": [2, 0], "to": [8, 0]}],
+			"exclude": [[5, 0]]
+		},
+		"cells": [{"at": [9, 0], "load": 2.5}]
+	}`
+	s, err := FromJSON([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := s.CompileTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disks (19 + 7 cells), a connecting line adding the strictly
+	// interior cells, minus one excluded corridor cell.
+	if topo.Contains(hexgrid.Coord{Q: 5}) {
+		t.Error("excluded cell still present")
+	}
+	for _, at := range []hexgrid.Coord{{}, {Q: 9}, {Q: 4}, {Q: 6}} {
+		if !topo.Contains(at) {
+			t.Errorf("topology is missing %v", at)
+		}
+	}
+	if got := len(s.Cluster()); got != topo.Cells() {
+		t.Errorf("Cluster() has %d cells, topology %d", got, topo.Cells())
+	}
+	if s.Cluster()[0] != (hexgrid.Coord{}) {
+		t.Errorf("centre cell = %v, want origin (first build-order cell)", s.Cluster()[0])
+	}
+	cfg, err := s.ConfigFor(4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Topology == nil || cfg.Topology.Cells() != topo.Cells() {
+		t.Fatalf("ConfigFor did not carry the topology through")
+	}
+	if cfg.Rings != 0 {
+		t.Errorf("topology config rings = %d, want 0", cfg.Rings)
+	}
+	// The per-cell load override applies to the second cluster's centre.
+	reqs := -1
+	for _, ct := range cfg.PerCell {
+		if ct.Cell == (hexgrid.Coord{Q: 9}) {
+			reqs = ct.Requests
+		}
+	}
+	if want := int(2.5 * 4); reqs != want {
+		t.Errorf("hotspot cell requests = %d, want %d", reqs, want)
 	}
 }

@@ -9,7 +9,9 @@ import (
 	"strconv"
 	"strings"
 
+	"facsp/internal/cellsim"
 	"facsp/internal/experiment"
+	"facsp/internal/hexgrid"
 )
 
 // ParseLoads parses a comma-separated -loads list ("10,25,50,100") into
@@ -59,6 +61,30 @@ func SweepOptions(loads string, reps, workers, surface int, baseSeed uint64) (ex
 			return experiment.Options{}, err
 		}
 		opts.Loads = parsed
+	}
+	return opts, nil
+}
+
+// CityShard validates the -city-groups / -city-workers split of a sharded
+// city run against the compiled topology, at the flag boundary. A worker
+// can only own whole cell groups, so worker counts above the resolved
+// group count are usage errors, not silent clamps. 0 groups takes the
+// topology's default partition; 0 workers takes GOMAXPROCS capped at the
+// group count.
+func CityShard(groups, workers int, topo *hexgrid.Topology) (cellsim.ShardOptions, error) {
+	if groups < 0 {
+		return cellsim.ShardOptions{}, fmt.Errorf("-city-groups %d: must be non-negative (0 = topology default)", groups)
+	}
+	if workers < 0 {
+		return cellsim.ShardOptions{}, fmt.Errorf("-city-workers %d: must be non-negative (0 = GOMAXPROCS capped at the group count)", workers)
+	}
+	opts := cellsim.ShardOptions{Groups: groups, Workers: workers}
+	if _, _, err := opts.Resolve(topo); err != nil {
+		resolved := min(max(groups, 1), topo.Cells())
+		if groups == 0 {
+			resolved = topo.DefaultGroups()
+		}
+		return cellsim.ShardOptions{}, fmt.Errorf("-city-workers %d: the topology splits into %d cell groups and each worker owns whole groups; lower -city-workers or raise -city-groups", workers, resolved)
 	}
 	return opts, nil
 }

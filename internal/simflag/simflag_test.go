@@ -1,8 +1,11 @@
 package simflag
 
 import (
+	"fmt"
 	"strings"
 	"testing"
+
+	"facsp/internal/hexgrid"
 )
 
 func TestParseLoads(t *testing.T) {
@@ -78,5 +81,42 @@ func TestSweepOptionsValidation(t *testing.T) {
 				t.Errorf("empty -loads produced %v, want nil (default grid)", opts.Loads)
 			}
 		})
+	}
+}
+
+func TestCityShard(t *testing.T) {
+	topo := hexgrid.DiskTopology(hexgrid.Coord{}, 3) // 37 cells, 16 default groups
+	if _, err := CityShard(-1, 0, topo); err == nil {
+		t.Error("negative groups accepted")
+	}
+	if _, err := CityShard(0, -1, topo); err == nil {
+		t.Error("negative workers accepted")
+	}
+	// Workers above the resolved group count: a usage error naming both
+	// flags and the resolved group count.
+	_, err := CityShard(4, 8, topo)
+	if err == nil {
+		t.Fatal("8 workers over 4 groups accepted")
+	}
+	for _, want := range []string{"-city-workers 8", "4 cell groups", "-city-groups"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	// Default groups path in the error message.
+	_, err = CityShard(0, 99, topo)
+	if err == nil || !strings.Contains(err.Error(), fmt.Sprintf("%d cell groups", topo.DefaultGroups())) {
+		t.Errorf("default-groups error = %v, want mention of %d groups", err, topo.DefaultGroups())
+	}
+	// Valid splits pass through un-resolved (RunSharded resolves again).
+	opts, err := CityShard(8, 4, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Groups != 8 || opts.Workers != 4 {
+		t.Errorf("opts = %+v, want {8 4}", opts)
+	}
+	if _, err := CityShard(0, 0, topo); err != nil {
+		t.Errorf("defaults rejected: %v", err)
 	}
 }
