@@ -112,6 +112,11 @@ func run(args []string) error {
 		if r.SimCallsPerSec > 0 {
 			line += fmt.Sprintf(" %14.0f simcalls/s", r.SimCallsPerSec)
 		}
+		if v, ok := r.Extra["admits_per_sec"]; ok {
+			line += fmt.Sprintf(" %8.0f admits/s p50=%s p99=%s", v,
+				time.Duration(r.Extra["p50_ns"]).Round(time.Microsecond),
+				time.Duration(r.Extra["p99_ns"]).Round(time.Microsecond))
+		}
 		fmt.Fprintln(os.Stderr, line)
 		results = append(results, r)
 	}

@@ -61,15 +61,26 @@ func run(args []string) error {
 	}
 	var (
 		mu       sync.Mutex
+		offered  int
 		accepted int
 		rejected int
 		errors   int
 	)
 	var wg sync.WaitGroup
-	perWorker := (*n + *conc - 1) / *conc
+	// Split the -n requests across workers exactly: the first n%conc
+	// workers take one extra, so the client offers precisely -n requests
+	// rather than conc*ceil(n/conc).
+	base, extra := *n / *conc, *n%*conc
 	for w := 0; w < *conc; w++ {
+		share := base
+		if w < extra {
+			share++
+		}
+		if share == 0 {
+			continue
+		}
 		wg.Add(1)
-		go func(worker int) {
+		go func(worker, share int) {
 			defer wg.Done()
 			src := rng.New(*seed + uint64(worker))
 			cl, err := bsd.Dial(*addr)
@@ -81,9 +92,12 @@ func run(args []string) error {
 			}
 			defer cl.Close()
 			mix := traffic.DefaultMix()
-			for i := 0; i < perWorker; i++ {
+			for i := 0; i < share; i++ {
 				id := uint64(worker*1_000_000 + i)
 				class := mix.Sample(src)
+				mu.Lock()
+				offered++
+				mu.Unlock()
 				resp, err := cl.Admit(id, class.String(), src.Uniform(0, 120), src.Uniform(-180, 180), *handoff)
 				if err != nil {
 					mu.Lock()
@@ -114,14 +128,15 @@ func run(args []string) error {
 					mu.Unlock()
 				}
 			}
-		}(w)
+		}(w, share)
 	}
 	wg.Wait()
 
-	total := accepted + rejected
-	fmt.Printf("offered=%d accepted=%d rejected=%d errors=%d", total, accepted, rejected, errors)
-	if total > 0 {
-		fmt.Printf(" accept%%=%.1f", 100*float64(accepted)/float64(total))
+	// offered counts requests actually sent (it includes ones that later
+	// errored); the acceptance ratio is over the decided ones only.
+	fmt.Printf("offered=%d accepted=%d rejected=%d errors=%d", offered, accepted, rejected, errors)
+	if decided := accepted + rejected; decided > 0 {
+		fmt.Printf(" accept%%=%.1f", 100*float64(accepted)/float64(decided))
 	}
 	fmt.Println()
 	if errors > 0 {

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"net"
+	"strconv"
+	"sync/atomic"
+	"testing"
+
+	"facsp/internal/baseline"
+	"facsp/internal/bsd"
+	"facsp/internal/cac"
+)
+
+// countingCtrl wraps a controller, counting Admit calls — the fixture
+// for the offered-request accounting.
+type countingCtrl struct {
+	cac.Controller
+	admits atomic.Int64
+}
+
+func (c *countingCtrl) Admit(req cac.Request) cac.Decision {
+	c.admits.Add(1)
+	return c.Controller.Admit(req)
+}
+
+func startCountingServer(t *testing.T) (string, *countingCtrl) {
+	t.Helper()
+	inner, err := baseline.NewCompleteSharing(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := &countingCtrl{Controller: inner}
+	srv, err := bsd.NewServer(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		<-done
+	})
+	return ln.Addr().String(), ctrl
+}
+
+// TestOffersExactlyN pins the accounting fix: -n requests split over
+// -concurrency workers must offer exactly n, including when n is not a
+// multiple of the concurrency (the old ceiling split offered
+// conc*ceil(n/conc)).
+func TestOffersExactlyN(t *testing.T) {
+	for _, tt := range []struct{ n, conc int }{
+		{n: 12, conc: 4}, // even split
+		{n: 10, conc: 4}, // remainder 2: the old code offered 12
+		{n: 7, conc: 4},  // remainder 3: the old code offered 8
+		{n: 2, conc: 4},  // fewer requests than workers: the old code offered 4
+	} {
+		addr, ctrl := startCountingServer(t)
+		err := run([]string{
+			"-addr", addr,
+			"-n", strconv.Itoa(tt.n),
+			"-concurrency", strconv.Itoa(tt.conc),
+			"-hold", "1ms",
+		})
+		if err != nil {
+			t.Fatalf("n=%d conc=%d: %v", tt.n, tt.conc, err)
+		}
+		if got := ctrl.admits.Load(); got != int64(tt.n) {
+			t.Errorf("n=%d conc=%d: daemon saw %d admits", tt.n, tt.conc, got)
+		}
+	}
+}

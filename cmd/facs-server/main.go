@@ -8,15 +8,27 @@
 //	facs-server -scheme guard -capacity 40 -guard 8
 //	facs-server -scheme adapt            # adaptive bandwidth degradation
 //	facs-server -scheme adapt-fuzzy      # degradation gated by the fuzzy pipeline
+//	facs-server -cells 7 -queue 512      # 7-cell daemon, deeper per-cell queues
 //
 // Schemes: facsp (FACS-P, the paper's proposal), facs (the previous fuzzy
 // system), guard (cutoff priority), sharing (complete sharing), adapt and
 // adapt-fuzzy (adaptive bandwidth degradation, internal/adapt).
 //
+// The daemon serves -cells independent cells, each with its own admission
+// controller of the chosen scheme and its own worker goroutine; requests
+// address a cell with the wire "cell" field. Every cell's pending-request
+// queue is bounded at -queue entries: a request arriving at a full queue
+// is shed immediately with an "overloaded" error response instead of
+// growing server memory without limit.
+//
 // # Wire protocol
 //
 // One JSON object per line in each direction (internal/wire, version 1).
 // Requests carry "v" (must be 1) and "op": "admit", "release" or "status".
+// An optional "cell" field addresses one cell of a multi-cell daemon by
+// index; when absent the request targets cell 0, so single-cell clients
+// predating the field keep working unchanged. Responses echo the cell in
+// "cell" (omitted for cell 0).
 //
 // Admit asks the cell to admit connection "id" of service class "class"
 // ("text", "voice" or "video"; the class fixes the requested bandwidth at
@@ -50,16 +62,25 @@
 //	-> {"v":1,"op":"status"}
 //	<- {"v":1,"ok":true,"occupancy":0,"capacity":40,"scheme":"FACS-P"}
 //
-// Every response carries "occupancy", "capacity" and "scheme". Errors —
-// an unknown op or class, a bad version, a duplicate admit, a release of a
-// connection not admitted on the session — answer with "ok":false and the
-// message in "err":
+// Every response carries "occupancy", "capacity" and "scheme", reporting
+// the state its own operation produced (the daemon serialises each cell's
+// mutations through one worker, so the numbers are exact, not racy
+// read-afters). Errors — an unknown op, class or cell, a bad version, a
+// duplicate admit, a release of a connection not admitted on the session —
+// answer with "ok":false and the message in "err":
 //
 //	<- {"v":1,"ok":false,"err":"bsd: connection 7 not admitted on this session","occupancy":0,"capacity":40,"scheme":"FACS-P"}
 //
+// A request shed because its cell's bounded queue was full additionally
+// carries the machine-readable "code":"overloaded" so load generators and
+// neighbour cells can tell backpressure from protocol bugs; the request
+// had no effect and may be retried:
+//
+//	<- {"v":1,"ok":false,"err":"bsd: cell 0 overloaded: request queue full","code":"overloaded","occupancy":37,"capacity":40,"scheme":"FACS-P"}
+//
 // A malformed line (unparseable JSON, oversized line) is answered once
-// with such an error reply, then the session is closed. A disconnecting
-// client automatically releases every bandwidth unit it holds, so crashed
+// with an error reply, then the session is closed. A disconnecting client
+// automatically releases every bandwidth unit it holds, so crashed
 // handsets cannot leak cell capacity.
 package main
 
@@ -93,16 +114,25 @@ func run(args []string) error {
 		scheme   = fs.String("scheme", "facsp", "admission scheme: facsp, facs, guard, sharing, adapt, adapt-fuzzy")
 		capacity = fs.Float64("capacity", 40, "cell capacity in bandwidth units")
 		guard    = fs.Float64("guard", 8, "guard band in BU (guard scheme only)")
+		cells    = fs.Int("cells", 1, "number of independent cells the daemon serves")
+		queue    = fs.Int("queue", bsd.DefaultQueueDepth, "per-cell bounded request queue depth")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	ctrl, err := buildController(*scheme, *capacity, *guard)
-	if err != nil {
-		return err
+	if *cells < 1 {
+		return fmt.Errorf("need at least one cell, got %d", *cells)
 	}
-	srv, err := bsd.NewServer(ctrl)
+
+	ctrls := make([]cac.Controller, *cells)
+	for i := range ctrls {
+		ctrl, err := buildController(*scheme, *capacity, *guard)
+		if err != nil {
+			return err
+		}
+		ctrls[i] = ctrl
+	}
+	srv, err := bsd.New(bsd.Config{Cells: ctrls, QueueDepth: *queue})
 	if err != nil {
 		return err
 	}
@@ -110,7 +140,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("facs-server: %s cell (%.0f BU) listening on %s\n", cac.Name(ctrl), *capacity, ln.Addr())
+	fmt.Printf("facs-server: %d %s cell(s) (%.0f BU each) listening on %s\n",
+		*cells, cac.Name(ctrls[0]), *capacity, ln.Addr())
 
 	// Graceful shutdown on SIGINT/SIGTERM.
 	sig := make(chan os.Signal, 1)

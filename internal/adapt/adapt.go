@@ -225,7 +225,7 @@ func (c *Controller) depthFor(req cac.Request) int {
 // shallower DepthNew/DepthRTNew budgets and always enter at full rate.
 func (c *Controller) Admit(req cac.Request) cac.Decision {
 	if err := req.Validate(); err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: c.Occupancy()}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -235,7 +235,8 @@ func (c *Controller) Admit(req cac.Request) cac.Decision {
 func (c *Controller) admitLocked(req cac.Request) cac.Decision {
 	if _, dup := c.conns[req.ID]; dup {
 		return cac.Decision{Accept: false, Score: -1,
-			Outcome: fmt.Sprintf("error: adapt: connection %d already admitted", req.ID)}
+			Outcome:   fmt.Sprintf("error: adapt: connection %d already admitted", req.ID),
+			Occupancy: c.total}
 	}
 	ladder := c.ladderFor(req)
 	depth := c.depthFor(req)
@@ -267,9 +268,9 @@ func (c *Controller) admitLocked(req cac.Request) cac.Decision {
 		case degraded:
 			outcome = "degraded-others"
 		}
-		return cac.Decision{Accept: true, Score: 1, Outcome: outcome, Allocated: cn.alloc()}
+		return cac.Decision{Accept: true, Score: 1, Outcome: outcome, Allocated: cn.alloc(), Occupancy: c.total}
 	}
-	return cac.Decision{Accept: false, Score: -1, Outcome: "capacity"}
+	return cac.Decision{Accept: false, Score: -1, Outcome: "capacity", Occupancy: c.total}
 }
 
 // Release implements cac.Controller: it frees the connection's current

@@ -69,7 +69,7 @@ func (f *Fuzzy) Degraded() int { return f.ctrl.Degraded() }
 // the degradation machinery actually makes room for it.
 func (f *Fuzzy) Admit(req cac.Request) cac.Decision {
 	if err := req.Validate(); err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: f.ctrl.Occupancy()}
 	}
 	f.ctrl.mu.Lock()
 	defer f.ctrl.mu.Unlock()
@@ -78,7 +78,8 @@ func (f *Fuzzy) Admit(req cac.Request) cac.Decision {
 	// matches the crisp controller's regardless of load.
 	if _, dup := f.ctrl.conns[req.ID]; dup {
 		return cac.Decision{Accept: false, Score: -1,
-			Outcome: fmt.Sprintf("error: adapt: connection %d already admitted", req.ID)}
+			Outcome:   fmt.Sprintf("error: adapt: connection %d already admitted", req.ID),
+			Occupancy: f.ctrl.total}
 	}
 
 	// Allocated BU per differentiated-service counter, then the post-scale:
@@ -112,9 +113,10 @@ func (f *Fuzzy) Admit(req cac.Request) cac.Decision {
 
 	d, err := f.eval.Evaluate(req, rtc, nrtc)
 	if err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: f.ctrl.total}
 	}
 	if !d.Accept {
+		d.Occupancy = f.ctrl.total
 		return d.Decision
 	}
 	m := f.ctrl.admitLocked(req)

@@ -53,15 +53,15 @@ func (c *CompleteSharing) Occupancy() float64 {
 // Admit implements cac.Controller.
 func (c *CompleteSharing) Admit(req cac.Request) cac.Decision {
 	if err := req.Validate(); err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: c.Occupancy()}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.used+req.Bandwidth > c.capacity {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity"}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity", Occupancy: c.used}
 	}
 	c.used += req.Bandwidth
-	return cac.Decision{Accept: true, Score: 1, Outcome: "fits"}
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: c.used}
 }
 
 // Release implements cac.Controller.
@@ -121,7 +121,7 @@ func (g *GuardChannel) Occupancy() float64 {
 // Admit implements cac.Controller.
 func (g *GuardChannel) Admit(req cac.Request) cac.Decision {
 	if err := req.Validate(); err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: g.Occupancy()}
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -134,10 +134,10 @@ func (g *GuardChannel) Admit(req cac.Request) cac.Decision {
 		if !req.Handoff && g.used+req.Bandwidth <= g.capacity {
 			outcome = "guard-channel"
 		}
-		return cac.Decision{Accept: false, Score: -1, Outcome: outcome}
+		return cac.Decision{Accept: false, Score: -1, Outcome: outcome, Occupancy: g.used}
 	}
 	g.used += req.Bandwidth
-	return cac.Decision{Accept: true, Score: 1, Outcome: "fits"}
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: g.used}
 }
 
 // Release implements cac.Controller.
@@ -203,23 +203,23 @@ func (f *FractionalGuard) Occupancy() float64 {
 // Admit implements cac.Controller.
 func (f *FractionalGuard) Admit(req cac.Request) cac.Decision {
 	if err := req.Validate(); err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: f.Occupancy()}
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.used+req.Bandwidth > f.capacity {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity"}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity", Occupancy: f.used}
 	}
 	if !req.Handoff && f.used > f.threshold {
 		// Admission probability decays linearly from 1 at the threshold
 		// to 0 at full occupancy.
 		p := 1 - (f.used-f.threshold)/(f.capacity-f.threshold)
 		if !f.src.Bool(p) {
-			return cac.Decision{Accept: false, Score: -1, Outcome: "fractional-guard"}
+			return cac.Decision{Accept: false, Score: -1, Outcome: "fractional-guard", Occupancy: f.used}
 		}
 	}
 	f.used += req.Bandwidth
-	return cac.Decision{Accept: true, Score: 1, Outcome: "fits"}
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: f.used}
 }
 
 // Release implements cac.Controller.

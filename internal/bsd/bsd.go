@@ -1,12 +1,26 @@
 // Package bsd implements the base-station admission daemon behind
 // cmd/facs-server: a TCP server that answers wire-protocol admission
-// queries against a single cac.Controller, plus the matching client.
+// queries against a bank of per-cell admission controllers, plus the
+// matching client.
 //
-// The daemon is deliberately defensive, the way a long-lived network
-// element has to be: per-connection state is tracked so that a client that
+// The daemon is production-shaped in two ways. First, admission state is
+// sharded per cell: every cell has its own cac.Controller and its own
+// worker goroutine, and a request addresses a cell with the wire
+// protocol's "cell" field. All mutations of a cell's controller flow
+// through its worker, so each response reports the occupancy produced by
+// its own operation — atomically, not a racy read-after. Second, load is
+// bounded: each cell worker consumes from a bounded queue, and a request
+// arriving at a full queue is shed immediately with an explicit
+// "overloaded" error response (wire.CodeOverloaded) instead of growing
+// memory without limit.
+//
+// The daemon is also deliberately defensive, the way a long-lived network
+// element has to be: per-session state is tracked so that a client that
 // disconnects (crashes, times out, is partitioned away) automatically
 // releases every bandwidth unit it was granted, malformed input yields an
-// error response rather than a dropped session, and line length is bounded.
+// error response rather than a dropped session, line length is bounded,
+// and Close drains cleanly — live sessions are torn down, their grants
+// released, and Serve returns only when every cell worker has stopped.
 package bsd
 
 import (
@@ -21,9 +35,51 @@ import (
 	"facsp/internal/wire"
 )
 
-// Server serves admission queries for one base station.
+// DefaultQueueDepth is the per-cell bounded queue depth used when
+// Config.QueueDepth is unset: deep enough to ride out bursts of a few
+// hundred concurrent sessions, shallow enough that a stalled controller
+// sheds instead of buffering unbounded work.
+const DefaultQueueDepth = 256
+
+// Config parameterises a daemon.
+type Config struct {
+	// Cells holds one admission controller per cell; wire requests
+	// address a cell by its index here (the "cell" field, default 0).
+	// Every controller must be safe for concurrent use (all controllers
+	// in this repository are). Must be non-empty.
+	Cells []cac.Controller
+	// QueueDepth bounds every cell's pending-request queue. A request
+	// arriving at a full queue is shed with a wire.CodeOverloaded error
+	// response. Zero or negative means DefaultQueueDepth.
+	QueueDepth int
+}
+
+// task is one operation routed to a cell worker. reply is buffered (cap
+// 1) so a worker never blocks on a vanished submitter.
+type task struct {
+	op    wire.Op
+	creq  cac.Request
+	reply chan wire.Response
+}
+
+// cell is one shard of admission state: a controller plus the worker
+// queue that serialises every mutation of it.
+type cell struct {
+	index int
+	ctrl  cac.Controller
+	tasks chan task
+}
+
+// grantKey identifies one live grant of a session: client-chosen
+// connection IDs are scoped per (session, cell).
+type grantKey struct {
+	cell int
+	id   uint64
+}
+
+// Server serves admission queries for a bank of base-station cells.
 type Server struct {
-	ctrl cac.Controller
+	cells []*cell
 
 	// nextID remaps client-chosen connection IDs (which are only unique
 	// within a session) to server-unique cac.Request IDs, so schemes that
@@ -31,26 +87,65 @@ type Server struct {
 	// collisions. Non-adaptive schemes ignore IDs entirely.
 	nextID atomic.Uint64
 
-	mu     sync.Mutex
-	ln     net.Listener
-	conns  map[net.Conn]bool
-	closed bool
+	// shed counts requests dropped because a cell queue was full.
+	shed atomic.Uint64
+
+	workers  sync.WaitGroup
+	stopOnce sync.Once
+
+	mu      sync.Mutex
+	ln      net.Listener
+	conns   map[net.Conn]bool
+	serving bool
+	closed  bool
 }
 
-// NewServer builds a daemon around a controller. The controller must be
-// safe for concurrent use (all controllers in this repository are).
+// New builds a daemon from a config, starting one worker per cell.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Cells) == 0 {
+		return nil, fmt.Errorf("bsd: no cells configured")
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	s := &Server{conns: make(map[net.Conn]bool)}
+	for i, ctrl := range cfg.Cells {
+		if ctrl == nil {
+			return nil, fmt.Errorf("bsd: nil controller for cell %d", i)
+		}
+		c := &cell{index: i, ctrl: ctrl, tasks: make(chan task, depth)}
+		s.cells = append(s.cells, c)
+	}
+	for _, c := range s.cells {
+		s.workers.Add(1)
+		go func(c *cell) {
+			defer s.workers.Done()
+			c.run()
+		}(c)
+	}
+	return s, nil
+}
+
+// NewServer builds a single-cell daemon around one controller.
 func NewServer(ctrl cac.Controller) (*Server, error) {
 	if ctrl == nil {
 		return nil, fmt.Errorf("bsd: nil controller")
 	}
-	return &Server{
-		ctrl:  ctrl,
-		conns: make(map[net.Conn]bool),
-	}, nil
+	return New(Config{Cells: []cac.Controller{ctrl}})
 }
 
-// Serve accepts connections on ln until Close is called. It always returns
-// a non-nil error; after Close the error is net.ErrClosed.
+// Cells returns the number of cells the daemon serves.
+func (s *Server) Cells() int { return len(s.cells) }
+
+// Shed returns the number of requests shed so far because a cell's
+// bounded queue was full.
+func (s *Server) Shed() uint64 { return s.shed.Load() }
+
+// Serve accepts connections on ln until Close is called. It always
+// returns a non-nil error; after Close the error is net.ErrClosed. When
+// it returns via Close, the daemon has fully drained: every session is
+// torn down, every grant released, and every cell worker stopped.
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
@@ -58,10 +153,16 @@ func (s *Server) Serve(ln net.Listener) error {
 		return net.ErrClosed
 	}
 	s.ln = ln
+	s.serving = true
 	s.mu.Unlock()
 
 	var wg sync.WaitGroup
-	defer wg.Wait()
+	defer func() {
+		// Sessions first — their disconnect cleanup routes releases
+		// through the cell workers — then the workers themselves.
+		wg.Wait()
+		s.stopWorkers()
+	}()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -85,11 +186,12 @@ func (s *Server) Serve(ln net.Listener) error {
 }
 
 // Close stops accepting and closes every live session (releasing their
-// admitted bandwidth).
+// admitted bandwidth). Serve returns once the drain completes.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	ln := s.ln
+	serving := s.serving
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
@@ -103,17 +205,91 @@ func (s *Server) Close() error {
 	for _, c := range conns {
 		_ = c.Close()
 	}
+	if !serving {
+		// No accept loop will run the drain; stop the idle workers here.
+		s.stopWorkers()
+	}
 	return err
+}
+
+// stopWorkers closes every cell queue and waits for the workers to
+// finish. It must only run when no session can submit again.
+func (s *Server) stopWorkers() {
+	s.stopOnce.Do(func() {
+		for _, c := range s.cells {
+			close(c.tasks)
+		}
+		s.workers.Wait()
+	})
+}
+
+// run is a cell worker: the sole mutator of its controller. Because every
+// admit and release flows through here in sequence, the occupancy each
+// response carries is exactly the occupancy its own operation produced.
+func (c *cell) run() {
+	for t := range c.tasks {
+		resp := wire.Response{
+			V:        wire.Version,
+			OK:       true,
+			Cell:     c.index,
+			Capacity: c.ctrl.Capacity(),
+			Scheme:   cac.Name(c.ctrl),
+		}
+		switch t.op {
+		case wire.OpStatus:
+			resp.Occupancy = c.ctrl.Occupancy()
+
+		case wire.OpAdmit:
+			d := c.ctrl.Admit(t.creq)
+			resp.Accept = d.Accept
+			resp.Score = d.Score
+			resp.Outcome = d.Outcome
+			resp.Allocated = d.Allocated
+			// The decision reports the occupancy it produced, observed
+			// under the controller's own lock (cac.Decision.Occupancy).
+			resp.Occupancy = d.Occupancy
+
+		case wire.OpRelease:
+			if err := c.ctrl.Release(t.creq); err != nil {
+				resp.OK = false
+				resp.Err = err.Error()
+			}
+			// Exact even without a decision struct: this worker is the
+			// sole mutator, so nothing interleaves between the release
+			// and this read.
+			resp.Occupancy = c.ctrl.Occupancy()
+		}
+		t.reply <- resp
+	}
+}
+
+// overloaded is the shed response for a full cell queue.
+func (c *cell) overloaded() wire.Response {
+	return wire.Response{
+		V:         wire.Version,
+		OK:        false,
+		Code:      wire.CodeOverloaded,
+		Err:       fmt.Sprintf("bsd: cell %d overloaded: request queue full", c.index),
+		Cell:      c.index,
+		Occupancy: c.ctrl.Occupancy(),
+		Capacity:  c.ctrl.Capacity(),
+		Scheme:    cac.Name(c.ctrl),
+	}
 }
 
 // handle runs one client session.
 func (s *Server) handle(conn net.Conn) {
-	// admitted tracks this session's live grants so a vanished client
+	// grants tracks this session's live grants so a vanished client
 	// cannot leak bandwidth.
-	admitted := make(map[uint64]cac.Request)
+	grants := make(map[grantKey]cac.Request)
 	defer func() {
-		for _, req := range admitted {
-			_ = s.ctrl.Release(req)
+		// Route the cleanup releases through the cell workers too: they
+		// must not race the responses of live sessions. The blocking
+		// submit is safe — workers stop only after every session exits.
+		for key, creq := range grants {
+			t := task{op: wire.OpRelease, creq: creq, reply: make(chan wire.Response, 1)}
+			s.cells[key.cell].tasks <- t
+			<-t.reply
 		}
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -129,71 +305,82 @@ func (s *Server) handle(conn net.Conn) {
 			if !errors.Is(err, io.EOF) {
 				// Malformed line: answer once, then drop the session —
 				// framing is gone.
-				_ = enc.Encode(s.errResponse(err))
+				_ = enc.Encode(s.errResponse(0, err))
 			}
 			return
 		}
-		if err := enc.Encode(s.dispatch(req, admitted)); err != nil {
+		if err := enc.Encode(s.process(req, grants)); err != nil {
 			return
 		}
 	}
 }
 
-func (s *Server) errResponse(err error) wire.Response {
-	return wire.Response{
-		V:         wire.Version,
-		OK:        false,
-		Err:       err.Error(),
-		Occupancy: s.ctrl.Occupancy(),
-		Capacity:  s.ctrl.Capacity(),
-		Scheme:    cac.Name(s.ctrl),
+// errResponse builds an error reply, carrying the addressed cell's
+// snapshot state when the index resolves. Error replies are advisory —
+// they do not claim the atomic occupancy of a worker-serialised op.
+func (s *Server) errResponse(cellIdx int, err error) wire.Response {
+	resp := wire.Response{V: wire.Version, OK: false, Err: err.Error(), Cell: cellIdx}
+	if cellIdx >= 0 && cellIdx < len(s.cells) {
+		c := s.cells[cellIdx]
+		resp.Occupancy = c.ctrl.Occupancy()
+		resp.Capacity = c.ctrl.Capacity()
+		resp.Scheme = cac.Name(c.ctrl)
 	}
+	return resp
 }
 
-// dispatch executes one request against the controller.
-func (s *Server) dispatch(req wire.Request, admitted map[uint64]cac.Request) wire.Response {
+// process validates one request, routes it to its cell worker, and
+// applies the outcome to the session's grant table. Session-level errors
+// (bad version, unknown cell, duplicate admit, unknown release) are
+// answered without touching the cell queue.
+func (s *Server) process(req wire.Request, grants map[grantKey]cac.Request) wire.Response {
 	if err := req.Validate(); err != nil {
-		return s.errResponse(err)
+		return s.errResponse(req.Cell, err)
 	}
-	resp := wire.Response{
-		V:        wire.Version,
-		OK:       true,
-		Capacity: s.ctrl.Capacity(),
-		Scheme:   cac.Name(s.ctrl),
+	if req.Cell >= len(s.cells) {
+		return s.errResponse(req.Cell,
+			fmt.Errorf("bsd: unknown cell %d (daemon serves cells 0-%d)", req.Cell, len(s.cells)-1))
 	}
-	switch req.Op {
-	case wire.OpStatus:
-		// Nothing to do beyond the shared fields.
+	c := s.cells[req.Cell]
+	key := grantKey{cell: req.Cell, id: req.ID}
+	t := task{op: req.Op, reply: make(chan wire.Response, 1)}
 
+	switch req.Op {
 	case wire.OpAdmit:
-		if _, dup := admitted[req.ID]; dup {
-			return s.errResponse(fmt.Errorf("bsd: connection %d already admitted on this session", req.ID))
+		if _, dup := grants[key]; dup {
+			return s.errResponse(req.Cell, fmt.Errorf("bsd: connection %d already admitted on this session", req.ID))
 		}
 		creq, err := req.CACRequest()
 		if err != nil {
-			return s.errResponse(err)
+			return s.errResponse(req.Cell, err)
 		}
 		creq.ID = s.nextID.Add(1) // client IDs are session-scoped; see nextID
-		d := s.ctrl.Admit(creq)
-		resp.Accept = d.Accept
-		resp.Score = d.Score
-		resp.Outcome = d.Outcome
-		resp.Allocated = d.Allocated
-		if d.Accept {
-			admitted[req.ID] = creq
-		}
-
+		t.creq = creq
 	case wire.OpRelease:
-		creq, ok := admitted[req.ID]
+		creq, ok := grants[key]
 		if !ok {
-			return s.errResponse(fmt.Errorf("bsd: connection %d not admitted on this session", req.ID))
+			return s.errResponse(req.Cell, fmt.Errorf("bsd: connection %d not admitted on this session", req.ID))
 		}
-		if err := s.ctrl.Release(creq); err != nil {
-			return s.errResponse(err)
-		}
-		delete(admitted, req.ID)
+		t.creq = creq
 	}
-	resp.Occupancy = s.ctrl.Occupancy()
+
+	// Bounded admission to the cell queue: shed rather than buffer
+	// without limit.
+	select {
+	case c.tasks <- t:
+	default:
+		s.shed.Add(1)
+		return c.overloaded()
+	}
+	resp := <-t.reply
+	if resp.OK {
+		switch {
+		case req.Op == wire.OpAdmit && resp.Accept:
+			grants[key] = t.creq
+		case req.Op == wire.OpRelease:
+			delete(grants, key)
+		}
+	}
 	return resp
 }
 
@@ -232,20 +419,56 @@ func (c *Client) roundTrip(req wire.Request) (wire.Response, error) {
 	return resp, nil
 }
 
-// Admit asks the daemon to admit connection id with the given parameters.
-func (c *Client) Admit(id uint64, class string, speedKmh, angleDeg float64, handoff bool) (wire.Response, error) {
+// AdmitOptions carries the optional parameters of an admission request —
+// everything the wire protocol can express beyond the id and class.
+type AdmitOptions struct {
+	// Cell addresses the target cell of a multi-cell daemon (default 0).
+	Cell int
+	// SpeedKmh and AngleDeg feed the fuzzy schemes' mobility inputs.
+	SpeedKmh float64
+	AngleDeg float64
+	// Handoff marks an on-going call entering from a neighbour cell.
+	Handoff bool
+	// Priority is the requesting-connection priority level.
+	Priority int
+	// MinBU is the lowest bandwidth the connection tolerates when served
+	// by an adaptive scheme (a degraded admission); 0 leaves the floor to
+	// the scheme's per-class ladder.
+	MinBU float64
+}
+
+// AdmitWith asks the daemon to admit connection id of the given class
+// with the full option set of the wire protocol.
+func (c *Client) AdmitWith(id uint64, class string, o AdmitOptions) (wire.Response, error) {
 	return c.roundTrip(wire.Request{
 		V: wire.Version, Op: wire.OpAdmit,
-		ID: id, Class: class, SpeedKmh: speedKmh, AngleDeg: angleDeg, Handoff: handoff,
+		ID: id, Cell: o.Cell, Class: class,
+		SpeedKmh: o.SpeedKmh, AngleDeg: o.AngleDeg,
+		Handoff: o.Handoff, Priority: o.Priority, MinBU: o.MinBU,
 	})
 }
 
-// Release returns connection id's bandwidth.
-func (c *Client) Release(id uint64, class string) (wire.Response, error) {
-	return c.roundTrip(wire.Request{V: wire.Version, Op: wire.OpRelease, ID: id, Class: class})
+// Admit asks the daemon to admit connection id on cell 0 with the given
+// mobility parameters. Use AdmitWith for priority, min-bandwidth or
+// multi-cell admissions.
+func (c *Client) Admit(id uint64, class string, speedKmh, angleDeg float64, handoff bool) (wire.Response, error) {
+	return c.AdmitWith(id, class, AdmitOptions{SpeedKmh: speedKmh, AngleDeg: angleDeg, Handoff: handoff})
 }
 
-// Status reports the cell's occupancy and capacity.
-func (c *Client) Status() (wire.Response, error) {
-	return c.roundTrip(wire.Request{V: wire.Version, Op: wire.OpStatus})
+// ReleaseIn returns connection id's bandwidth on the given cell.
+func (c *Client) ReleaseIn(cellIdx int, id uint64, class string) (wire.Response, error) {
+	return c.roundTrip(wire.Request{V: wire.Version, Op: wire.OpRelease, ID: id, Cell: cellIdx, Class: class})
 }
+
+// Release returns connection id's bandwidth on cell 0.
+func (c *Client) Release(id uint64, class string) (wire.Response, error) {
+	return c.ReleaseIn(0, id, class)
+}
+
+// StatusIn reports the given cell's occupancy and capacity.
+func (c *Client) StatusIn(cellIdx int) (wire.Response, error) {
+	return c.roundTrip(wire.Request{V: wire.Version, Op: wire.OpStatus, Cell: cellIdx})
+}
+
+// Status reports cell 0's occupancy and capacity.
+func (c *Client) Status() (wire.Response, error) { return c.StatusIn(0) }

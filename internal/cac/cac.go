@@ -88,6 +88,15 @@ type Decision struct {
 	// degraded admission); 0 means the full requested bandwidth was
 	// granted, which is what every non-adaptive scheme reports.
 	Allocated float64
+	// Occupancy is the cell occupancy in BU immediately after the decision
+	// took effect, observed atomically with the admission itself (under the
+	// controller's lock): an accepted request sees its own grant included,
+	// a rejected one sees the occupancy that rejected it. Concurrent
+	// drivers need this — a separate Occupancy() call can interleave with
+	// other sessions' admissions and misreport the cell state a decision
+	// was actually made against. Every controller in this repository
+	// reports it.
+	Occupancy float64
 }
 
 // Granted returns the bandwidth the decision actually reserved for req:

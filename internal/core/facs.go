@@ -189,7 +189,7 @@ func (f *FACS) Admit(req cac.Request) cac.Decision {
 
 	d, err := f.Evaluate(req, f.used)
 	if err != nil {
-		return cac.Decision{Accept: false, Score: ARMin, Outcome: "error: " + err.Error()}
+		return cac.Decision{Accept: false, Score: ARMin, Outcome: "error: " + err.Error(), Occupancy: f.used}
 	}
 	if d.Accept && f.used+req.Bandwidth > f.cfg.Capacity {
 		d.Accept = false
@@ -198,6 +198,7 @@ func (f *FACS) Admit(req cac.Request) cac.Decision {
 	if d.Accept {
 		f.used += req.Bandwidth
 	}
+	d.Occupancy = f.used
 	return d.Decision
 }
 

@@ -237,7 +237,7 @@ func (f *FACSP) Admit(req cac.Request) cac.Decision {
 
 	d, err := f.Evaluate(req, f.rtc, f.nrtc)
 	if err != nil {
-		return cac.Decision{Accept: false, Score: ARMin, Outcome: "error: " + err.Error()}
+		return cac.Decision{Accept: false, Score: ARMin, Outcome: "error: " + err.Error(), Occupancy: f.rtc + f.nrtc}
 	}
 	if d.Accept && f.rtc+f.nrtc+req.Bandwidth > f.cfg.Capacity {
 		d.Accept = false
@@ -250,6 +250,7 @@ func (f *FACSP) Admit(req cac.Request) cac.Decision {
 			f.nrtc += req.Bandwidth
 		}
 	}
+	d.Occupancy = f.rtc + f.nrtc
 	return d.Decision
 }
 

@@ -44,9 +44,13 @@ func (s Spec) Measure(minTime time.Duration) (Result, error) {
 				NsPerOp:     float64(elapsed.Nanoseconds()) / float64(n),
 				AllocsPerOp: float64(m1.Mallocs-m0.Mallocs) / float64(n),
 				BytesPerOp:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(n),
+				WallPaced:   s.WallPaced,
 			}
 			if calls > 0 && elapsed > 0 {
 				r.SimCallsPerSec = float64(calls) / elapsed.Seconds()
+			}
+			if s.Extra != nil {
+				r.Extra = s.Extra()
 			}
 			return r, nil
 		}
@@ -87,5 +91,10 @@ func BenchSpec(b *testing.B, s Spec) {
 	}
 	if calls > 0 && b.Elapsed() > 0 {
 		b.ReportMetric(float64(calls)/b.Elapsed().Seconds(), "simcalls/s")
+	}
+	if s.Extra != nil {
+		for unit, v := range s.Extra() {
+			b.ReportMetric(v, unit)
+		}
 	}
 }

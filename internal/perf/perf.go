@@ -46,6 +46,14 @@ type Spec struct {
 	// expensive setup (engine construction, surface compilation) does not
 	// pollute the per-op numbers.
 	New func() (Body, error)
+	// WallPaced marks a body whose per-op time is a scheduled wall-clock
+	// span (open-loop serving runs); see Result.WallPaced for how the
+	// gate treats it.
+	WallPaced bool
+	// Extra, when set, is called once after measurement and its metrics
+	// attached to the result (Result.Extra) — the serving suite reports
+	// admits/sec and latency percentiles this way. Never gated.
+	Extra func() map[string]float64
 }
 
 // SweepConfig parameterises the sweep specs of the registry.
@@ -200,6 +208,15 @@ func Registry(sc SweepConfig) []Spec {
 		cityEvalSpec("city/eval/guard/w4", 4, exact),
 		cityEvalSpec("city/eval/guard/w8", 8, exact),
 		cityEvalSpec("city/eval/facsp/w4", 4, exact),
+	)
+
+	// The serving suite: the admission daemon measured over real loopback
+	// TCP — a closed-loop round-trip cost spec and an open-loop
+	// flash-crowd replay whose admits/sec and latency percentiles land in
+	// Result.Extra.
+	specs = append(specs,
+		serverRoundtripSpec(),
+		serverFlashCrowdSpec(),
 	)
 	return specs
 }

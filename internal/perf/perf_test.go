@@ -25,8 +25,9 @@ func TestRegistryNamesUniqueAndStable(t *testing.T) {
 		if s.Name != b[i].Name {
 			t.Fatalf("registry order unstable at %d: %q vs %q", i, s.Name, b[i].Name)
 		}
-		if !strings.HasPrefix(s.Name, "micro/") && !strings.HasPrefix(s.Name, "sweep/") && !strings.HasPrefix(s.Name, "city/") {
-			t.Errorf("spec %q outside the micro/, sweep/ and city/ namespaces", s.Name)
+		if !strings.HasPrefix(s.Name, "micro/") && !strings.HasPrefix(s.Name, "sweep/") &&
+			!strings.HasPrefix(s.Name, "city/") && !strings.HasPrefix(s.Name, "server/") {
+			t.Errorf("spec %q outside the micro/, sweep/, city/ and server/ namespaces", s.Name)
 		}
 	}
 }

@@ -25,6 +25,16 @@ type Result struct {
 	// SimCallsPerSec is the sweep throughput: simulated connection
 	// requests driven per wall-clock second. 0 for micro-benchmarks.
 	SimCallsPerSec float64 `json:"sim_calls_per_sec,omitempty"`
+	// WallPaced marks a spec whose per-op time is pinned to the wall
+	// clock by construction (an open-loop serving run replays a fixed
+	// arrival schedule). The ns/op gate compares such specs directly,
+	// without hardware normalization: their time does not shrink on a
+	// faster machine, so dividing by Scale would manufacture phantom
+	// regressions.
+	WallPaced bool `json:"wall_paced,omitempty"`
+	// Extra carries spec-specific headline metrics (e.g. the serving
+	// suite's admits_per_sec, p50_ns, p99_ns). Reported, never gated.
+	Extra map[string]float64 `json:"extra,omitempty"`
 }
 
 // Report is the machine-readable BENCH.json artifact: every measured
@@ -148,6 +158,11 @@ const allocSlack = 2
 //     touching their allocation counts, which the allocs/op gate and the
 //     printed Scale still surface.
 //
+// Wall-paced specs (Result.WallPaced) are gated on the raw ns/op ratio
+// instead: their per-op time is a scheduled wall-clock span, identical
+// across machines, so normalizing would divide a constant by the
+// hardware delta. They are likewise excluded from the Scale estimate.
+//
 // Specs new in current are ignored (they gate once they enter the
 // baseline).
 func Compare(baseline, current *Report, maxRegress float64) Comparison {
@@ -161,6 +176,9 @@ func Compare(baseline, current *Report, maxRegress float64) Comparison {
 	cmp := Comparison{Scale: 1}
 	var microRatios, allRatios []float64
 	for _, b := range base {
+		if b.WallPaced {
+			continue // pinned to the wall clock: no hardware signal in it
+		}
 		if c, ok := cur[b.Name]; ok && b.NsPerOp > 0 && c.NsPerOp > 0 {
 			allRatios = append(allRatios, c.NsPerOp/b.NsPerOp)
 			if strings.HasPrefix(b.Name, "micro/") {
@@ -181,7 +199,10 @@ func Compare(baseline, current *Report, maxRegress float64) Comparison {
 			continue
 		}
 		if b.NsPerOp > 0 {
-			ratio := c.NsPerOp / b.NsPerOp / cmp.Scale
+			ratio := c.NsPerOp / b.NsPerOp
+			if !b.WallPaced {
+				ratio /= cmp.Scale
+			}
 			if ratio > 1+maxRegress {
 				cmp.Regressions = append(cmp.Regressions, Regression{
 					Name: b.Name, Metric: "ns/op",

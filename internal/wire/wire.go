@@ -18,7 +18,25 @@ import (
 )
 
 // Version is the protocol version; servers reject other versions.
+//
+// Version 1 has grown two backward-compatible extensions: a "cell" field
+// on requests (addressing one cell of a multi-cell daemon; absent means
+// cell 0, which is what every pre-extension client sends) and a "code"
+// field on responses carrying a machine-readable error class. Old clients
+// interoperate with new servers and vice versa, so the version is
+// unchanged.
 const Version = 1
+
+// Response codes: machine-readable error classes carried next to the
+// human-readable Err text, so clients (load generators, neighbour cells)
+// can distinguish backpressure from protocol bugs without parsing
+// messages.
+const (
+	// CodeOverloaded marks a request shed by an overloaded cell: its
+	// bounded request queue was full. The request had no effect; the
+	// client may retry later.
+	CodeOverloaded = "overloaded"
+)
 
 // Op is the request operation.
 type Op string
@@ -41,6 +59,10 @@ type Request struct {
 	Op Op `json:"op"`
 	// ID identifies the connection across admit/release.
 	ID uint64 `json:"id,omitempty"`
+	// Cell addresses one cell of a multi-cell daemon by index. Absent (0)
+	// targets cell 0, so single-cell clients predating the field keep
+	// working unchanged.
+	Cell int `json:"cell,omitempty"`
 	// Class is the service class name: "text", "voice" or "video".
 	Class string `json:"class,omitempty"`
 	// SpeedKmh is the user speed in km/h.
@@ -66,6 +88,11 @@ type Response struct {
 	OK bool `json:"ok"`
 	// Err carries the error message when OK is false.
 	Err string `json:"err,omitempty"`
+	// Code is the machine-readable error class when OK is false (e.g.
+	// CodeOverloaded); empty for errors without a dedicated class.
+	Code string `json:"code,omitempty"`
+	// Cell echoes the cell index the response describes.
+	Cell int `json:"cell,omitempty"`
 	// Accept is the admission verdict (admit only).
 	Accept bool `json:"accept,omitempty"`
 	// Score is the controller's confidence in [-1, 1].
@@ -103,6 +130,9 @@ func ParseClass(name string) (traffic.Class, error) {
 func (r Request) Validate() error {
 	if r.V != Version {
 		return fmt.Errorf("wire: protocol version %d, want %d", r.V, Version)
+	}
+	if r.Cell < 0 {
+		return fmt.Errorf("wire: negative cell %d", r.Cell)
 	}
 	switch r.Op {
 	case OpAdmit, OpRelease:

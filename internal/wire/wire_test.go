@@ -54,6 +54,9 @@ func TestRequestValidate(t *testing.T) {
 		{name: "bad class", mut: func(r *Request) { r.Class = "fax" }, wantErr: true},
 		{name: "negative speed", mut: func(r *Request) { r.SpeedKmh = -5 }, wantErr: true},
 		{name: "negative priority", mut: func(r *Request) { r.Priority = -1 }, wantErr: true},
+		{name: "valid cell", mut: func(r *Request) { r.Cell = 6 }},
+		{name: "negative cell", mut: func(r *Request) { r.Cell = -1 }, wantErr: true},
+		{name: "negative min bandwidth", mut: func(r *Request) { r.MinBU = -2 }, wantErr: true},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -137,6 +140,50 @@ func TestResponseRoundTrip(t *testing.T) {
 	enc := NewEncoder(&buf)
 	want := Response{V: Version, OK: true, Accept: true, Score: 0.42, Outcome: "WA", Occupancy: 12, Capacity: 40, Scheme: "FACS-P"}
 	if err := enc.Encode(want); err != nil {
+		t.Fatal(err)
+	}
+	var got Response
+	if err := NewDecoder(&buf).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("Response = %+v, want %+v", got, want)
+	}
+}
+
+// TestCellFieldBackwardCompatible pins the v1 extension contract: a
+// pre-extension request (no "cell" key) decodes to cell 0 and validates,
+// and cell-0 responses do not emit the key, so old clients never see it.
+func TestCellFieldBackwardCompatible(t *testing.T) {
+	legacy := `{"v":1,"op":"admit","id":1,"class":"voice","speed_kmh":60}` + "\n"
+	var req Request
+	if err := NewDecoder(strings.NewReader(legacy)).Decode(&req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Cell != 0 {
+		t.Errorf("legacy request decoded to cell %d, want 0", req.Cell)
+	}
+	if err := req.Validate(); err != nil {
+		t.Errorf("legacy request rejected: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := NewEncoder(&buf).Encode(Response{V: Version, OK: true, Capacity: 40}); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"cell", "code"} {
+		if strings.Contains(buf.String(), `"`+key+`"`) {
+			t.Errorf("cell-0 success response leaks the %q key to old clients: %s", key, buf.String())
+		}
+	}
+}
+
+// TestOverloadedResponseRoundTrip covers the shed reply: the
+// machine-readable code survives the wire and addresses its cell.
+func TestOverloadedResponseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	want := Response{V: Version, OK: false, Err: "queue full", Code: CodeOverloaded, Cell: 3, Occupancy: 37, Capacity: 40}
+	if err := NewEncoder(&buf).Encode(want); err != nil {
 		t.Fatal(err)
 	}
 	var got Response
