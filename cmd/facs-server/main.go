@@ -82,6 +82,24 @@
 // with an error reply, then the session is closed. A disconnecting client
 // automatically releases every bandwidth unit it holds, so crashed
 // handsets cannot leak cell capacity.
+//
+// # Observability
+//
+// -metrics starts an HTTP observability listener on a second address
+// (off by default):
+//
+//	facs-server -addr :4077 -metrics 127.0.0.1:4092
+//
+// GET /metrics serves Prometheus text exposition: per-cell admission
+// counters (facs_admits_total, facs_blocks_total, facs_drops_total,
+// labelled by cell and class), facs_shed_total, the occupancy/capacity/
+// degradation gauges, the facs_hotness expdecay demand gauge and the
+// process-wide decision-surface cache counters. GET /hotcells serves a
+// JSON ranking of the cells by recent admission demand, hottest first
+// (?n=K limits it to the K hottest). -hotness-halflife sets the decay
+// half-life of the demand estimate. The counters live in the cell
+// workers' hot path as plain atomic adds, so scraping never blocks or
+// slows admission.
 package main
 
 import (
@@ -89,9 +107,11 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"facsp/internal/adapt"
 	"facsp/internal/baseline"
@@ -116,6 +136,8 @@ func run(args []string) error {
 		guard    = fs.Float64("guard", 8, "guard band in BU (guard scheme only)")
 		cells    = fs.Int("cells", 1, "number of independent cells the daemon serves")
 		queue    = fs.Int("queue", bsd.DefaultQueueDepth, "per-cell bounded request queue depth")
+		metrics  = fs.String("metrics", "", "HTTP observability listen address (/metrics, /hotcells); empty disables")
+		halfLife = fs.Duration("hotness-halflife", bsd.DefaultHotnessHalfLife, "half-life of the per-cell hotness demand estimate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,7 +154,7 @@ func run(args []string) error {
 		}
 		ctrls[i] = ctrl
 	}
-	srv, err := bsd.New(bsd.Config{Cells: ctrls, QueueDepth: *queue})
+	srv, err := bsd.New(bsd.Config{Cells: ctrls, QueueDepth: *queue, HotnessHalfLife: *halfLife})
 	if err != nil {
 		return err
 	}
@@ -143,12 +165,31 @@ func run(args []string) error {
 	fmt.Printf("facs-server: %d %s cell(s) (%.0f BU each) listening on %s\n",
 		*cells, cac.Name(ctrls[0]), *capacity, ln.Addr())
 
+	var mln net.Listener
+	if *metrics != "" {
+		mln, err = net.Listen("tcp", *metrics)
+		if err != nil {
+			_ = ln.Close()
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		msrv := &http.Server{Handler: srv.MetricsHandler(), ReadHeaderTimeout: 5 * time.Second}
+		go func() {
+			if err := msrv.Serve(mln); err != nil && !errors.Is(err, net.ErrClosed) {
+				fmt.Fprintln(os.Stderr, "facs-server: metrics:", err)
+			}
+		}()
+		fmt.Printf("facs-server: metrics on http://%s/metrics\n", mln.Addr())
+	}
+
 	// Graceful shutdown on SIGINT/SIGTERM.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		<-sig
 		fmt.Println("facs-server: shutting down")
+		if mln != nil {
+			_ = mln.Close()
+		}
 		_ = srv.Close()
 	}()
 

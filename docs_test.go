@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"facsp/internal/experiment"
+	"facsp/internal/metrics"
 	"facsp/internal/perf"
 	"facsp/internal/scenario"
 )
@@ -170,6 +171,36 @@ func TestDocsBenchBaselineMatchesRegistry(t *testing.T) {
 		if !gated[s.Name] {
 			t.Errorf("smoke spec %q is missing from BENCH_baseline.json — regenerate the baseline", s.Name)
 		}
+	}
+}
+
+// TestDocsMetricsFamiliesDocumented diffs the observability docs against
+// the live metrics registry: every Prometheus family the process can
+// expose — per-cell series, hotness, registered scalars — must appear in
+// the EXPERIMENTS.md family table, and both doors must document the
+// endpoints and the server flag. Importing facsp (above) pulls in
+// internal/core, so the surface-cache scalar families are registered by
+// the time this runs, exactly as in a live daemon.
+func TestDocsMetricsFamiliesDocumented(t *testing.T) {
+	experiments := readDoc(t, "EXPERIMENTS.md")
+	if !strings.Contains(experiments, "## Observability") {
+		t.Fatal("EXPERIMENTS.md has no Observability section")
+	}
+	for _, fam := range metrics.Families() {
+		if !strings.Contains(experiments, "`"+fam+"`") {
+			t.Errorf("EXPERIMENTS.md does not document metric family `%s`", fam)
+		}
+	}
+	for _, doc := range []string{"README.md", "EXPERIMENTS.md"} {
+		content := readDoc(t, doc)
+		for _, token := range []string{"/metrics", "/hotcells", "-metrics", "-hotness-halflife"} {
+			if !strings.Contains(content, token) {
+				t.Errorf("%s does not mention %s", doc, token)
+			}
+		}
+	}
+	if !strings.Contains(readDoc(t, "README.md"), "## Observability") {
+		t.Error("README.md has no Observability section")
 	}
 }
 

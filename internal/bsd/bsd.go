@@ -30,8 +30,12 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"facsp/internal/cac"
+	"facsp/internal/hotness"
+	"facsp/internal/metrics"
+	"facsp/internal/traffic"
 	"facsp/internal/wire"
 )
 
@@ -40,6 +44,12 @@ import (
 // hundred concurrent sessions, shallow enough that a stalled controller
 // sheds instead of buffering unbounded work.
 const DefaultQueueDepth = 256
+
+// DefaultHotnessHalfLife is the hotness tracker's half-life when
+// Config.HotnessHalfLife is unset: long enough that a flash crowd stays
+// visible across scrape intervals, short enough that the ranking follows
+// the load within a minute.
+const DefaultHotnessHalfLife = 30 * time.Second
 
 // Config parameterises a daemon.
 type Config struct {
@@ -52,6 +62,10 @@ type Config struct {
 	// arriving at a full queue is shed with a wire.CodeOverloaded error
 	// response. Zero or negative means DefaultQueueDepth.
 	QueueDepth int
+	// HotnessHalfLife configures the per-cell admission-demand tracker
+	// (internal/hotness): the time in which an idle cell's hotness halves.
+	// Zero or negative means DefaultHotnessHalfLife.
+	HotnessHalfLife time.Duration
 }
 
 // task is one operation routed to a cell worker. reply is buffered (cap
@@ -59,6 +73,7 @@ type Config struct {
 type task struct {
 	op    wire.Op
 	creq  cac.Request
+	class traffic.Class // admit only: the counter column of the outcome
 	reply chan wire.Response
 }
 
@@ -68,6 +83,13 @@ type cell struct {
 	index int
 	ctrl  cac.Controller
 	tasks chan task
+	// reg is the daemon's telemetry registry; the worker is the sole
+	// writer of this cell's counter row, so every bump is one atomic add
+	// with no lock and no allocation.
+	reg *metrics.Registry
+	// degraded reads the controller's current degradation depth (number
+	// of connections served below request); nil for non-adaptive schemes.
+	degraded func() int
 }
 
 // grantKey identifies one live grant of a session: client-chosen
@@ -80,6 +102,13 @@ type grantKey struct {
 // Server serves admission queries for a bank of base-station cells.
 type Server struct {
 	cells []*cell
+
+	// metrics and hot are the daemon's observability plane: one dense
+	// counter/gauge row and one decaying demand counter per cell, served
+	// over HTTP by MetricsHandler.
+	metrics *metrics.Registry
+	hot     *hotness.Tracker
+	start   time.Time
 
 	// nextID remaps client-chosen connection IDs (which are only unique
 	// within a session) to server-unique cac.Request IDs, so schemes that
@@ -109,12 +138,34 @@ func New(cfg Config) (*Server, error) {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
-	s := &Server{conns: make(map[net.Conn]bool)}
+	halfLife := cfg.HotnessHalfLife
+	if halfLife <= 0 {
+		halfLife = DefaultHotnessHalfLife
+	}
+	reg, err := metrics.New(len(cfg.Cells))
+	if err != nil {
+		return nil, fmt.Errorf("bsd: %w", err)
+	}
+	hot, err := hotness.New(len(cfg.Cells), halfLife.Seconds())
+	if err != nil {
+		return nil, fmt.Errorf("bsd: %w", err)
+	}
+	s := &Server{
+		conns:   make(map[net.Conn]bool),
+		metrics: reg,
+		hot:     hot,
+		start:   time.Now(),
+	}
 	for i, ctrl := range cfg.Cells {
 		if ctrl == nil {
 			return nil, fmt.Errorf("bsd: nil controller for cell %d", i)
 		}
-		c := &cell{index: i, ctrl: ctrl, tasks: make(chan task, depth)}
+		c := &cell{index: i, ctrl: ctrl, tasks: make(chan task, depth), reg: reg}
+		if d, ok := ctrl.(interface{ Degraded() int }); ok {
+			c.degraded = d.Degraded
+		}
+		reg.SetGauge(i, metrics.CapacityBU, ctrl.Capacity())
+		reg.SetGauge(i, metrics.OccupancyBU, ctrl.Occupancy())
 		s.cells = append(s.cells, c)
 	}
 	for _, c := range s.cells {
@@ -141,6 +192,18 @@ func (s *Server) Cells() int { return len(s.cells) }
 // Shed returns the number of requests shed so far because a cell's
 // bounded queue was full.
 func (s *Server) Shed() uint64 { return s.shed.Load() }
+
+// Metrics returns the daemon's per-cell telemetry registry. It is live:
+// counters keep moving while the daemon serves.
+func (s *Server) Metrics() *metrics.Registry { return s.metrics }
+
+// Hotness returns the daemon's per-cell admission-demand tracker. Its
+// time axis is seconds since the daemon was built (see Uptime).
+func (s *Server) Hotness() *hotness.Tracker { return s.hot }
+
+// Uptime returns the seconds since the daemon was built — the "now" of
+// the hotness tracker's time axis.
+func (s *Server) Uptime() float64 { return time.Since(s.start).Seconds() }
 
 // Serve accepts connections on ln until Close is called. It always
 // returns a non-nil error; after Close the error is net.ErrClosed. When
@@ -248,6 +311,17 @@ func (c *cell) run() {
 			// The decision reports the occupancy it produced, observed
 			// under the controller's own lock (cac.Decision.Occupancy).
 			resp.Occupancy = d.Occupancy
+			// The worker owns this cell's counter row: one atomic add,
+			// no lock, no allocation. A denied handoff is a dropped
+			// on-going connection; a denied new call is a block.
+			switch {
+			case d.Accept:
+				c.reg.Inc(c.index, metrics.Admits(t.class))
+			case t.creq.Handoff:
+				c.reg.Inc(c.index, metrics.Drops(t.class))
+			default:
+				c.reg.Inc(c.index, metrics.Blocks(t.class))
+			}
 
 		case wire.OpRelease:
 			if err := c.ctrl.Release(t.creq); err != nil {
@@ -258,6 +332,10 @@ func (c *cell) run() {
 			// sole mutator, so nothing interleaves between the release
 			// and this read.
 			resp.Occupancy = c.ctrl.Occupancy()
+		}
+		c.reg.SetGauge(c.index, metrics.OccupancyBU, resp.Occupancy)
+		if c.degraded != nil {
+			c.reg.SetGauge(c.index, metrics.DegradedConns, float64(c.degraded()))
 		}
 		t.reply <- resp
 	}
@@ -356,6 +434,10 @@ func (s *Server) process(req wire.Request, grants map[grantKey]cac.Request) wire
 		}
 		creq.ID = s.nextID.Add(1) // client IDs are session-scoped; see nextID
 		t.creq = creq
+		t.class, _ = wire.ParseClass(req.Class) // validated above
+		// Admission demand — including requests about to be shed — feeds
+		// the cell's decaying hotness signal.
+		s.hot.Record(req.Cell, s.Uptime())
 	case wire.OpRelease:
 		creq, ok := grants[key]
 		if !ok {
@@ -370,6 +452,7 @@ func (s *Server) process(req wire.Request, grants map[grantKey]cac.Request) wire
 	case c.tasks <- t:
 	default:
 		s.shed.Add(1)
+		s.metrics.Inc(req.Cell, metrics.CtrShed)
 		return c.overloaded()
 	}
 	resp := <-t.reply

@@ -42,6 +42,8 @@ import (
 	"facsp/internal/cac"
 	"facsp/internal/des"
 	"facsp/internal/hexgrid"
+	"facsp/internal/hotness"
+	"facsp/internal/metrics"
 	"facsp/internal/mobility"
 	"facsp/internal/rng"
 	"facsp/internal/stats"
@@ -318,6 +320,20 @@ type Config struct {
 	// residence differences across scenarios would confound the admission
 	// policy under study (see internal/experiment Fig9).
 	Static bool
+	// Metrics, when non-nil, receives the run's per-cell admission
+	// outcomes — admits, blocks (denied new calls) and drops (denied
+	// handoffs) by class, indexed by topology slot — the same series the
+	// admission daemon (internal/bsd) exports, so long sweeps can be
+	// scraped like a live cell bank. The registry must cover at least as
+	// many cells as the topology has slots; bumps are single atomic adds,
+	// so the event loop stays allocation-free. Only the single-heap Run
+	// engine exports; RunSharded ignores the sinks.
+	Metrics *metrics.Registry
+	// Hotness, when non-nil, records every admission attempt (new call or
+	// handoff) at its cell slot on the simulation-time axis, feeding the
+	// same exponential-decay demand signal the daemon tracks. Must cover
+	// at least the topology's slots.
+	Hotness *hotness.Tracker
 	// Seed drives all randomness of the run.
 	Seed uint64
 }
@@ -539,6 +555,14 @@ func New(cfg Config, adm Admitter) (*Sim, error) {
 		// with it every RNG draw — matches the pre-topology simulator
 		// bit for bit.
 		topo = hexgrid.DiskTopology(hexgrid.Coord{}, cfg.Rings)
+	}
+	if cfg.Metrics != nil && cfg.Metrics.Cells() < topo.Slots() {
+		return nil, fmt.Errorf("cellsim: metrics registry covers %d cells, topology has %d slots",
+			cfg.Metrics.Cells(), topo.Slots())
+	}
+	if cfg.Hotness != nil && cfg.Hotness.Cells() < topo.Slots() {
+		return nil, fmt.Errorf("cellsim: hotness tracker covers %d cells, topology has %d slots",
+			cfg.Hotness.Cells(), topo.Slots())
 	}
 	if tc, ok := adm.(TopologyCompiler); ok {
 		tc.CompileTopology(topo)
@@ -893,6 +917,7 @@ func (rs *runState) arrive(a *arrival, now float64) {
 	}
 	rs.res.NetworkRequests++
 	d := s.adm.Admit(a.cell, req)
+	rs.exportDecision(a.cell, a.class, d.Accept, false, now)
 	if !d.Accept {
 		if a.counted {
 			rs.res.Blocked++
@@ -937,6 +962,35 @@ func (rs *runState) arrive(a *arrival, now float64) {
 	c.endEvt = endEvt
 	if !s.cfg.Static {
 		rs.scheduleCheck(c)
+	}
+}
+
+// exportDecision bumps the optional metrics and hotness sinks for one
+// admission outcome: accepts count as admits, denied new calls as blocks,
+// denied handoffs as drops, and every attempt feeds the hotness signal on
+// the simulation-time axis. With no sinks configured this is a two-nil
+// check, keeping the default event loop allocation- and branch-cheap.
+func (rs *runState) exportDecision(at hexgrid.Coord, class traffic.Class, accept, handoff bool, now float64) {
+	s := rs.s
+	if s.cfg.Metrics == nil && s.cfg.Hotness == nil {
+		return
+	}
+	slot, ok := s.topo.Of(at)
+	if !ok {
+		return
+	}
+	if s.cfg.Hotness != nil {
+		s.cfg.Hotness.Record(slot, now)
+	}
+	if reg := s.cfg.Metrics; reg != nil {
+		switch {
+		case accept:
+			reg.Inc(slot, metrics.Admits(class))
+		case handoff:
+			reg.Inc(slot, metrics.Drops(class))
+		default:
+			reg.Inc(slot, metrics.Blocks(class))
+		}
 	}
 }
 
@@ -990,6 +1044,7 @@ func (rs *runState) checkPosition(c *call, now float64) {
 	hreq.Handoff = true
 
 	d := s.adm.Admit(newCell, hreq)
+	rs.exportDecision(newCell, c.class, d.Accept, true, now)
 	if !d.Accept {
 		// Dropped mid-call: the QoS violation the paper's priority scheme
 		// is designed to avoid.

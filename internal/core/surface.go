@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 
 	"facsp/internal/fuzzy"
+	"facsp/internal/metrics"
 )
 
 // DefaultSurfaceResolution is the per-axis base resolution used when a
@@ -35,6 +37,27 @@ var surfaceCache = struct {
 	m  map[surfaceKey]*surfaceEntry
 }{m: make(map[surfaceKey]*surfaceEntry)}
 
+// surfaceCacheHits / surfaceCacheMisses count compileSurface lookups that
+// found (or had to create) a shared surface entry; a miss is one real
+// surface compilation per process. Exposed as process-wide scalar
+// families in the /metrics exposition.
+var surfaceCacheHits, surfaceCacheMisses atomic.Uint64
+
+func init() {
+	metrics.RegisterScalar("facs_surface_cache_hits_total",
+		"Decision-surface compilations served from the shared process-wide cache.",
+		surfaceCacheHits.Load)
+	metrics.RegisterScalar("facs_surface_cache_misses_total",
+		"Decision-surface compilations that could not be shared (first use per key, or uncacheable defuzzifier).",
+		surfaceCacheMisses.Load)
+}
+
+// SurfaceCacheCounters reports the shared surface cache's hit and miss
+// counts since process start.
+func SurfaceCacheCounters() (hits, misses uint64) {
+	return surfaceCacheHits.Load(), surfaceCacheMisses.Load()
+}
+
 type surfaceEntry struct {
 	once sync.Once
 	s    *fuzzy.Surface
@@ -47,6 +70,7 @@ type surfaceEntry struct {
 // keyed and compile privately.
 func compileSurface(e *fuzzy.Engine, resolution, samples int, defuzz fuzzy.Defuzzifier) (*fuzzy.Surface, error) {
 	if defuzz != nil && !reflect.TypeOf(defuzz).Comparable() {
+		surfaceCacheMisses.Add(1)
 		return fuzzy.NewSurface(e, resolution)
 	}
 	key := surfaceKey{engine: e.Name(), resolution: resolution, samples: samples, defuzz: defuzz}
@@ -57,6 +81,11 @@ func compileSurface(e *fuzzy.Engine, resolution, samples int, defuzz fuzzy.Defuz
 		surfaceCache.m[key] = ent
 	}
 	surfaceCache.mu.Unlock()
+	if ok {
+		surfaceCacheHits.Add(1)
+	} else {
+		surfaceCacheMisses.Add(1)
+	}
 	ent.once.Do(func() { ent.s, ent.err = fuzzy.NewSurface(e, resolution) })
 	return ent.s, ent.err
 }

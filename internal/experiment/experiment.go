@@ -26,6 +26,8 @@ import (
 	"facsp/internal/core"
 	"facsp/internal/fuzzy"
 	"facsp/internal/hexgrid"
+	"facsp/internal/hotness"
+	"facsp/internal/metrics"
 	"facsp/internal/scc"
 	"facsp/internal/stats"
 )
@@ -50,6 +52,18 @@ type Options struct {
 	// faster, at a small quantization error. 0 keeps exact inference, which
 	// is what the published figure shapes are validated against.
 	SurfaceResolution int
+	// Metrics, when non-nil, is injected into every shard's simulation
+	// config so the whole sweep accumulates into one shared per-cell
+	// counter registry (registry bumps are atomic, so concurrent shards
+	// compose; see cellsim.Config.Metrics). The registry must cover the
+	// largest topology the ConfigFunc produces. Counter totals are
+	// deterministic across worker counts; only interleaving varies.
+	Metrics *metrics.Registry
+	// Hotness, when non-nil, is injected likewise (see
+	// cellsim.Config.Hotness). Shards share one simulation-time axis, so
+	// the decayed value is only meaningful for equal-horizon shards; the
+	// ranking of per-cell demand still is either way.
+	Hotness *hotness.Tracker
 }
 
 // DefaultLoads is the x axis used for the figures: dense enough around the
@@ -269,7 +283,14 @@ func RunCurve(name string, cfg ConfigFunc, factory AdmitterFactory, metric Metri
 	o := opts.withDefaults()
 
 	results, err := runSharded(o, func(sh Shard) (float64, error) {
-		sim, err := cellsim.New(cfg(sh.Load, sh.Seed), factory())
+		c := cfg(sh.Load, sh.Seed)
+		if o.Metrics != nil {
+			c.Metrics = o.Metrics
+		}
+		if o.Hotness != nil {
+			c.Hotness = o.Hotness
+		}
+		sim, err := cellsim.New(c, factory())
 		if err != nil {
 			return 0, err
 		}

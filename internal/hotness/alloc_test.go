@@ -1,0 +1,43 @@
+//go:build !race
+
+package hotness
+
+import "testing"
+
+// Record sits on the bsd session goroutines and the cellsim event loop;
+// it must stay allocation-free. Build-gated out of the -race lane because
+// the detector instruments allocations.
+
+func TestRecordAllocFree(t *testing.T) {
+	tr, err := New(8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := 0.0
+	if n := testing.AllocsPerRun(1000, func() {
+		now += 0.25
+		tr.Record(3, now)
+	}); n != 0 {
+		t.Errorf("Record allocates %v per event, want 0", n)
+	}
+}
+
+func TestReadSideAllocFree(t *testing.T) {
+	tr, err := New(8, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Record(1, 1)
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = tr.Value(1, 2)
+		_ = tr.Rate(1, 2)
+	}); n != 0 {
+		t.Errorf("Value/Rate allocate %v per read, want 0", n)
+	}
+	buf := tr.Rates(2, nil)
+	if n := testing.AllocsPerRun(100, func() {
+		buf = tr.Rates(3, buf)
+	}); n != 0 {
+		t.Errorf("buffered Rates allocates %v per sweep, want 0", n)
+	}
+}

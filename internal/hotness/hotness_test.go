@@ -1,0 +1,213 @@
+package hotness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	bad := []struct {
+		cells    int
+		halfLife float64
+	}{
+		{0, 1}, {-1, 1}, {1, 0}, {1, -2}, {1, math.Inf(1)}, {1, math.NaN()},
+	}
+	for _, c := range bad {
+		if _, err := New(c.cells, c.halfLife); err == nil {
+			t.Errorf("New(%d, %v) accepted", c.cells, c.halfLife)
+		}
+	}
+	tr, err := New(4, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Cells() != 4 || tr.HalfLife() != 30 {
+		t.Errorf("Cells=%d HalfLife=%v, want 4, 30", tr.Cells(), tr.HalfLife())
+	}
+}
+
+// TestHalvingProperty pins the defining contract: an undisturbed value
+// halves every half-life, exactly (Exp2 of an integer is exact for these
+// magnitudes).
+func TestHalvingProperty(t *testing.T) {
+	for _, halfLife := range []float64{0.5, 1, 30, 3600} {
+		tr, err := New(1, halfLife)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const events = 8
+		for i := 0; i < events; i++ {
+			tr.Record(0, 0)
+		}
+		if got := tr.Value(0, 0); got != events {
+			t.Fatalf("halfLife %v: value at t=0 = %v, want %v", halfLife, got, events)
+		}
+		want := float64(events)
+		for step := 1; step <= 4; step++ {
+			want /= 2
+			got := tr.Value(0, float64(step)*halfLife)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("halfLife %v: value after %d half-lives = %v, want %v", halfLife, step, got, want)
+			}
+		}
+	}
+}
+
+// TestMonotoneDecay checks a cell's value never increases while no events
+// are recorded, across irregularly spaced reads.
+func TestMonotoneDecay(t *testing.T) {
+	tr, err := New(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		tr.Record(0, 1.5)
+	}
+	prev := tr.Value(0, 1.5)
+	for _, now := range []float64{1.5, 1.6, 2, 3.25, 10, 100, 1e6} {
+		got := tr.Value(0, now)
+		if got > prev {
+			t.Errorf("value increased without events: %v at t=%v after %v", got, now, prev)
+		}
+		if got < 0 {
+			t.Errorf("value went negative: %v at t=%v", got, now)
+		}
+		prev = got
+	}
+}
+
+// TestDecayComposition checks lazy decay is path-independent: reading (and
+// thus materialising decay) at an intermediate time must not change the
+// final value, because exp2(-(a+b)/h) = exp2(-a/h)*exp2(-b/h).
+func TestDecayComposition(t *testing.T) {
+	direct, err := New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepped, err := New(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		direct.Record(0, 2)
+		stepped.Record(0, 2)
+	}
+	// Force the stepped tracker to materialise decay at t=9 by recording,
+	// then compare both at t=20 after compensating the extra event.
+	stepped.Record(0, 9)
+	got := stepped.Value(0, 20) - math.Exp2(-(20.0-9.0)/5.0)
+	want := direct.Value(0, 20)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("stepped decay = %v, direct decay = %v", got, want)
+	}
+}
+
+// TestRateEstimatesPoissonRate feeds a deterministic regular stream and
+// checks the rate estimator converges to the true event rate.
+func TestRateEstimatesPoissonRate(t *testing.T) {
+	const (
+		halfLife = 10.0
+		rate     = 4.0 // events per second
+		horizon  = 200.0
+	)
+	tr, err := New(1, halfLife)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dt := 1 / rate
+	var now float64
+	for now = 0; now < horizon; now += dt {
+		tr.Record(0, now)
+	}
+	got := tr.Rate(0, now)
+	// A regular stream is the zero-variance limit of Poisson arrivals; the
+	// estimator still carries ~ln2/(2·halfLife·rate) discretisation bias,
+	// far under 5% here.
+	if math.Abs(got-rate)/rate > 0.05 {
+		t.Errorf("estimated rate %v, want %v within 5%%", got, rate)
+	}
+}
+
+func TestRecordClockSkewDoesNotAmplify(t *testing.T) {
+	tr, err := New(1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Record(0, 100)
+	// A recorder with a lagging clock must not un-decay the value: the
+	// stored timestamp stays at the max seen.
+	tr.Record(0, 40)
+	if got := tr.Value(0, 100); math.Abs(got-2) > 1e-12 {
+		t.Errorf("value after skewed record = %v, want 2", got)
+	}
+	if got := tr.Value(0, 130); math.Abs(got-1) > 1e-12 {
+		t.Errorf("value one half-life later = %v, want 1", got)
+	}
+}
+
+func TestTopRankingAndTies(t *testing.T) {
+	tr, err := New(4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cell 2 hottest, cells 0 and 3 tied, cell 1 cold.
+	for i := 0; i < 5; i++ {
+		tr.Record(2, 1)
+	}
+	tr.Record(0, 1)
+	tr.Record(3, 1)
+
+	top := tr.Top(1, 0)
+	if len(top) != 4 {
+		t.Fatalf("Top(k=0) returned %d cells, want all 4", len(top))
+	}
+	order := []int{2, 0, 3, 1}
+	for i, want := range order {
+		if top[i].Cell != want {
+			t.Errorf("rank %d = cell %d, want %d (ties ascending)", i, top[i].Cell, want)
+		}
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Rate > top[i-1].Rate {
+			t.Errorf("ranking not descending at %d: %v > %v", i, top[i].Rate, top[i-1].Rate)
+		}
+	}
+
+	if got := tr.Top(1, 2); len(got) != 2 || got[0].Cell != 2 || got[1].Cell != 0 {
+		t.Errorf("Top(k=2) = %+v, want cells 2,0", got)
+	}
+	if got := tr.Top(1, 99); len(got) != 4 {
+		t.Errorf("Top(k>cells) returned %d, want 4", len(got))
+	}
+}
+
+func TestRatesBufferReuse(t *testing.T) {
+	tr, err := New(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Record(1, 0)
+	buf := tr.Rates(0, nil)
+	if len(buf) != 3 {
+		t.Fatalf("Rates len = %d, want 3", len(buf))
+	}
+	if buf[1] != tr.Rate(1, 0) || buf[0] != 0 {
+		t.Errorf("Rates = %v", buf)
+	}
+	again := tr.Rates(5, buf)
+	if &again[0] != &buf[0] {
+		t.Error("Rates reallocated a buffer that fit")
+	}
+}
+
+func TestRateScaling(t *testing.T) {
+	tr, err := New(1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Record(0, 0)
+	want := tr.Value(0, 0) * math.Ln2 / 20
+	if got := tr.Rate(0, 0); math.Abs(got-want) > 1e-15 {
+		t.Errorf("Rate = %v, want value*ln2/halfLife = %v", got, want)
+	}
+}

@@ -1,0 +1,59 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileEdgeCases pins the quantile reader on the degenerate
+// sample sets a real run can produce: no samples (every request errored),
+// a single sample, and all-identical latencies.
+func TestPercentileEdgeCases(t *testing.T) {
+	if got := percentile(nil, 0.50); got != 0 {
+		t.Errorf("percentile(nil) = %v, want 0", got)
+	}
+	if got := percentile([]time.Duration{}, 0.99); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+
+	one := []time.Duration{7 * time.Millisecond}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := percentile(one, q); got != one[0] {
+			t.Errorf("percentile(1 sample, q=%v) = %v, want %v", q, got, one[0])
+		}
+	}
+
+	same := []time.Duration{time.Millisecond, time.Millisecond, time.Millisecond}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := percentile(same, q); got != time.Millisecond {
+			t.Errorf("percentile(identical, q=%v) = %v, want 1ms", q, got)
+		}
+	}
+}
+
+// TestPercentileOrderAndBounds checks the reader on a distinguishable
+// ascending slice: quantiles are monotone in q, never read out of bounds
+// at the extremes, and p50/p99 bracket the data.
+func TestPercentileOrderAndBounds(t *testing.T) {
+	sorted := make([]time.Duration, 100)
+	for i := range sorted {
+		sorted[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if got := percentile(sorted, 0); got != sorted[0] {
+		t.Errorf("q=0 -> %v, want min %v", got, sorted[0])
+	}
+	if got := percentile(sorted, 1); got != sorted[len(sorted)-1] {
+		t.Errorf("q=1 -> %v, want max %v", got, sorted[len(sorted)-1])
+	}
+	prev := time.Duration(0)
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		got := percentile(sorted, q)
+		if got < prev {
+			t.Errorf("quantiles not monotone: q=%v -> %v after %v", q, got, prev)
+		}
+		prev = got
+	}
+	if p50, p99 := percentile(sorted, 0.5), percentile(sorted, 0.99); p99 < p50 {
+		t.Errorf("p99 %v < p50 %v", p99, p50)
+	}
+}

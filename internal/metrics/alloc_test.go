@@ -1,0 +1,48 @@
+//go:build !race
+
+package metrics
+
+import "testing"
+
+// The registry sits on the simulation and serving hot paths; its write
+// side and the steady-state sampler must stay allocation-free. AllocsPerRun
+// is meaningless under -race (the detector instruments allocations), so
+// these tests are build-gated out of the race CI lane.
+
+func TestIncAllocFree(t *testing.T) {
+	r, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Inc(3, AdmitsVoice)
+		r.Add(5, CtrShed, 2)
+	}); n != 0 {
+		t.Errorf("counter bump allocates %v per op, want 0", n)
+	}
+}
+
+func TestSetGaugeAllocFree(t *testing.T) {
+	r, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		r.SetGauge(2, OccupancyBU, 17.5)
+	}); n != 0 {
+		t.Errorf("gauge store allocates %v per op, want 0", n)
+	}
+}
+
+func TestSnapshotReuseAllocFree(t *testing.T) {
+	r, err := New(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := r.Snapshot(nil) // warm the buffers once
+	if n := testing.AllocsPerRun(100, func() {
+		snap = r.Snapshot(snap)
+	}); n != 0 {
+		t.Errorf("buffered snapshot allocates %v per sample, want 0", n)
+	}
+}

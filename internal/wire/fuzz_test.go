@@ -1,0 +1,152 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+
+	"facsp/internal/traffic"
+)
+
+// fuzzSeeds are the shared starting corpus for both decode targets: valid
+// traffic, malformed JSON, pathological numbers, and framing attacks
+// (oversized single line, embedded blank lines, huge repeated input).
+func fuzzSeeds(f *testing.F) {
+	f.Add([]byte(`{"v":1,"op":"admit","id":1,"class":"voice","speed_kmh":60,"angle_deg":10}` + "\n"))
+	f.Add([]byte(`{"v":1,"op":"release","id":1,"class":"voice"}` + "\n"))
+	f.Add([]byte(`{"v":1,"op":"status"}` + "\n"))
+	f.Add([]byte(`{"v":1,"ok":true,"accept":true,"score":0.62,"outcome":"A","occupancy":5,"capacity":40,"scheme":"FACS-P"}` + "\n"))
+	f.Add([]byte("not json\n"))
+	f.Add([]byte("{\n"))
+	f.Add([]byte(`{"v":1,"op":"admit","class":"voice","min_bu":1e308,"speed_kmh":-1}` + "\n"))
+	f.Add([]byte(`{"v":9999999999999999999,"op":"admit"}` + "\n"))
+	f.Add([]byte(`{"v":1,"op":"admit","id":-1}` + "\n"))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte(`{"v":1,"op":"admit","class":"` + strings.Repeat("x", 100) + `"}` + "\n"))
+	// One line over the decoder's 64 KiB bound.
+	f.Add([]byte(`{"pad":"` + strings.Repeat("a", 70<<10) + `"}` + "\n"))
+	// Many small lines: the decoder must terminate by consuming input.
+	f.Add(bytes.Repeat([]byte(`{"v":1,"op":"status"}`+"\n"), 64))
+}
+
+// FuzzDecodeRequest drains arbitrary bytes through the bounded
+// line-oriented decoder and checks the protocol invariant chain: Decode
+// always terminates with a decoded value or a definite error, and any
+// request that passes Validate must convert via CACRequest into a
+// controller request that itself validates — the daemon relies on exactly
+// that chain for every admission it queues.
+func FuzzDecodeRequest(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		// One iteration bound: input is finite, so Decode can return at
+		// most one value per newline plus one trailing error. Hitting the
+		// bound means the decoder stopped consuming input.
+		maxMsgs := bytes.Count(data, []byte{'\n'}) + 2
+		for i := 0; ; i++ {
+			if i > maxMsgs {
+				t.Fatalf("decoder did not terminate after %d messages", maxMsgs)
+			}
+			var req Request
+			err := dec.Decode(&req)
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				// A framing or syntax error kills the session in the
+				// daemon; the stream is done.
+				return
+			}
+			if err := req.Validate(); err != nil {
+				continue
+			}
+			if req.Op == OpStatus {
+				// Status carries no payload to convert.
+				continue
+			}
+			creq, err := req.CACRequest()
+			if err != nil {
+				// The only post-Validate failure is a min-bandwidth above
+				// the class bandwidth; anything else is a drifted contract.
+				if req.MinBU <= mustClass(t, req.Class).Bandwidth() {
+					t.Fatalf("CACRequest failed on a validated request %+v: %v", req, err)
+				}
+				continue
+			}
+			if err := creq.Validate(); err != nil {
+				t.Fatalf("validated wire request %+v produced invalid cac request %+v: %v", req, creq, err)
+			}
+			// Round-trip: a decoded request re-encodes to the same value
+			// (Request is comparable — no slices or maps).
+			var buf bytes.Buffer
+			if err := NewEncoder(&buf).Encode(req); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+			var again Request
+			if err := NewDecoder(&buf).Decode(&again); err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if again != req {
+				t.Fatalf("request round-trip changed the value:\n%+v\n%+v", req, again)
+			}
+		}
+	})
+}
+
+// FuzzDecodeResponse drains arbitrary bytes as responses — the client
+// half of the protocol (loadgen, neighbour daemons) — and round-trips
+// every decoded value through the encoder.
+func FuzzDecodeResponse(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := NewDecoder(bytes.NewReader(data))
+		maxMsgs := bytes.Count(data, []byte{'\n'}) + 2
+		for i := 0; ; i++ {
+			if i > maxMsgs {
+				t.Fatalf("decoder did not terminate after %d messages", maxMsgs)
+			}
+			var resp Response
+			if err := dec.Decode(&resp); err != nil {
+				// EOF or a framing/syntax error: the stream is done.
+				return
+			}
+			// NaN/Inf cannot round-trip JSON; Marshal rejects them, which
+			// is fine — a real daemon never emits them.
+			if hasNonFinite(resp) {
+				continue
+			}
+			var buf bytes.Buffer
+			if err := NewEncoder(&buf).Encode(resp); err != nil {
+				t.Fatalf("re-encode of decoded response %+v: %v", resp, err)
+			}
+			var again Response
+			if err := NewDecoder(&buf).Decode(&again); err != nil {
+				t.Fatalf("re-decode: %v", err)
+			}
+			if again != resp {
+				t.Fatalf("response round-trip changed the value:\n%+v\n%+v", resp, again)
+			}
+		}
+	})
+}
+
+func mustClass(t *testing.T, name string) traffic.Class {
+	t.Helper()
+	c, err := ParseClass(name)
+	if err != nil {
+		t.Fatalf("class %q passed Validate but not ParseClass: %v", name, err)
+	}
+	return c
+}
+
+func hasNonFinite(r Response) bool {
+	for _, v := range []float64{r.Score, r.Allocated, r.Occupancy, r.Capacity} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
