@@ -9,6 +9,7 @@
 //	facs-server -scheme adapt            # adaptive bandwidth degradation
 //	facs-server -scheme adapt-fuzzy      # degradation gated by the fuzzy pipeline
 //	facs-server -cells 7 -queue 512      # 7-cell daemon, deeper per-cell queues
+//	facs-server -surface-tiers default   # hotness-adaptive tiered decision surfaces
 //
 // Schemes: facsp (FACS-P, the paper's proposal), facs (the previous fuzzy
 // system), guard (cutoff priority), sharing (complete sharing), adapt and
@@ -100,6 +101,20 @@
 // half-life of the demand estimate. The counters live in the cell
 // workers' hot path as plain atomic adds, so scraping never blocks or
 // slows admission.
+//
+// -surface-tiers enables hotness-adaptive tiered decision surfaces for
+// the fuzzy schemes (facsp, facs): cold cells share one coarse
+// process-cached surface and hot cells are promoted to finer grids (or
+// exact inference) as their hotness rate crosses the ladder's thresholds,
+// with recompilation running asynchronously so admits never block. The
+// value is "default" or an explicit ladder "res@minrate,..." such as
+// "9@0,33@0.5,65@8" (resolution 0 = exact inference on the hottest tier).
+// With tiering on, /metrics additionally serves facs_surface_tier (each
+// cell's current tier, labelled by cell), facs_surface_tier_cells (the
+// tier-occupancy histogram, labelled by tier) and the process-wide
+// facs_surface_recompiles_total, facs_surface_recompiles_stale_total,
+// facs_surface_tier_promotions_total and facs_surface_tier_demotions_total
+// counters.
 package main
 
 import (
@@ -138,6 +153,7 @@ func run(args []string) error {
 		queue    = fs.Int("queue", bsd.DefaultQueueDepth, "per-cell bounded request queue depth")
 		metrics  = fs.String("metrics", "", "HTTP observability listen address (/metrics, /hotcells); empty disables")
 		halfLife = fs.Duration("hotness-halflife", bsd.DefaultHotnessHalfLife, "half-life of the per-cell hotness demand estimate")
+		tiers    = fs.String("surface-tiers", "", `hotness-adaptive tiered decision surfaces: "default" or a ladder like "9@0,33@0.5,65@8" (fuzzy schemes only); empty disables`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -146,15 +162,45 @@ func run(args []string) error {
 		return fmt.Errorf("need at least one cell, got %d", *cells)
 	}
 
+	var tiered *core.Tiered
+	if *tiers != "" {
+		if *scheme != "facsp" && *scheme != "facs" {
+			return fmt.Errorf("-surface-tiers needs a fuzzy scheme (facsp or facs), got %q", *scheme)
+		}
+		tcfg, err := core.ParseTiers(*tiers)
+		if err != nil {
+			return err
+		}
+		// The ladder's rates are measured on the daemon's hotness axis.
+		hl := *halfLife
+		if hl <= 0 {
+			hl = bsd.DefaultHotnessHalfLife
+		}
+		tcfg.HalfLife = hl.Seconds()
+		if tiered, err = core.NewTiered(*cells, tcfg); err != nil {
+			return err
+		}
+		defer tiered.Close()
+	}
+
 	ctrls := make([]cac.Controller, *cells)
 	for i := range ctrls {
-		ctrl, err := buildController(*scheme, *capacity, *guard)
+		var prov core.SurfaceProvider
+		if tiered != nil {
+			prov = tiered.Cell(i)
+		}
+		ctrl, err := buildController(*scheme, *capacity, *guard, prov)
 		if err != nil {
 			return err
 		}
 		ctrls[i] = ctrl
 	}
-	srv, err := bsd.New(bsd.Config{Cells: ctrls, QueueDepth: *queue, HotnessHalfLife: *halfLife})
+	cfg := bsd.Config{Cells: ctrls, QueueDepth: *queue, HotnessHalfLife: *halfLife}
+	if tiered != nil {
+		cfg.Tiers = tiered
+		cfg.TierInterval = time.Duration(tiered.Config().Interval * float64(time.Second))
+	}
+	srv, err := bsd.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -199,15 +245,17 @@ func run(args []string) error {
 	return nil
 }
 
-func buildController(scheme string, capacity, guard float64) (cac.Controller, error) {
+func buildController(scheme string, capacity, guard float64, surfaces core.SurfaceProvider) (cac.Controller, error) {
 	switch scheme {
 	case "facsp":
 		cfg := core.DefaultPConfig()
 		cfg.Capacity = capacity
+		cfg.Surfaces = surfaces
 		return core.NewFACSP(cfg)
 	case "facs":
 		cfg := core.DefaultConfig()
 		cfg.Capacity = capacity
+		cfg.Surfaces = surfaces
 		return core.NewFACS(cfg)
 	case "guard":
 		return baseline.NewGuardChannel(capacity, guard)

@@ -22,7 +22,7 @@ func TestBuildController(t *testing.T) {
 	}
 	for _, tt := range tests {
 		t.Run(tt.scheme, func(t *testing.T) {
-			ctrl, err := buildController(tt.scheme, 40, 8)
+			ctrl, err := buildController(tt.scheme, 40, 8, nil)
 			if (err != nil) != tt.wantErr {
 				t.Fatalf("buildController error = %v, wantErr %v", err, tt.wantErr)
 			}
@@ -40,13 +40,13 @@ func TestBuildController(t *testing.T) {
 }
 
 func TestBuildControllerInvalidParams(t *testing.T) {
-	if _, err := buildController("facsp", -1, 0); err == nil {
+	if _, err := buildController("facsp", -1, 0, nil); err == nil {
 		t.Error("negative capacity accepted")
 	}
-	if _, err := buildController("adapt", -1, 0); err == nil {
+	if _, err := buildController("adapt", -1, 0, nil); err == nil {
 		t.Error("negative adapt capacity accepted")
 	}
-	if _, err := buildController("guard", 40, 40); err == nil {
+	if _, err := buildController("guard", 40, 40, nil); err == nil {
 		t.Error("guard == capacity accepted")
 	}
 }
@@ -54,5 +54,21 @@ func TestBuildControllerInvalidParams(t *testing.T) {
 func TestRunRejectsBadScheme(t *testing.T) {
 	if err := run([]string{"-scheme", "nope", "-addr", "127.0.0.1:0"}); err == nil {
 		t.Error("bad scheme accepted")
+	}
+}
+
+func TestRunRejectsBadSurfaceTiers(t *testing.T) {
+	// Tiering only applies to the schemes with a fuzzy pipeline behind a
+	// SurfaceProvider hook.
+	for _, scheme := range []string{"guard", "sharing", "adapt", "adapt-fuzzy"} {
+		if err := run([]string{"-scheme", scheme, "-surface-tiers", "default", "-addr", "127.0.0.1:0"}); err == nil {
+			t.Errorf("-surface-tiers with scheme %s accepted", scheme)
+		}
+	}
+	// A malformed or invalid ladder fails before the listener opens.
+	for _, ladder := range []string{"9", "x@0", "17@0,9@2", "9@1"} {
+		if err := run([]string{"-surface-tiers", ladder, "-addr", "127.0.0.1:0"}); err == nil {
+			t.Errorf("-surface-tiers %q accepted", ladder)
+		}
 	}
 }

@@ -51,6 +51,30 @@ const DefaultQueueDepth = 256
 // the load within a minute.
 const DefaultHotnessHalfLife = 30 * time.Second
 
+// DefaultTierInterval is the decision-surface tier sampling period when
+// Config.TierInterval is unset: frequent enough that a flash crowd
+// promotes within a couple of seconds, and far off the per-Admit path.
+const DefaultTierInterval = time.Second
+
+// TierSampler is the hotness-adaptive tiered decision-surface selector of
+// the daemon's fuzzy controllers, satisfied by core.Tiered. The daemon
+// feeds it every cell's hotness rate at Config.TierInterval (never on the
+// admit path — each cell worker's controller reads its tier off its own
+// provider row) and exposes the tier of every cell plus the tier-occupancy
+// histogram on /metrics. Declared here as an interface so bsd does not
+// depend on internal/core.
+type TierSampler interface {
+	// Sample feeds one cell's current hotness rate; promotion, demotion
+	// and recompilation happen asynchronously behind it.
+	Sample(cell int, rate float64)
+	// Tier reports the cell's currently installed tier index.
+	Tier(cell int) int
+	// NumTiers reports the number of rungs in the ladder.
+	NumTiers() int
+	// NumCells reports how many cells the selector covers.
+	NumCells() int
+}
+
 // Config parameterises a daemon.
 type Config struct {
 	// Cells holds one admission controller per cell; wire requests
@@ -66,6 +90,15 @@ type Config struct {
 	// (internal/hotness): the time in which an idle cell's hotness halves.
 	// Zero or negative means DefaultHotnessHalfLife.
 	HotnessHalfLife time.Duration
+	// Tiers, when non-nil, is the tiered decision-surface selector the
+	// daemon drives off the hotness tracker: a sampler goroutine feeds it
+	// every cell's rate at TierInterval. The controllers in Cells must
+	// already hold the selector's per-cell providers (core.Tiered.Cell) —
+	// the daemon only samples and exposes, it does not rewire controllers.
+	Tiers TierSampler
+	// TierInterval is the tier sampling period. Zero or negative means
+	// DefaultTierInterval.
+	TierInterval time.Duration
 }
 
 // task is one operation routed to a cell worker. reply is buffered (cap
@@ -109,6 +142,11 @@ type Server struct {
 	metrics *metrics.Registry
 	hot     *hotness.Tracker
 	start   time.Time
+
+	// tiers, when non-nil, is the tiered decision-surface selector fed by
+	// the sampler goroutine; tierQuit stops the sampler.
+	tiers    TierSampler
+	tierQuit chan struct{}
 
 	// nextID remaps client-chosen connection IDs (which are only unique
 	// within a session) to server-unique cac.Request IDs, so schemes that
@@ -175,7 +213,43 @@ func New(cfg Config) (*Server, error) {
 			c.run()
 		}(c)
 	}
+	if cfg.Tiers != nil {
+		if n := cfg.Tiers.NumCells(); n < len(cfg.Cells) {
+			s.stopWorkers()
+			return nil, fmt.Errorf("bsd: tier selector covers %d cells, daemon serves %d", n, len(cfg.Cells))
+		}
+		interval := cfg.TierInterval
+		if interval <= 0 {
+			interval = DefaultTierInterval
+		}
+		s.tiers = cfg.Tiers
+		s.tierQuit = make(chan struct{})
+		s.workers.Add(1)
+		go s.tierSampler(interval)
+	}
 	return s, nil
+}
+
+// tierSampler is the daemon's tier-promotion clock: at every interval it
+// reads the whole hotness rate vector once and feeds it to the selector.
+// Admits never touch it — each cell worker's controller reads its tier off
+// its own provider row.
+func (s *Server) tierSampler(interval time.Duration) {
+	defer s.workers.Done()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	var buf []float64
+	for {
+		select {
+		case <-s.tierQuit:
+			return
+		case <-tick.C:
+			buf = s.hot.Rates(s.Uptime(), buf)
+			for i := range s.cells {
+				s.tiers.Sample(i, buf[i])
+			}
+		}
+	}
 }
 
 // NewServer builds a single-cell daemon around one controller.
@@ -275,12 +349,16 @@ func (s *Server) Close() error {
 	return err
 }
 
-// stopWorkers closes every cell queue and waits for the workers to
-// finish. It must only run when no session can submit again.
+// stopWorkers closes every cell queue (and the tier sampler) and waits
+// for the workers to finish. It must only run when no session can submit
+// again.
 func (s *Server) stopWorkers() {
 	s.stopOnce.Do(func() {
 		for _, c := range s.cells {
 			close(c.tasks)
+		}
+		if s.tierQuit != nil {
+			close(s.tierQuit)
 		}
 		s.workers.Wait()
 	})

@@ -1,0 +1,160 @@
+package bsd
+
+import (
+	"net"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"facsp/internal/cac"
+	"facsp/internal/core"
+)
+
+// startTieredServer launches a 2-cell FACS-P daemon wired to a live
+// core.Tiered selector with a fast sampling interval and a ladder whose
+// promotion threshold a short admission burst can cross.
+func startTieredServer(t *testing.T) (addr string, srv *Server, tiered *core.Tiered, shutdown func()) {
+	t.Helper()
+	tc := core.TierConfig{
+		Tiers:      []core.SurfaceTier{{Resolution: 9, MinRate: 0}, {Resolution: 17, MinRate: 0.5}},
+		Hysteresis: 0.75,
+		HalfLife:   0.2,
+		Interval:   0.005,
+	}
+	tiered, err := core.NewTiered(2, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrls := make([]cac.Controller, 2)
+	for i := range ctrls {
+		pc := core.DefaultPConfig()
+		pc.Surfaces = tiered.Cell(i)
+		if ctrls[i], err = core.NewFACSP(pc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err = New(Config{
+		Cells:           ctrls,
+		HotnessHalfLife: 200 * time.Millisecond,
+		Tiers:           tiered,
+		TierInterval:    5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), srv, tiered, func() {
+		_ = srv.Close()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not shut down")
+		}
+		tiered.Close()
+	}
+}
+
+// TestTierSamplerPromotesHotCell is the live end of the tiering loop: wire
+// admissions heat one cell's hotness tracker, the interval sampler feeds
+// the selector, and the cell is promoted while the idle cell stays cold.
+func TestTierSamplerPromotesHotCell(t *testing.T) {
+	addr, _, tiered, shutdown := startTieredServer(t)
+	defer shutdown()
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Hammer cell 0 until the sampler promotes it (rate estimate needs a
+	// few half-lives to converge, so keep admitting while we poll).
+	deadline := time.Now().Add(10 * time.Second)
+	id := uint64(1)
+	for tiered.Tier(0) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("hot cell was never promoted")
+		}
+		if _, err := cl.AdmitWith(id, "voice", AdmitOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Release(id, "voice"); err != nil {
+			t.Fatal(err)
+		}
+		id++
+	}
+	if got := tiered.Tier(1); got != 0 {
+		t.Errorf("idle cell promoted to tier %d", got)
+	}
+}
+
+// TestMetricsExposesTierFamilies scrapes /metrics from a tiered daemon and
+// checks the tier gauge, the tier-occupancy histogram and the process-wide
+// recompile counters are all rendered.
+func TestMetricsExposesTierFamilies(t *testing.T) {
+	_, srv, tiered, shutdown := startTieredServer(t)
+	defer shutdown()
+
+	if err := tiered.Preset(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"facs_surface_tier{cell=\"0\"} 1\n",
+		"facs_surface_tier{cell=\"1\"} 0\n",
+		"facs_surface_tier_cells{tier=\"0\"} 1\n",
+		"facs_surface_tier_cells{tier=\"1\"} 1\n",
+		"# TYPE facs_surface_recompiles_total counter",
+		"# TYPE facs_surface_recompiles_stale_total counter",
+		"# TYPE facs_surface_tier_promotions_total counter",
+		"# TYPE facs_surface_tier_demotions_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsOmitsTierFamiliesWithoutSelector pins the untiered exposition:
+// no selector, no per-cell tier series (the process-wide scalars remain —
+// they are registered families either way).
+func TestMetricsOmitsTierFamiliesWithoutSelector(t *testing.T) {
+	_, srv, shutdown := startMultiCell(t, 2, 10)
+	defer shutdown()
+	rec := httptest.NewRecorder()
+	srv.MetricsHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if body := rec.Body.String(); strings.Contains(body, "facs_surface_tier{") {
+		t.Error("untiered daemon rendered facs_surface_tier")
+	}
+}
+
+// TestNewRejectsUndersizedSampler pins the coverage validation: a sampler
+// that covers fewer cells than the daemon serves is a config error, not a
+// latent panic in the sampling loop.
+func TestNewRejectsUndersizedSampler(t *testing.T) {
+	tiered, err := core.NewTiered(1, core.DefaultTierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tiered.Close()
+	ctrls := make([]cac.Controller, 2)
+	for i := range ctrls {
+		pc := core.DefaultPConfig()
+		if ctrls[i], err = core.NewFACSP(pc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := New(Config{Cells: ctrls, Tiers: tiered}); err == nil {
+		t.Error("undersized tier sampler accepted")
+	}
+}

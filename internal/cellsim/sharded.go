@@ -221,22 +221,29 @@ func RunSharded(cfg Config, adm Admitter, opts ShardOptions) (Result, error) {
 // shardStreams resolves the run's traffic into per-cell sources in slot
 // order. Unlike the single-heap engine every stream is counted.
 func (r *shardRun) shardStreams() []stream {
-	perCell := make(map[hexgrid.Coord]CellTraffic, len(r.cfg.PerCell))
-	for _, ct := range r.cfg.PerCell {
+	return resolveShardStreams(r.cfg, r.topo, r.centre)
+}
+
+// resolveShardStreams is the pure form of shardStreams, shared with the
+// offered-rate preview of OfferedRates: the per-cell traffic sources of a
+// config, in slot order, as a function of nothing but (cfg, topo, centre).
+func resolveShardStreams(cfg Config, topo *hexgrid.Topology, centre hexgrid.Coord) []stream {
+	perCell := make(map[hexgrid.Coord]CellTraffic, len(cfg.PerCell))
+	for _, ct := range cfg.PerCell {
 		perCell[ct.Cell] = ct
 	}
-	out := make([]stream, 0, r.topo.Cells())
-	for slot := 0; slot < r.topo.Slots(); slot++ {
-		cell := r.topo.At(slot)
+	out := make([]stream, 0, topo.Cells())
+	for slot := 0; slot < topo.Slots(); slot++ {
+		cell := topo.At(slot)
 		st := stream{
-			cell: cell, mix: r.cfg.Mix,
-			speed: r.cfg.Speed, angle: r.cfg.Angle, counted: true,
+			cell: cell, mix: cfg.Mix,
+			speed: cfg.Speed, angle: cfg.Angle, counted: true,
 		}
-		if len(r.cfg.PerCell) == 0 {
-			if cell == r.centre {
-				st.n = r.cfg.Requests
+		if len(cfg.PerCell) == 0 {
+			if cell == centre {
+				st.n = cfg.Requests
 			} else {
-				st.n = r.cfg.NeighborRequests
+				st.n = cfg.NeighborRequests
 			}
 		} else {
 			ct, ok := perCell[cell]
@@ -327,13 +334,19 @@ func (r *shardRun) predraw() (int, error) {
 // both sample the hexagon's tight [-inradius, inradius] x
 // [-circumradius, circumradius] bounding box from the layout's geometry.
 func (r *shardRun) randomPointInCell(src *rng.Source, cell hexgrid.Coord) (x, y float64) {
-	cx, cy := r.layout.Center(cell)
-	w := r.layout.Inradius()
-	rad := r.layout.Size
+	return randomPointInCell(src, r.layout, cell)
+}
+
+// randomPointInCell is the pure form, shared with the offered-rate preview
+// so its draw sequence stays aligned with the sharded engine's predraw.
+func randomPointInCell(src *rng.Source, layout hexgrid.Layout, cell hexgrid.Coord) (x, y float64) {
+	cx, cy := layout.Center(cell)
+	w := layout.Inradius()
+	rad := layout.Size
 	for {
 		px := src.Uniform(-w, w)
 		py := src.Uniform(-rad, rad)
-		if r.layout.CellAt(cx+px, cy+py) == cell {
+		if layout.CellAt(cx+px, cy+py) == cell {
 			return cx + px, cy + py
 		}
 	}

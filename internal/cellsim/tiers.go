@@ -1,0 +1,72 @@
+package cellsim
+
+import (
+	"sort"
+
+	"facsp/internal/hexgrid"
+	"facsp/internal/hotness"
+	"facsp/internal/rng"
+	"facsp/internal/traffic"
+)
+
+// OfferedRates replays every cell's offered arrival stream through a
+// simulation-time hotness tracker with the given half-life (seconds of sim
+// time) and returns each slot's peak decayed rate, in arrivals per sim
+// second — the sim-time hotness axis the experiment layer assigns
+// decision-surface tiers from (experiment.AssignTiers).
+//
+// The replay draws the same request tuples from the same per-slot RNG
+// substreams as RunSharded's predraw, so the rates are a pure function of
+// the config alone: independent of worker and group count, and computed
+// without running the simulation. Handoff arrivals are not previewed —
+// tier assignment keys off offered new-call traffic, which is what the
+// scenario's load multipliers shape.
+func OfferedRates(cfg Config, halfLife float64) ([]float64, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+	if topo == nil {
+		topo = hexgrid.DiskTopology(hexgrid.Coord{}, cfg.Rings)
+	}
+	tr, err := hotness.New(topo.Slots(), halfLife)
+	if err != nil {
+		return nil, err
+	}
+	layout := hexgrid.NewLayout(cfg.CellRadius)
+	peaks := make([]float64, topo.Slots())
+	var src rng.Source
+	var times []float64
+	for _, st := range resolveShardStreams(cfg, topo, topo.At(0)) {
+		slot, _ := topo.Of(st.cell)
+		src.Reseed(rng.Substream(cfg.Seed, uint64(slot)))
+		var env traffic.Envelope
+		if st.burst != nil {
+			env = st.burst.Envelope(&src, cfg.Window)
+		}
+		times = times[:0]
+		for i := 0; i < st.n; i++ {
+			at, err := sampleArrival(&src, cfg.Window, st.profile, env)
+			if err != nil {
+				return nil, err
+			}
+			// Consume the rest of the request tuple in predraw order so the
+			// arrival draws match the engine's realisation exactly.
+			st.mix.Sample(&src)
+			st.speed(&src)
+			st.angle(&src)
+			src.Exp(cfg.HoldingMean)
+			randomPointInCell(&src, layout, st.cell)
+			src.SplitSeed()
+			times = append(times, at)
+		}
+		sort.Float64s(times)
+		for _, at := range times {
+			tr.Record(slot, at)
+			if r := tr.Rate(slot, at); r > peaks[slot] {
+				peaks[slot] = r
+			}
+		}
+	}
+	return peaks, nil
+}

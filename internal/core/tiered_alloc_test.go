@@ -1,0 +1,91 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"facsp/internal/cac"
+)
+
+// Allocation gates of the tiered selector's hot paths, alongside
+// alloc_test.go's surface-admit gate and out of -race for the same reason
+// (the detector instruments allocations).
+
+// TestTieredAdmitAllocFree pins the tiered serving hot path: a FACS-P
+// answering through a per-cell SurfaceProvider decides an admission (and
+// takes the release) without allocating, on every non-exact rung of the
+// default ladder.
+func TestTieredAdmitAllocFree(t *testing.T) {
+	cfg := DefaultTierConfig()
+	tr, err := NewTiered(len(cfg.Tiers), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	req := cac.Request{ID: 1, Speed: 60, Angle: 15, Bandwidth: 5, RealTime: true}
+	for tier := range cfg.Tiers {
+		if err := tr.Preset(tier, tier); err != nil {
+			t.Fatal(err)
+		}
+		pc := DefaultPConfig()
+		pc.Surfaces = tr.Cell(tier)
+		f, err := NewFACSP(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycle := func() {
+			if d := f.Admit(req); d.Accept {
+				if err := f.Release(req); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cycle() // warm lazily-initialised state
+		if n := testing.AllocsPerRun(500, cycle); n != 0 {
+			t.Errorf("tier %d (res %d): tiered Admit+Release allocates %v per cycle, want 0",
+				tier, cfg.Tiers[tier].Resolution, n)
+		}
+	}
+}
+
+// TestTieredLookupsAllocFree pins the selector's own read and sampling
+// paths: the provider load, the tier query, the occupancy histogram with a
+// reused buffer, and a steady-state Sample (no transition, no compile).
+func TestTieredLookupsAllocFree(t *testing.T) {
+	tr, err := NewTiered(4, DefaultTierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	prov := tr.Cell(2)
+	if n := testing.AllocsPerRun(500, func() {
+		s1, s2 := prov.Surfaces()
+		if s1 == nil || s2 == nil {
+			t.Fatal("base tier lost its surfaces")
+		}
+	}); n != 0 {
+		t.Errorf("Surfaces allocates %v per call, want 0", n)
+	}
+
+	if n := testing.AllocsPerRun(500, func() {
+		if tr.Tier(1) != 0 {
+			t.Fatal("unsampled cell left tier 0")
+		}
+	}); n != 0 {
+		t.Errorf("Tier allocates %v per call, want 0", n)
+	}
+
+	buf := tr.TierCounts(nil)
+	if n := testing.AllocsPerRun(500, func() { buf = tr.TierCounts(buf) }); n != 0 {
+		t.Errorf("TierCounts with a reused buffer allocates %v per call, want 0", n)
+	}
+
+	// Steady state: the rate matches the installed tier and generation, so
+	// Sample must return without scheduling (or allocating) anything.
+	if n := testing.AllocsPerRun(500, func() { tr.Sample(3, 0) }); n != 0 {
+		t.Errorf("steady-state Sample allocates %v per call, want 0", n)
+	}
+}

@@ -1,0 +1,669 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"facsp/internal/cac"
+	"facsp/internal/fuzzy"
+	"facsp/internal/rng"
+)
+
+// --- configuration validation -------------------------------------------
+
+func TestTierConfigValidateRejects(t *testing.T) {
+	valid := DefaultTierConfig()
+	mutate := func(f func(*TierConfig)) TierConfig {
+		c := valid
+		c.Tiers = append([]SurfaceTier(nil), valid.Tiers...)
+		f(&c)
+		return c
+	}
+	cases := []struct {
+		name string
+		cfg  TierConfig
+		want string // substring of the error
+	}{
+		{"empty ladder", mutate(func(c *TierConfig) { c.Tiers = nil }), "at least one tier"},
+		{"NaN min rate", mutate(func(c *TierConfig) { c.Tiers[1].MinRate = math.NaN() }), "finite"},
+		{"Inf min rate", mutate(func(c *TierConfig) { c.Tiers[2].MinRate = math.Inf(1) }), "finite"},
+		{"negative min rate", mutate(func(c *TierConfig) { c.Tiers[0].MinRate = -1 }), "non-negative"},
+		{"first min rate not 0", mutate(func(c *TierConfig) { c.Tiers[0].MinRate = 0.1 }), "must be 0"},
+		{"descending min rates", mutate(func(c *TierConfig) { c.Tiers[2].MinRate = 0.25 }), "strictly ascending"},
+		{"equal min rates", mutate(func(c *TierConfig) { c.Tiers[2].MinRate = c.Tiers[1].MinRate }), "strictly ascending"},
+		{"resolution 1", mutate(func(c *TierConfig) { c.Tiers[1].Resolution = 1 }), "0 (exact) or >= 2"},
+		{"negative resolution", mutate(func(c *TierConfig) { c.Tiers[0].Resolution = -3 }), "0 (exact) or >= 2"},
+		{"exact below the hottest tier", mutate(func(c *TierConfig) { c.Tiers[1].Resolution = 0 }), "hottest tier"},
+		{"descending resolutions", mutate(func(c *TierConfig) { c.Tiers[2].Resolution = 17 }), "strictly ascending"},
+		{"equal resolutions", mutate(func(c *TierConfig) { c.Tiers[1].Resolution = 9 }), "strictly ascending"},
+		{"zero hysteresis", mutate(func(c *TierConfig) { c.Hysteresis = 0 }), "hysteresis"},
+		{"hysteresis above 1", mutate(func(c *TierConfig) { c.Hysteresis = 1.01 }), "hysteresis"},
+		{"NaN hysteresis", mutate(func(c *TierConfig) { c.Hysteresis = math.NaN() }), "hysteresis"},
+		{"zero half-life", mutate(func(c *TierConfig) { c.HalfLife = 0 }), "half-life"},
+		{"negative half-life", mutate(func(c *TierConfig) { c.HalfLife = -5 }), "half-life"},
+		{"NaN half-life", mutate(func(c *TierConfig) { c.HalfLife = math.NaN() }), "half-life"},
+		{"Inf half-life", mutate(func(c *TierConfig) { c.HalfLife = math.Inf(1) }), "half-life"},
+		{"zero interval", mutate(func(c *TierConfig) { c.Interval = 0 }), "interval"},
+		{"NaN interval", mutate(func(c *TierConfig) { c.Interval = math.NaN() }), "interval"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestTierConfigValidateAccepts(t *testing.T) {
+	cases := map[string]TierConfig{
+		"default": DefaultTierConfig(),
+		"single tier": {Tiers: []SurfaceTier{{Resolution: 33}},
+			Hysteresis: 1, HalfLife: 1, Interval: 1},
+		"exact hottest tier": {Tiers: []SurfaceTier{{Resolution: 9}, {Resolution: 0, MinRate: 4}},
+			Hysteresis: 0.5, HalfLife: 30, Interval: 1},
+	}
+	for name, cfg := range cases {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: Validate() = %v", name, err)
+		}
+	}
+}
+
+func TestParseTiers(t *testing.T) {
+	got, err := ParseTiers("default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := DefaultTierConfig(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("ParseTiers(default) = %+v, want %+v", got, want)
+	}
+
+	got, err = ParseTiers("9@0, 17@2, 0@50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SurfaceTier{{9, 0}, {17, 2}, {0, 50}}
+	if len(got.Tiers) != len(want) {
+		t.Fatalf("ParseTiers ladder %+v, want %+v", got.Tiers, want)
+	}
+	for i, tr := range want {
+		if got.Tiers[i] != tr {
+			t.Errorf("tier %d = %+v, want %+v", i, got.Tiers[i], tr)
+		}
+	}
+	// Defaults carry over for the sampling parameters.
+	def := DefaultTierConfig()
+	if got.Hysteresis != def.Hysteresis || got.HalfLife != def.HalfLife || got.Interval != def.Interval {
+		t.Errorf("ParseTiers dropped the sampling defaults: %+v", got)
+	}
+
+	for _, bad := range []string{
+		"", "9", "@", "9@", "@0", "x@0", "9@y", "9@0;17@2",
+		"17@0,9@2",   // descending resolutions
+		"9@1",        // first min rate not 0
+		"9@0,17@NaN", // NaN parses as a float but fails validation
+		"9@0,1@5",    // resolution 1
+	} {
+		if _, err := ParseTiers(bad); err == nil {
+			t.Errorf("ParseTiers(%q) accepted", bad)
+		}
+	}
+}
+
+// --- hysteresis ----------------------------------------------------------
+
+// TestTierHysteresisFixedPoint: at any constant rate, from any starting
+// tier, the selector reaches a fixed point after at most one transition —
+// the no-flapping property of the promotion/demotion rule.
+func TestTierHysteresisFixedPoint(t *testing.T) {
+	cfg := DefaultTierConfig()
+	prop := func(cur uint8, rate float64) bool {
+		from := int(cur) % len(cfg.Tiers)
+		rate = math.Abs(rate)
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			return true
+		}
+		first := cfg.next(from, rate)
+		return cfg.next(first, rate) == first
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTierHysteresisBand: a constant rate inside the hysteresis band
+// [MinRate*Hysteresis, MinRate) of a boundary holds whichever side of the
+// boundary the cell is already on — no oscillation near a threshold.
+func TestTierHysteresisBand(t *testing.T) {
+	cfg := DefaultTierConfig()
+	for k := 1; k < len(cfg.Tiers); k++ {
+		lo, hi := cfg.Tiers[k].MinRate*cfg.Hysteresis, cfg.Tiers[k].MinRate
+		for _, frac := range []float64{0, 0.25, 0.5, 0.99} {
+			rate := lo + frac*(hi-lo)
+			if got := cfg.next(k, rate); got != k {
+				t.Errorf("tier %d at in-band rate %v demoted to %d", k, rate, got)
+			}
+			if got := cfg.next(k-1, rate); got != k-1 {
+				t.Errorf("tier %d at in-band rate %v moved to %d", k-1, rate, got)
+			}
+		}
+		// Outside the band the boundary is sharp in both directions.
+		if got := cfg.next(k-1, hi); got != k {
+			t.Errorf("tier %d at rate %v did not promote to %d", k-1, hi, got)
+		}
+		if below := math.Nextafter(lo, 0); cfg.next(k, below) != k-1 {
+			t.Errorf("tier %d at rate %v did not demote", k, below)
+		}
+	}
+}
+
+// TestTierForMatchesNextFromCold pins TierFor as the hysteresis-free
+// static assignment the simulation plane uses.
+func TestTierForMatchesNextFromCold(t *testing.T) {
+	cfg := DefaultTierConfig()
+	for rate, want := range map[float64]int{
+		0: 0, 0.49: 0, 0.5: 1, 7.99: 1, 8: 2, 1e9: 2,
+	} {
+		if got := cfg.TierFor(rate); got != want {
+			t.Errorf("TierFor(%v) = %d, want %d", rate, got, want)
+		}
+	}
+}
+
+// --- selector lifecycle --------------------------------------------------
+
+// countingCompiler returns a tier compiler that counts compilations and
+// hands out distinct (but stable per resolution) surface pairs, so tests
+// can both count recompiles and detect torn installs.
+func countingCompiler(t *testing.T, resolutions []int) (compile func(int) (*fuzzy.Surface, *fuzzy.Surface, error), calls *atomic.Uint64, pairs map[int][2]*fuzzy.Surface) {
+	t.Helper()
+	pairs = make(map[int][2]*fuzzy.Surface, len(resolutions))
+	for _, res := range resolutions {
+		if res == 0 {
+			pairs[0] = [2]*fuzzy.Surface{nil, nil}
+			continue
+		}
+		_, s1 := tinySurface(t, res)
+		_, s2 := tinySurface(t, res)
+		pairs[res] = [2]*fuzzy.Surface{s1, s2}
+	}
+	calls = new(atomic.Uint64)
+	return func(res int) (*fuzzy.Surface, *fuzzy.Surface, error) {
+		calls.Add(1)
+		p, ok := pairs[res]
+		if !ok {
+			return nil, nil, fmt.Errorf("unexpected resolution %d", res)
+		}
+		return p[0], p[1], nil
+	}, calls, pairs
+}
+
+// tinySurface compiles a minimal one-input surface (distinct pointer per
+// call) for selector plumbing tests that never evaluate it.
+func tinySurface(t *testing.T, resolution int) (*fuzzy.Engine, *fuzzy.Surface) {
+	t.Helper()
+	in := fuzzy.MustVariable("x", 0, 1,
+		fuzzy.Term{Name: "lo", MF: fuzzy.Tri(0, 0, 1)},
+		fuzzy.Term{Name: "hi", MF: fuzzy.Tri(1, 1, 0)},
+	)
+	out := fuzzy.MustVariable("y", 0, 1,
+		fuzzy.Term{Name: "lo", MF: fuzzy.Tri(0, 0, 1)},
+		fuzzy.Term{Name: "hi", MF: fuzzy.Tri(1, 1, 0)},
+	)
+	e, err := fuzzy.NewEngine("tiny", []fuzzy.Variable{in}, out, []fuzzy.Rule{
+		{When: []int{0}, Then: 0},
+		{When: []int{1}, Then: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := fuzzy.NewSurface(e, resolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, s
+}
+
+func testTierConfig() TierConfig {
+	cfg := DefaultTierConfig()
+	cfg.Tiers = []SurfaceTier{{Resolution: 9, MinRate: 0}, {Resolution: 17, MinRate: 1}, {Resolution: 33, MinRate: 10}}
+	return cfg
+}
+
+// waitForTier polls an asynchronous tier transition with a deadline.
+func waitForTier(t *testing.T, tr *Tiered, cell, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for tr.Tier(cell) != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("cell %d stuck at tier %d, want %d", cell, tr.Tier(cell), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestTieredPromoteDemoteAsync(t *testing.T) {
+	cfg := testTierConfig()
+	compile, calls, pairs := countingCompiler(t, []int{9, 17, 33})
+	tr, err := newTieredCompile(4, cfg, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("construction compiled %d times, want 1 (shared base tier)", got)
+	}
+	for cell := 0; cell < tr.NumCells(); cell++ {
+		if tr.Tier(cell) != 0 {
+			t.Fatalf("cell %d starts at tier %d, want 0", cell, tr.Tier(cell))
+		}
+		s1, s2 := tr.Cell(cell).Surfaces()
+		if [2]*fuzzy.Surface{s1, s2} != pairs[9] {
+			t.Fatalf("cell %d base surfaces are not the shared coarse pair", cell)
+		}
+	}
+
+	// A flash-crowd rate promotes straight to the hottest tier.
+	tr.Sample(0, 50)
+	waitForTier(t, tr, 0, 2)
+	if s1, s2 := tr.Cell(0).Surfaces(); [2]*fuzzy.Surface{s1, s2} != pairs[33] {
+		t.Error("promoted cell still answers from the old surfaces")
+	}
+	if tr.Tier(1) != 0 {
+		t.Error("promotion leaked to a cell that was never sampled")
+	}
+
+	// Steady rate: no new compile requests once installed.
+	before := calls.Load()
+	for i := 0; i < 10; i++ {
+		tr.Sample(0, 50)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := calls.Load(); got != before {
+		t.Errorf("steady-rate samples recompiled (%d -> %d compiles)", before, got)
+	}
+
+	// Cooling demotes, one rung short of flapping thanks to hysteresis.
+	tr.Sample(0, 0)
+	waitForTier(t, tr, 0, 0)
+
+	counts := tr.TierCounts(nil)
+	if counts[0] != 4 || counts[1] != 0 || counts[2] != 0 {
+		t.Errorf("TierCounts = %v, want [4 0 0]", counts)
+	}
+}
+
+func TestTieredBumpRecompilesSameTier(t *testing.T) {
+	cfg := testTierConfig()
+	compile, calls, _ := countingCompiler(t, []int{9, 17, 33})
+	tr, err := newTieredCompile(1, cfg, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Same tier, same generation: Sample is a no-op.
+	before := calls.Load()
+	tr.Sample(0, 0)
+	time.Sleep(5 * time.Millisecond)
+	if calls.Load() != before {
+		t.Fatal("in-generation same-tier sample recompiled")
+	}
+
+	// After a generation bump the same sample must reinstall the tier.
+	tr.Bump()
+	tr.Sample(0, 0)
+	deadline := time.Now().Add(5 * time.Second)
+	for calls.Load() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("bumped generation never recompiled")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	waitForTier(t, tr, 0, 0)
+}
+
+// TestTieredStaleGenerationDiscarded holds a compile in flight while the
+// generation moves on, then proves the stale result is never installed.
+func TestTieredStaleGenerationDiscarded(t *testing.T) {
+	cfg := testTierConfig()
+	_, _, pairs := countingCompiler(t, []int{9, 17, 33})
+	gate := make(chan struct{})
+	started := make(chan struct{}, 8)
+	var calls atomic.Uint64
+	tr, err := newTieredCompile(1, cfg, func(res int) (*fuzzy.Surface, *fuzzy.Surface, error) {
+		// The synchronous base compile (call 0) must not block.
+		if calls.Add(1) > 1 {
+			started <- struct{}{}
+			<-gate
+		}
+		p := pairs[res]
+		return p[0], p[1], nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	_, _, _, demotionsBefore := TierCounters()
+	tr.Sample(0, 50) // promotion request at generation 1
+	<-started        // recompiler is inside the gated compile
+	tr.Bump()        // ... and the world changes under it
+	close(gate)
+
+	// The stale install must be discarded: the cell stays on tier 0. Give
+	// the recompiler a moment to (wrongly) install before asserting.
+	time.Sleep(20 * time.Millisecond)
+	if got := tr.Tier(0); got != 0 {
+		t.Fatalf("stale generation installed tier %d", got)
+	}
+	if s1, s2 := tr.Cell(0).Surfaces(); [2]*fuzzy.Surface{s1, s2} != pairs[9] {
+		t.Error("stale generation replaced the installed surfaces")
+	}
+
+	// The next sample at the new generation installs cleanly.
+	tr.Sample(0, 50)
+	waitForTier(t, tr, 0, 2)
+	if _, _, _, demotions := TierCounters(); demotions != demotionsBefore {
+		t.Errorf("discard path counted a demotion (%d -> %d)", demotionsBefore, demotions)
+	}
+}
+
+func TestTieredPresetAndErrors(t *testing.T) {
+	cfg := testTierConfig()
+	compile, _, pairs := countingCompiler(t, []int{9, 17, 33})
+	tr, err := newTieredCompile(2, cfg, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	if err := tr.Preset(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Tier(1); got != 2 {
+		t.Fatalf("Preset installed tier %d, want 2", got)
+	}
+	if s1, s2 := tr.Cell(1).Surfaces(); [2]*fuzzy.Surface{s1, s2} != pairs[33] {
+		t.Error("Preset surfaces wrong")
+	}
+	if err := tr.Preset(1, 3); err == nil {
+		t.Error("Preset accepted an out-of-range tier")
+	}
+	if err := tr.Preset(1, -1); err == nil {
+		t.Error("Preset accepted a negative tier")
+	}
+
+	if _, err := newTieredCompile(0, cfg, compile); err == nil {
+		t.Error("zero cells accepted")
+	}
+	bad := cfg
+	bad.Hysteresis = 7
+	if _, err := NewTiered(1, bad); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestTieredCloseIsIdempotentAndNonWedging(t *testing.T) {
+	cfg := testTierConfig()
+	compile, _, _ := countingCompiler(t, []int{9, 17, 33})
+	tr, err := newTieredCompile(2, cfg, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Close()
+	tr.Close()
+	// Sampling a closed selector must neither panic nor block, even past
+	// the queue capacity.
+	for i := 0; i < 3*cap(tr.reqs); i++ {
+		tr.Sample(i%2, 50)
+	}
+	if got := tr.Tier(0); got != 0 {
+		t.Errorf("closed selector moved to tier %d", got)
+	}
+}
+
+// --- generation-swap race (satellite: runs under -race) ------------------
+
+// TestTieredConcurrentSwapRace hammers one cell from 16 admitting
+// goroutines while the recompiler swaps generations and tiers underneath
+// them: no torn surface pairs, and after the dust settles decisions come
+// from the newest generation's install.
+func TestTieredConcurrentSwapRace(t *testing.T) {
+	cfg := testTierConfig()
+	compile, _, pairs := countingCompiler(t, []int{9, 17, 33})
+	tr, err := newTieredCompile(1, cfg, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	valid := map[[2]*fuzzy.Surface]bool{}
+	for _, p := range pairs {
+		valid[p] = true
+	}
+
+	// The real controller hot path runs against paper surfaces, not the
+	// tiny plumbing ones — so race the provider directly here, exactly the
+	// loads Admit performs, and keep the full-pipeline agreement for
+	// TestTieredControllerMatchesExact.
+	prov := tr.Cell(0)
+	stop := make(chan struct{})
+	var torn atomic.Uint64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s1, s2 := prov.Surfaces()
+				if !valid[[2]*fuzzy.Surface{s1, s2}] {
+					torn.Add(1)
+				}
+				_ = tr.Tier(0)
+			}
+		}()
+	}
+
+	rates := []float64{50, 0, 2, 100, 0.1}
+	for i := 0; i < 400; i++ {
+		tr.Sample(0, rates[i%len(rates)])
+		if i%7 == 0 {
+			tr.Bump()
+		}
+		if i%16 == 0 {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn surface-pair reads", n)
+	}
+
+	// Quiesce: one final sample at a decisive rate must land the newest
+	// generation's surfaces despite everything in flight before it.
+	tr.Sample(0, 50)
+	waitForTier(t, tr, 0, 2)
+	if s1, s2 := tr.Cell(0).Surfaces(); [2]*fuzzy.Surface{s1, s2} != pairs[33] {
+		t.Error("post-swap surfaces are not the newest install")
+	}
+}
+
+// TestTieredAdmitDuringRecompile runs real FACS-P admissions through a
+// tiered provider while the real recompiler swaps paper surfaces — the
+// end-to-end shape of the race, with every decision required to stay
+// inside the ladder's accuracy contract.
+func TestTieredAdmitDuringRecompile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles multiple paper surfaces")
+	}
+	tr, err := NewTiered(1, DefaultTierConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	pc := DefaultPConfig()
+	pc.Surfaces = tr.Cell(0)
+	ctrl, err := NewFACSP(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var src rng.Source
+	src.Reseed(7)
+	for g := 0; g < 16; g++ {
+		seed := src.SplitSeed()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var r rng.Source
+			r.Reseed(seed)
+			for id := uint64(1); ; id++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := cac.Request{
+					ID:        id,
+					Speed:     r.Uniform(0, SpeedMax),
+					Angle:     r.Uniform(0, AngleMax),
+					Bandwidth: VoiceBU,
+					RealTime:  true,
+				}
+				if d := ctrl.Admit(req); d.Accept {
+					if err := ctrl.Release(req); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 40; i++ {
+		tr.Sample(0, []float64{100, 0}[i%2])
+		if i%5 == 0 {
+			tr.Bump()
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// --- accuracy contract ---------------------------------------------------
+
+// tieredScoreTol documents the end-to-end FACS-P score tolerance of each
+// ladder resolution versus exact inference (measured over the dense
+// lattice below, stated with headroom; the ARMin..ARMax score axis spans
+// 2.0). Resolution 33's bound matches surface_test.go's
+// 2*flc1Tolerance+flc2Tolerance composite.
+var tieredScoreTol = map[int]float64{
+	9:  0.30,                            // measured 0.143
+	17: 0.25,                            // measured 0.120
+	33: 2*flc1Tolerance + flc2Tolerance, // the documented default-resolution composite
+	65: 0.05,                            // measured 0.006
+	0:  0,                               // exact tier: identical by construction
+}
+
+// TestTieredControllerMatchesExact drives a dense input lattice through a
+// FACS-P on each ladder tier and through exact inference, asserting the
+// accuracy contract: scores within the tier's documented tolerance, and
+// identical decisions whenever the exact score is not within tolerance of
+// the threshold.
+func TestTieredControllerMatchesExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense lattice")
+	}
+	cfg := TierConfig{
+		Tiers: []SurfaceTier{
+			{Resolution: 9, MinRate: 0},
+			{Resolution: 17, MinRate: 1},
+			{Resolution: 33, MinRate: 2},
+			{Resolution: 65, MinRate: 3},
+			{Resolution: 0, MinRate: 4},
+		},
+		Hysteresis: 0.75, HalfLife: 30, Interval: 1,
+	}
+	tr, err := NewTiered(len(cfg.Tiers), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	exact, err := NewFACSP(DefaultPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for tier, rung := range cfg.Tiers {
+		if err := tr.Preset(tier, tier); err != nil {
+			t.Fatal(err)
+		}
+		pc := DefaultPConfig()
+		pc.Surfaces = tr.Cell(tier)
+		tiered, err := NewFACSP(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := tieredScoreTol[rung.Resolution]
+		worst, disagreements := 0.0, 0
+		for sp := 0.0; sp <= SpeedMax; sp += 7.5 {
+			for an := 0.0; an <= AngleMax; an += 11.25 {
+				for _, bw := range []float64{TextBU, VoiceBU, VideoBU} {
+					for _, occ := range []float64{0, 0.3, 0.6, 0.9} {
+						req := cac.Request{ID: 1, Speed: sp, Angle: an, Bandwidth: bw, RealTime: true}
+						rtc := occ * CounterMax
+						de, err := exact.Evaluate(req, rtc, 0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						dt, err := tiered.Evaluate(req, rtc, 0)
+						if err != nil {
+							t.Fatal(err)
+						}
+						d := math.Abs(de.Score - dt.Score)
+						worst = math.Max(worst, d)
+						if d > tol {
+							t.Fatalf("tier %d (res %d) at (%v,%v,%v,occ %v): score %v vs exact %v, error %v > %v",
+								tier, rung.Resolution, sp, an, bw, occ, dt.Score, de.Score, d, tol)
+						}
+						if de.Accept != dt.Accept {
+							disagreements++
+							if math.Abs(de.Score-de.Threshold) > tol {
+								t.Fatalf("tier %d (res %d) at (%v,%v,%v,occ %v): decision flipped with exact score %v a full %v from threshold %v",
+									tier, rung.Resolution, sp, an, bw, occ, de.Score, math.Abs(de.Score-de.Threshold), de.Threshold)
+							}
+						}
+					}
+				}
+			}
+		}
+		t.Logf("tier %d (res %2d): max score error %.4f (tolerance %v), %d near-threshold decision flips",
+			tier, rung.Resolution, worst, tol, disagreements)
+		if rung.Resolution == 0 && (worst != 0 || disagreements != 0) {
+			t.Errorf("exact tier deviated: worst %v, %d flips", worst, disagreements)
+		}
+	}
+}

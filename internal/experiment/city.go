@@ -4,6 +4,8 @@ import (
 	"fmt"
 
 	"facsp/internal/cellsim"
+	"facsp/internal/core"
+	"facsp/internal/hexgrid"
 	"facsp/internal/scenario"
 )
 
@@ -29,6 +31,12 @@ type CityRun struct {
 	// Shard carries the group/worker split; the zero value picks
 	// topology-default groups and GOMAXPROCS-bounded workers.
 	Shard cellsim.ShardOptions
+	// Tiers, when non-nil, runs the scheme on hotness-tiered decision
+	// surfaces: every cell's resolution is assigned statically before the
+	// run from the sim-time hotness axis (AssignTiers), so the result
+	// stays bit-identical for any worker count. Only fuzzy schemes can
+	// tier (TieredSchemeFactory); Options.SurfaceResolution is ignored.
+	Tiers *core.TierConfig
 }
 
 // RunCity validates the scenario, builds the scheme's per-cell admitter
@@ -41,18 +49,38 @@ func RunCity(s *scenario.Scenario, run CityRun, opts Options) (cellsim.Result, e
 	if run.Load < 0 {
 		return cellsim.Result{}, fmt.Errorf("experiment: city %q: negative load %d", s.Name, run.Load)
 	}
-	factory, err := ScenarioSchemeFactory(run.Scheme, s, opts)
+	cfg, err := s.ConfigFor(run.Load, run.Seed)
 	if err != nil {
+		return cellsim.Result{}, err
+	}
+	var factory AdmitterFactory
+	if run.Tiers != nil {
+		tiers, err := AssignTiers(cfg, *run.Tiers)
+		if err != nil {
+			return cellsim.Result{}, fmt.Errorf("experiment: city %q: assigning tiers: %w", s.Name, err)
+		}
+		topo := cfg.Topology
+		if topo == nil {
+			topo = hexgrid.DiskTopology(hexgrid.Coord{}, cfg.Rings)
+		}
+		ladder := run.Tiers.Tiers
+		factory, err = TieredSchemeFactory(run.Scheme, s, func(cell hexgrid.Coord) int {
+			slot, ok := topo.Of(cell)
+			if !ok {
+				panic(fmt.Sprintf("experiment: cell %v outside the city topology", cell))
+			}
+			return ladder[tiers[slot]].Resolution
+		})
+		if err != nil {
+			return cellsim.Result{}, err
+		}
+	} else if factory, err = ScenarioSchemeFactory(run.Scheme, s, opts); err != nil {
 		return cellsim.Result{}, err
 	}
 	adm := factory()
 	if _, ok := adm.(cellsim.TopologyCompiler); !ok {
 		return cellsim.Result{}, fmt.Errorf("experiment: city %q: scheme %s has no per-cell compiled state and cannot shard: %w",
 			s.Name, run.Scheme, ErrSchemeNotApplicable)
-	}
-	cfg, err := s.ConfigFor(run.Load, run.Seed)
-	if err != nil {
-		return cellsim.Result{}, err
 	}
 	res, err := cellsim.RunSharded(cfg, adm, run.Shard)
 	if err != nil {

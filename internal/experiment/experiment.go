@@ -75,8 +75,9 @@ func DefaultLoads() []int {
 // validate rejects option values that would otherwise surface as panics
 // deep inside a worker goroutine.
 func (o Options) validate() error {
-	if o.SurfaceResolution < 0 || o.SurfaceResolution == 1 {
-		return fmt.Errorf("experiment: surface resolution %d must be 0 (exact) or >= 2", o.SurfaceResolution)
+	// The 0-or->=2 rule is core's: one validation for every resolution knob.
+	if err := core.ValidateSurfaceResolution(o.SurfaceResolution); err != nil {
+		return fmt.Errorf("experiment: %w", err)
 	}
 	return nil
 }

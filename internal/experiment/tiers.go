@@ -1,0 +1,132 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+
+	"facsp/internal/adapt"
+	"facsp/internal/cac"
+	"facsp/internal/cellsim"
+	"facsp/internal/core"
+	"facsp/internal/hexgrid"
+	"facsp/internal/scenario"
+)
+
+// Tiered decision surfaces on the simulation plane. The serving daemon
+// promotes and demotes cells live off the wall-clock hotness axis
+// (core.Tiered.Sample); a simulation must stay bit-identical for any
+// worker count, so here the tier of every cell is assigned STATICALLY
+// before the run from the sim-time hotness axis: the offered arrival
+// streams are replayed through an expdecay tracker (cellsim.OfferedRates)
+// and each cell's peak rate is ranked against the ladder. The assignment
+// is a pure function of the scenario config — sharding never sees it move.
+
+// AssignTiers computes the deterministic per-slot tier assignment of a
+// simulation config: slot i gets tc.TierFor(peak hotness rate of slot i),
+// with the rates measured on the sim-time axis at tc.HalfLife.
+func AssignTiers(cfg cellsim.Config, tc core.TierConfig) ([]int, error) {
+	if err := tc.Validate(); err != nil {
+		return nil, err
+	}
+	rates, err := cellsim.OfferedRates(cfg, tc.HalfLife)
+	if err != nil {
+		return nil, err
+	}
+	tiers := make([]int, len(rates))
+	for i, r := range rates {
+		tiers[i] = tc.TierFor(r)
+	}
+	return tiers, nil
+}
+
+// TiersAtQuantiles re-anchors a ladder's MinRates at quantiles of an
+// observed offered-rate distribution, adapting a generic ladder to the
+// absolute traffic scale of any scenario: tier k's MinRate becomes the
+// qs[k-1] nearest-rank quantile of rates (tier 0 keeps MinRate 0), so a
+// ladder like the default coarse/medium/fine split lands its boundaries
+// inside the scenario's actual hot/cold spread. Degenerate distributions
+// (not enough distinct rates to keep MinRates strictly ascending) are
+// rejected by validation.
+func TiersAtQuantiles(tc core.TierConfig, rates []float64, qs []float64) (core.TierConfig, error) {
+	if len(qs) != len(tc.Tiers)-1 {
+		return core.TierConfig{}, fmt.Errorf("experiment: %d quantiles for a %d-tier ladder (need one per non-base tier)",
+			len(qs), len(tc.Tiers))
+	}
+	if len(rates) == 0 {
+		return core.TierConfig{}, fmt.Errorf("experiment: no rates to take quantiles of")
+	}
+	sorted := append([]float64(nil), rates...)
+	sort.Float64s(sorted)
+	out := tc
+	out.Tiers = append([]core.SurfaceTier(nil), tc.Tiers...)
+	for i, q := range qs {
+		if !(q > 0 && q < 1) {
+			return core.TierConfig{}, fmt.Errorf("experiment: quantile %v outside (0, 1)", q)
+		}
+		out.Tiers[i+1].MinRate = sorted[int(q*float64(len(sorted)-1))]
+	}
+	if err := out.Validate(); err != nil {
+		return core.TierConfig{}, err
+	}
+	return out, nil
+}
+
+// perCellCapacityResFactory is perCellCapacityFactory with a per-cell
+// surface resolution alongside the per-cell capacity — the construction
+// path of tiered city runs.
+func perCellCapacityResFactory(capAt func(hexgrid.Coord) float64, resAt func(hexgrid.Coord) int,
+	build func(capacityBU float64, resolution int) (cac.Controller, error)) AdmitterFactory {
+	return func() cellsim.Admitter {
+		return cellsim.NewPerCell(func(cell hexgrid.Coord) cac.Controller {
+			capacity := capAt(cell)
+			if capacity <= 0 {
+				return deadCell{}
+			}
+			c, err := build(capacity, resAt(cell))
+			if err != nil {
+				panic("experiment: " + err.Error())
+			}
+			return c
+		})
+	}
+}
+
+// TieredSchemeFactory returns the named fuzzy scheme's admitter factory
+// with a per-cell surface resolution (0 = exact inference) on top of the
+// scenario's per-cell capacities. Only the schemes with a fuzzy inference
+// pipeline can tier; the rest return ErrSchemeNotApplicable. The flat
+// Options.SurfaceResolution is ignored — the per-cell assignment replaces
+// it.
+func TieredSchemeFactory(id string, s *scenario.Scenario, resolutionAt func(hexgrid.Coord) int) (AdmitterFactory, error) {
+	capAt := s.CapacityAt
+	switch id {
+	case "facs":
+		cfg := core.DefaultConfig()
+		return perCellCapacityResFactory(capAt, resolutionAt, func(capacityBU float64, res int) (cac.Controller, error) {
+			c := cfg
+			c.Capacity = capacityBU
+			c.SurfaceResolution = res
+			return core.NewFACS(c)
+		}), nil
+	case "facsp":
+		cfg := core.DefaultPConfig()
+		return perCellCapacityResFactory(capAt, resolutionAt, func(capacityBU float64, res int) (cac.Controller, error) {
+			c := cfg
+			c.Capacity = capacityBU
+			c.SurfaceResolution = res
+			return core.NewFACSP(c)
+		}), nil
+	case "adapt-fuzzy":
+		acfg := adapt.DefaultConfig()
+		pcfg := core.DefaultPConfig()
+		return perCellCapacityResFactory(capAt, resolutionAt, func(capacityBU float64, res int) (cac.Controller, error) {
+			a, p := acfg, pcfg
+			a.Capacity = capacityBU
+			p.Capacity = capacityBU
+			p.SurfaceResolution = res
+			return adapt.NewFuzzy(a, p)
+		}), nil
+	default:
+		return nil, fmt.Errorf("experiment: scheme %s has no fuzzy pipeline to tier: %w", id, ErrSchemeNotApplicable)
+	}
+}

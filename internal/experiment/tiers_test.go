@@ -1,0 +1,158 @@
+package experiment
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"facsp/internal/cellsim"
+	"facsp/internal/core"
+	"facsp/internal/scenario"
+)
+
+// metroTierConfig anchors the default ladder's boundaries inside the
+// metro-city offered-rate spread, so the scenario actually populates
+// several tiers (the default daemon ladder is scaled for wall-clock
+// request rates, orders of magnitude above sim-time ones).
+func metroTierConfig(t *testing.T, cfg cellsim.Config) core.TierConfig {
+	t.Helper()
+	base := core.DefaultTierConfig()
+	rates, err := cellsim.OfferedRates(cfg, base.HalfLife)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := TiersAtQuantiles(base, rates, []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tc
+}
+
+func metroConfig(t *testing.T, load int, seed uint64) (*scenario.Scenario, cellsim.Config) {
+	t.Helper()
+	s, err := scenario.Load("metro-city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := s.ConfigFor(load, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, cfg
+}
+
+// TestAssignTiersDeterministicAndSpread pins the static assignment: a pure
+// function of the scenario config (identical on every call), populating
+// more than one rung once the ladder is anchored to the scenario's scale.
+func TestAssignTiersDeterministicAndSpread(t *testing.T) {
+	_, cfg := metroConfig(t, 8, 3)
+	tc := metroTierConfig(t, cfg)
+
+	a, err := AssignTiers(cfg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AssignTiers(cfg, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("AssignTiers is not deterministic")
+	}
+	hist := make([]int, len(tc.Tiers))
+	for _, tier := range a {
+		hist[tier]++
+	}
+	t.Logf("metro-city tier occupancy (coarse to fine): %v of %d cells", hist, len(a))
+	distinct := 0
+	for _, n := range hist {
+		if n > 0 {
+			distinct++
+		}
+	}
+	if distinct < 2 {
+		t.Errorf("anchored ladder assigned only %v across %d cells — no hot/cold spread", hist, len(a))
+	}
+
+	bad := tc
+	bad.Hysteresis = -1
+	if _, err := AssignTiers(cfg, bad); err == nil {
+		t.Error("invalid ladder accepted")
+	}
+}
+
+func TestTiersAtQuantiles(t *testing.T) {
+	base := core.DefaultTierConfig()
+	rates := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+	tc, err := TiersAtQuantiles(base, rates, []float64{0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Tiers[0].MinRate != 0 {
+		t.Errorf("base tier min rate moved to %v", tc.Tiers[0].MinRate)
+	}
+	if tc.Tiers[1].MinRate >= tc.Tiers[2].MinRate {
+		t.Errorf("anchored min rates not ascending: %v", tc.Tiers)
+	}
+	// Resolutions and sampling parameters are untouched.
+	for i := range tc.Tiers {
+		if tc.Tiers[i].Resolution != base.Tiers[i].Resolution {
+			t.Errorf("tier %d resolution changed: %d", i, tc.Tiers[i].Resolution)
+		}
+	}
+
+	if _, err := TiersAtQuantiles(base, rates, []float64{0.5}); err == nil {
+		t.Error("wrong quantile count accepted")
+	}
+	if _, err := TiersAtQuantiles(base, rates, []float64{0.5, 1.5}); err == nil {
+		t.Error("out-of-range quantile accepted")
+	}
+	if _, err := TiersAtQuantiles(base, nil, []float64{0.5, 0.9}); err == nil {
+		t.Error("empty rates accepted")
+	}
+	// A flat distribution cannot keep MinRates strictly ascending.
+	if _, err := TiersAtQuantiles(base, []float64{2, 2, 2, 2}, []float64{0.5, 0.9}); err == nil {
+		t.Error("degenerate distribution accepted")
+	}
+}
+
+// TestRunCityTieredDeterminism is the sharded-determinism gate of the
+// tiered simulation plane: metro-city under FACS-P with per-cell tier
+// assignment must stay bit-identical across worker counts.
+func TestRunCityTieredDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharded city sweep")
+	}
+	s, cfg := metroConfig(t, 8, 3)
+	tc := metroTierConfig(t, cfg)
+
+	run := CityRun{Scheme: "facsp", Load: 8, Seed: 3, Tiers: &tc}
+	run.Shard = cellsim.ShardOptions{Groups: 8, Workers: 1}
+	a, err := RunCity(s, run, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Shard.Workers = 4
+	b, err := RunCity(s, run, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("tiered city run diverged across workers:\n got %+v\nwant %+v", b, a)
+	}
+	if a.Requests == 0 || a.Accepted == 0 {
+		t.Errorf("tiered city run carried no traffic: %+v", a)
+	}
+}
+
+// TestRunCityTiersNeedFuzzyScheme pins the factory gate: tier assignment
+// without a fuzzy pipeline is not applicable, not silently ignored.
+func TestRunCityTiersNeedFuzzyScheme(t *testing.T) {
+	s, cfg := metroConfig(t, 8, 3)
+	tc := metroTierConfig(t, cfg)
+	_, err := RunCity(s, CityRun{Scheme: "guard", Load: 8, Seed: 3, Tiers: &tc}, Options{})
+	if !errors.Is(err, ErrSchemeNotApplicable) {
+		t.Errorf("tiered guard error = %v, want ErrSchemeNotApplicable", err)
+	}
+}

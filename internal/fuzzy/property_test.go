@@ -134,6 +134,52 @@ func TestPropertySurfaceMatchesEngineInvariants(t *testing.T) {
 	}
 }
 
+// TestPropertyTierResolutionLadder sweeps a dense input lattice through a
+// surface at each resolution of the tiered selector's ladder (see
+// core.DefaultTierConfig), asserting the interpolation error against exact
+// inference stays inside the documented per-resolution bound and never
+// grows as the resolution rises — the property that makes a promotion
+// ladder meaningful. Bounds are measured maxima with ~2x headroom on the
+// tipper's 0-30 output universe.
+func TestPropertyTierResolutionLadder(t *testing.T) {
+	bounds := map[int]float64{9: 1.4, 17: 0.8, 33: 0.4, 65: 0.2}
+	e := tipperEngine(t)
+	prev := math.Inf(1)
+	for _, res := range []int{9, 17, 33, 65} {
+		s, err := NewSurface(e, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		worst := 0.0
+		const ticks = 160 // dense and co-prime-ish with every grid above
+		for i := 0; i <= ticks; i++ {
+			for j := 0; j <= ticks; j++ {
+				service := 10 * float64(i) / ticks
+				food := 10 * float64(j) / ticks
+				want, err := e.Infer(service, food)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := s.Infer(service, food)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := math.Abs(got - want); d > worst {
+					worst = d
+				}
+			}
+		}
+		if worst > bounds[res] {
+			t.Errorf("resolution %d: max lattice error %v > documented bound %v", res, worst, bounds[res])
+		}
+		if worst > prev {
+			t.Errorf("resolution %d: error %v grew over the coarser tier's %v", res, worst, prev)
+		}
+		prev = worst
+		t.Logf("resolution %2d: max lattice error %.4f (bound %v)", res, worst, bounds[res])
+	}
+}
+
 func TestCentroidFastPathMatchesGeneralPath(t *testing.T) {
 	// The table-backed centroid must be bit-identical to Centroid.Defuzz.
 	e := tipperEngine(t)
