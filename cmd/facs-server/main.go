@@ -13,7 +13,9 @@
 //
 // Schemes: facsp (FACS-P, the paper's proposal), facs (the previous fuzzy
 // system), guard (cutoff priority), sharing (complete sharing), adapt and
-// adapt-fuzzy (adaptive bandwidth degradation, internal/adapt).
+// adapt-fuzzy (adaptive bandwidth degradation, internal/adapt), optimal
+// (the value-iteration threshold policy, internal/optimal) and learned
+// (the table-compiled distilled controller, internal/learned).
 //
 // The daemon serves -cells independent cells, each with its own admission
 // controller of the chosen scheme and its own worker goroutine; requests
@@ -133,6 +135,8 @@ import (
 	"facsp/internal/bsd"
 	"facsp/internal/cac"
 	"facsp/internal/core"
+	"facsp/internal/learned"
+	"facsp/internal/optimal"
 )
 
 func main() {
@@ -146,7 +150,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("facs-server", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "127.0.0.1:4077", "listen address")
-		scheme   = fs.String("scheme", "facsp", "admission scheme: facsp, facs, guard, sharing, adapt, adapt-fuzzy")
+		scheme   = fs.String("scheme", "facsp", "admission scheme: facsp, facs, guard, sharing, adapt, adapt-fuzzy, optimal, learned")
 		capacity = fs.Float64("capacity", 40, "cell capacity in bandwidth units")
 		guard    = fs.Float64("guard", 8, "guard band in BU (guard scheme only)")
 		cells    = fs.Int("cells", 1, "number of independent cells the daemon serves")
@@ -269,7 +273,11 @@ func buildController(scheme string, capacity, guard float64, surfaces core.Surfa
 		cfg := adapt.DefaultConfig()
 		cfg.Capacity = capacity
 		return adapt.NewFuzzy(cfg, core.DefaultPConfig())
+	case "optimal":
+		return optimal.ForCapacity(capacity)
+	case "learned":
+		return learned.New(capacity)
 	default:
-		return nil, fmt.Errorf("unknown scheme %q (have facsp, facs, guard, sharing, adapt, adapt-fuzzy)", scheme)
+		return nil, fmt.Errorf("unknown scheme %q (have facsp, facs, guard, sharing, adapt, adapt-fuzzy, optimal, learned)", scheme)
 	}
 }

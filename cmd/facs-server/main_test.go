@@ -18,6 +18,8 @@ func TestBuildController(t *testing.T) {
 		{scheme: "sharing", want: "complete-sharing"},
 		{scheme: "adapt", want: "adapt"},
 		{scheme: "adapt-fuzzy", want: "adapt-fuzzy"},
+		{scheme: "optimal", want: "optimal"},
+		{scheme: "learned", want: "learned"},
 		{scheme: "mystery", wantErr: true},
 	}
 	for _, tt := range tests {

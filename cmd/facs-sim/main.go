@@ -16,6 +16,8 @@
 //	facs-sim -scenario flash-crowd   # rank every scheme on a scenario
 //	facs-sim -scenario highway -metric drops   # ... on dropped-call %
 //	facs-sim -scenario my-city.json  # run your own scenario file
+//	facs-sim -leaderboard            # regret-vs-optimal ranking, all ring scenarios
+//	facs-sim -leaderboard -gate 1    # ... and fail unless optimal is a floor
 //	facs-sim -generate-city > c.json           # emit a synthetic city
 //	facs-sim -generate-city -city-radius 18    # ... at ~1000 cells
 //	facs-sim -city metro-city                  # one sharded city run
@@ -33,12 +35,21 @@
 // descriptions — heterogeneous per-cell load and capacity, time-varying
 // and bursty arrivals, mobility mixes — documented in SCENARIOS.md. A
 // scenario run ranks every scheme (facs, facsp, scc, guard, adapt,
-// adapt-fuzzy) on the same sweep; -metric picks the y axis: accepted
-// (acceptance %), drops (dropped-call %), or ratio (received/requested
-// bandwidth %). The named library holds flash-crowd, stadium-hotspot,
-// highway, diurnal-city and metro-city; -scenario also accepts a path to
-// your own JSON file (any argument containing a path separator or ending
-// in .json).
+// adapt-fuzzy, optimal, learned) on the same sweep; -metric picks the y
+// axis: accepted (acceptance %), drops (dropped-call %), or ratio
+// (received/requested bandwidth %). The named library holds flash-crowd,
+// stadium-hotspot, highway, diurnal-city and metro-city; -scenario also
+// accepts a path to your own JSON file (any argument containing a path
+// separator or ending in .json).
+//
+// -leaderboard ranks every scheme on each embedded ring scenario by the
+// weighted drop/block objective J = 10·drop% + block% + degradation
+// shortfall (the cost ratio of the value-iteration optimal policy's own
+// model) and prints each scheme's regret against that computed optimum.
+// -gate S additionally fails the run if any scheme beats the optimal
+// policy's objective — or any fixed-allocation scheme beats its drop
+// metric — by more than the combined 95% confidence half-widths plus S
+// percentage points; CI runs this as the leaderboard job.
 //
 // City-scale runs (-city, -generate-city) use the multi-cluster topology
 // support (scenario schema 2) and the cell-group-sharded engine.
@@ -71,6 +82,7 @@ import (
 
 	"facsp/internal/experiment"
 	"facsp/internal/hexgrid"
+	"facsp/internal/optimal"
 	"facsp/internal/plot"
 	"facsp/internal/scenario"
 	"facsp/internal/simflag"
@@ -91,6 +103,8 @@ func run(args []string) error {
 		fig      = fs.String("fig", "10", "figure to regenerate: "+figureList()+", or all")
 		scen     = fs.String("scenario", "", "run a scenario instead of a figure: "+scenarioList()+", or a path to a scenario JSON file")
 		listScen = fs.Bool("list-scenarios", false, "list the named scenarios and exit")
+		leader   = fs.Bool("leaderboard", false, "rank every scheme on each embedded ring scenario by the weighted drop/block objective, with regret against the optimal policy")
+		gate     = fs.Float64("gate", -1, "with -leaderboard: fail unless the optimal policy is a floor of every ranking within this slack in percentage points (negative: report only)")
 		metricID = fs.String("metric", "accepted", "scenario y axis: accepted, drops, ratio")
 		loads    = fs.String("loads", "", "comma-separated x axis, e.g. 10,25,50,100 (default: the paper grid)")
 		reps     = fs.Int("reps", 20, "replications (seeds) per point")
@@ -125,14 +139,17 @@ func run(args []string) error {
 	if explicit["metric"] && *scen == "" {
 		return fmt.Errorf("-metric applies only to -scenario runs")
 	}
+	if explicit["gate"] && !*leader {
+		return fmt.Errorf("-gate applies only to -leaderboard runs")
+	}
 	modes := 0
-	for _, on := range []bool{explicit["fig"] || *scen != "", *genCity, *city != ""} {
+	for _, on := range []bool{explicit["fig"] || *scen != "", *genCity, *city != "", *leader} {
 		if on {
 			modes++
 		}
 	}
 	if modes > 1 {
-		return fmt.Errorf("-generate-city, -city and figure/scenario sweeps are mutually exclusive")
+		return fmt.Errorf("-generate-city, -city, -leaderboard and figure/scenario sweeps are mutually exclusive")
 	}
 
 	if *listScen {
@@ -153,6 +170,10 @@ func run(args []string) error {
 
 	if *city != "" {
 		return runCity(os.Stdout, *city, *cityScheme, *cityLoad, *cityGroups, *cityWorkers, *seed, opts)
+	}
+
+	if *leader {
+		return runLeaderboards(os.Stdout, opts, *gate)
 	}
 
 	if *scen != "" {
@@ -316,6 +337,44 @@ func pct(part, whole int) float64 {
 		return 0
 	}
 	return 100 * float64(part) / float64(whole)
+}
+
+// runLeaderboards ranks every scheme on each embedded ring scenario by
+// the weighted drop/block objective and prints the regret table. A
+// non-negative gate additionally asserts the optimal policy is a floor of
+// every ranking (experiment.GateOptimalFloor); the first violation fails
+// the run after all tables have printed.
+func runLeaderboards(w io.Writer, opts experiment.Options, gate float64) error {
+	var gateErr error
+	for _, name := range experiment.RingScenarioNames() {
+		s, err := scenario.Load(name)
+		if err != nil {
+			return err
+		}
+		lb, err := experiment.RunLeaderboard(s, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "scenario %s (loads %v, objective J = %d*drop%% + block%% + degradation shortfall)\n",
+			lb.Scenario, lb.Loads, optimal.DropWeight)
+		fmt.Fprintf(w, "  %-4s %-14s %10s %8s %8s %8s %9s\n",
+			"rank", "scheme", "objective", "±95%", "drop%", "±95%", "regret")
+		for i, e := range lb.Entries {
+			fmt.Fprintf(w, "  %-4d %-14s %10.2f %8.2f %8.2f %8.2f %+9.2f\n",
+				i+1, e.ID, e.Objective, e.CI95, e.Drop, e.DropCI95, e.Regret)
+		}
+		fmt.Fprintln(w)
+		if gate >= 0 && gateErr == nil {
+			gateErr = lb.GateOptimalFloor(gate)
+		}
+	}
+	if gateErr != nil {
+		return gateErr
+	}
+	if gate >= 0 {
+		fmt.Fprintf(w, "gate: optimal is a floor of every leaderboard (slack %g pp)\n", gate)
+	}
+	return nil
 }
 
 // runScenario ranks every scheme on one scenario and emits the result.

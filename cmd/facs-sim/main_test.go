@@ -74,7 +74,7 @@ func TestRunNamedScenarioWritesCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := string(data)
-	for _, scheme := range []string{"FACS-P", "FACS", "SCC", "guard-channel", "adapt", "adapt-fuzzy"} {
+	for _, scheme := range []string{"FACS-P", "FACS", "SCC", "guard-channel", "adapt", "adapt-fuzzy", "optimal", "learned"} {
 		if !strings.Contains(out, scheme) {
 			t.Errorf("scenario CSV missing scheme %s:\n%s", scheme, out)
 		}
@@ -159,7 +159,7 @@ func TestDocCommentMatchesRegistries(t *testing.T) {
 	for _, flagName := range []string{
 		"-scenario", "-list-scenarios", "-metric", "-fig", "-csv", "-workers", "-surface",
 		"-generate-city", "-city", "-city-scheme", "-city-load", "-city-groups", "-city-workers",
-		"-city-radius", "-city-seed", "-city-name",
+		"-city-radius", "-city-seed", "-city-name", "-leaderboard", "-gate",
 	} {
 		if !strings.Contains(doc, flagName) {
 			t.Errorf("facs-sim doc comment does not mention flag %q", flagName)
@@ -250,6 +250,46 @@ func TestRunCityRejectsWorkerOverflow(t *testing.T) {
 func TestRunCityRejectsSCCScheme(t *testing.T) {
 	if err := run([]string{"-city", "metro-city", "-city-scheme", "scc", "-city-load", "2"}); err == nil {
 		t.Error("network-level scc accepted for a sharded city run")
+	}
+}
+
+func TestLeaderboardFlagValidation(t *testing.T) {
+	if err := run([]string{"-gate", "1"}); err == nil {
+		t.Error("-gate without -leaderboard accepted")
+	}
+	if err := run([]string{"-leaderboard", "-fig", "10"}); err == nil {
+		t.Error("-leaderboard with -fig accepted")
+	}
+	if err := run([]string{"-leaderboard", "-city", "metro-city"}); err == nil {
+		t.Error("-leaderboard with -city accepted")
+	}
+}
+
+// TestRunLeaderboardsReportsEveryScenario drives the leaderboard mode at a
+// reduced sweep and checks the report covers every ring scenario and every
+// scheme, with the gate line present when gating is on.
+func TestRunLeaderboardsReportsEveryScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	var buf bytes.Buffer
+	opts := experiment.Options{Loads: []int{8}, Replications: 1, SurfaceResolution: 33}
+	if err := runLeaderboards(&buf, opts, 50); err != nil {
+		t.Fatalf("runLeaderboards: %v", err)
+	}
+	out := buf.String()
+	for _, name := range experiment.RingScenarioNames() {
+		if !strings.Contains(out, "scenario "+name) {
+			t.Errorf("leaderboard report missing scenario %q:\n%s", name, out)
+		}
+	}
+	for _, id := range experiment.SchemeIDs() {
+		if !strings.Contains(out, id) {
+			t.Errorf("leaderboard report missing scheme %q:\n%s", id, out)
+		}
+	}
+	if !strings.Contains(out, "gate: optimal is a floor") {
+		t.Errorf("leaderboard report missing gate line:\n%s", out)
 	}
 }
 

@@ -1,0 +1,223 @@
+// Command facs-train fits the learned admission controller's network
+// (internal/learned) and regenerates its committed weights artifact.
+//
+// Usage:
+//
+//	facs-train -out internal/learned/weights.go
+//	facs-train -loads 20,40,60,80,100 -reps 3 -epochs 40 -lr 0.05
+//
+// The fitting run is policy distillation on sweep traces: the paper's
+// homogeneous cellular sweep (cellsim) is driven by the value-iteration
+// optimal policy (internal/optimal) across the configured load points and
+// replications, every admission decision the teacher makes is recorded as
+// a labelled sample — occupancy fraction, bandwidth fraction, handoff flag
+// against the teacher's verdict — and the two-hidden-layer net is fitted
+// to the trace with seeded SGD on binary cross-entropy. Everything is
+// deterministic for a given flag set (rng.Substream per shard, seeded
+// shuffles), so the generated file is reproducible byte for byte.
+//
+// The output is Go source (gofmt-clean, with a "Code generated" header and
+// the learned.WeightsVersion constant) meant to be committed; builds never
+// train.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/format"
+	"os"
+	"strconv"
+	"strings"
+
+	"facsp/internal/cac"
+	"facsp/internal/cellsim"
+	"facsp/internal/core"
+	"facsp/internal/hexgrid"
+	"facsp/internal/learned"
+	"facsp/internal/optimal"
+	"facsp/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "facs-train:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("facs-train", flag.ContinueOnError)
+	var (
+		outPath  = fs.String("out", "internal/learned/weights.go", "generated weights artifact path")
+		loads    = fs.String("loads", "20,40,60,80,100", "comma-separated sweep load points the teacher traces")
+		reps     = fs.Int("reps", 3, "replications (seeds) per load point")
+		capacity = fs.Float64("capacity", core.CounterMax, "cell capacity in BU for the teacher model")
+		epochs   = fs.Int("epochs", 40, "SGD epochs over the trace")
+		lr       = fs.Float64("lr", 0.05, "SGD learning rate")
+		seed     = fs.Uint64("seed", 1, "base seed for traces, init and shuffles")
+		version  = fs.Int("version", learned.WeightsVersion+1, "WeightsVersion to stamp into the artifact")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	loadPts, err := parseLoads(*loads)
+	if err != nil {
+		return err
+	}
+	if *reps < 1 {
+		return fmt.Errorf("need at least one replication, got %d", *reps)
+	}
+
+	samples, err := collect(loadPts, *reps, *capacity, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "facs-train: %d samples from %d load points x %d reps (teacher: optimal policy at %.0f BU)\n",
+		len(samples), len(loadPts), *reps, *capacity)
+
+	net, stats := learned.Train(samples, *epochs, *lr, *seed)
+	fmt.Fprintf(out, "facs-train: %d epochs, final loss %.4f, teacher agreement %.2f%%\n",
+		stats.Epochs, stats.FinalLoss, 100*stats.Accuracy)
+
+	src, err := render(net, stats, *version, strings.Join(args, " "))
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*outPath, src, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "facs-train: wrote %s (WeightsVersion %d)\n", *outPath, *version)
+	return nil
+}
+
+func parseLoads(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad load point %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no load points")
+	}
+	return out, nil
+}
+
+// recorder wraps the teacher controller and logs every decision it makes
+// as a training sample.
+type recorder struct {
+	inner    cac.Controller
+	capacity float64
+	sink     *[]learned.Sample
+}
+
+func (r *recorder) Admit(req cac.Request) cac.Decision {
+	occ := r.inner.Occupancy()
+	d := r.inner.Admit(req)
+	if req.Validate() == nil {
+		h := 0.0
+		if req.Handoff {
+			h = 1
+		}
+		*r.sink = append(*r.sink, learned.Sample{
+			Occ:     occ / r.capacity,
+			BW:      req.Bandwidth / r.capacity,
+			Handoff: h,
+			Admit:   d.Accept,
+		})
+	}
+	return d
+}
+
+func (r *recorder) Release(req cac.Request) error { return r.inner.Release(req) }
+func (r *recorder) Occupancy() float64            { return r.inner.Occupancy() }
+func (r *recorder) Capacity() float64             { return r.inner.Capacity() }
+
+// collect drives the homogeneous sweep with the optimal policy and
+// returns the recorded decision trace. Runs are sequential, so the sample
+// order — and therefore the artifact — is deterministic.
+func collect(loads []int, reps int, capacity float64, seed uint64) ([]learned.Sample, error) {
+	var samples []learned.Sample
+	for li, load := range loads {
+		for rep := 0; rep < reps; rep++ {
+			cfg := cellsim.DefaultConfig(load, rng.Substream(seed, uint64(li), uint64(rep)))
+			admitter := cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
+				teacher, err := optimal.ForCapacity(capacity)
+				if err != nil {
+					panic("facs-train: " + err.Error())
+				}
+				return &recorder{inner: teacher, capacity: capacity, sink: &samples}
+			})
+			sim, err := cellsim.New(cfg, admitter)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := sim.Run(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("trace produced no samples")
+	}
+	return samples, nil
+}
+
+// render emits the weights artifact as gofmt-clean Go source.
+func render(n learned.Net, stats learned.TrainStats, version int, argv string) ([]byte, error) {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "// Code generated by facs-train; DO NOT EDIT.\n")
+	fmt.Fprintf(&b, "//\n")
+	if argv == "" {
+		fmt.Fprintf(&b, "// Regenerate: go run ./cmd/facs-train\n")
+	} else {
+		fmt.Fprintf(&b, "// Regenerate: go run ./cmd/facs-train %s\n", argv)
+	}
+	fmt.Fprintf(&b, "//\n")
+	fmt.Fprintf(&b, "// Fitted on %d teacher decisions, %d epochs, final BCE %.4f,\n", stats.Samples, stats.Epochs, stats.FinalLoss)
+	fmt.Fprintf(&b, "// teacher agreement %.2f%%.\n", 100*stats.Accuracy)
+	fmt.Fprintf(&b, "\npackage learned\n\n")
+	fmt.Fprintf(&b, "// WeightsVersion identifies the committed weights artifact; cmd/facs-train\n")
+	fmt.Fprintf(&b, "// bumps it when the training recipe changes incompatibly.\n")
+	fmt.Fprintf(&b, "const WeightsVersion = %d\n\n", version)
+	fmt.Fprintf(&b, "// DefaultWeights is the fitted admission network.\n")
+	fmt.Fprintf(&b, "var DefaultWeights = Net{\n")
+	fmt.Fprintf(&b, "\tW1: [Hidden1][Features]float64{\n")
+	for _, row := range n.W1 {
+		fmt.Fprintf(&b, "\t\t{%s},\n", joinFloats(row[:]))
+	}
+	fmt.Fprintf(&b, "\t},\n")
+	fmt.Fprintf(&b, "\tB1: [Hidden1]float64{%s},\n", joinFloats(n.B1[:]))
+	fmt.Fprintf(&b, "\tW2: [Hidden2][Hidden1]float64{\n")
+	for _, row := range n.W2 {
+		fmt.Fprintf(&b, "\t\t{%s},\n", joinFloats(row[:]))
+	}
+	fmt.Fprintf(&b, "\t},\n")
+	fmt.Fprintf(&b, "\tB2: [Hidden2]float64{%s},\n", joinFloats(n.B2[:]))
+	fmt.Fprintf(&b, "\tW3: [Hidden2]float64{%s},\n", joinFloats(n.W3[:]))
+	fmt.Fprintf(&b, "\tB3: %s,\n", formatFloat(n.B3))
+	fmt.Fprintf(&b, "}\n")
+	return format.Source(b.Bytes())
+}
+
+func joinFloats(vs []float64) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = formatFloat(v)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// formatFloat renders v with the shortest representation that round-trips
+// exactly, as a valid Go expression.
+func formatFloat(v float64) string {
+	s := strconv.FormatFloat(v, 'g', -1, 64)
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0" // keep it a float literal even for integral values
+	}
+	return s
+}

@@ -204,6 +204,44 @@ func TestDocsMetricsFamiliesDocumented(t *testing.T) {
 	}
 }
 
+// TestDocsCIWorkflowWiring keeps the workflow and its checked-in smoke
+// assert script consistent: the serving smoke must call
+// scripts/ci-smoke-asserts.sh (not re-inlined one-liners), the script
+// must exist, be executable and implement every subcommand the workflow
+// invokes, and the leaderboard job, run cancellation and staticcheck
+// binary cache must stay wired.
+func TestDocsCIWorkflowWiring(t *testing.T) {
+	ci := readDoc(t, ".github/workflows/ci.yml")
+	for _, token := range []string{
+		"scripts/ci-smoke-asserts.sh",
+		"-leaderboard",
+		"-gate",
+		"cancel-in-progress: true",
+		"staticcheck-cache",
+	} {
+		if !strings.Contains(ci, token) {
+			t.Errorf("ci.yml does not contain %q", token)
+		}
+	}
+	const script = "scripts/ci-smoke-asserts.sh"
+	info, err := os.Stat(script)
+	if err != nil {
+		t.Fatalf("smoke assert script missing: %v", err)
+	}
+	if info.Mode()&0o111 == 0 {
+		t.Errorf("%s is not executable", script)
+	}
+	src := readDoc(t, script)
+	if !strings.HasPrefix(src, "#!") {
+		t.Errorf("%s has no shebang", script)
+	}
+	for _, m := range regexp.MustCompile(`ci-smoke-asserts\.sh (\w+)`).FindAllStringSubmatch(ci, -1) {
+		if !strings.Contains(src, m[1]+")") {
+			t.Errorf("ci.yml invokes subcommand %q, which %s does not implement", m[1], script)
+		}
+	}
+}
+
 var mdLink = regexp.MustCompile(`\]\(([A-Za-z0-9_./-]+\.md)\)`)
 
 func TestDocsRelativeLinksResolve(t *testing.T) {

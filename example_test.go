@@ -130,12 +130,14 @@ func ExampleRunScenario() {
 		fmt.Printf("%s: %d point(s) at N=%.0f\n", c.Name, len(c.Points), c.Points[0].X)
 	}
 	// Output:
-	// scenario flash-crowd ranks 6 schemes:
+	// scenario flash-crowd ranks 8 schemes:
 	// adapt: 1 point(s) at N=8
 	// adapt-fuzzy: 1 point(s) at N=8
 	// FACS: 1 point(s) at N=8
 	// FACS-P: 1 point(s) at N=8
 	// guard-channel: 1 point(s) at N=8
+	// learned: 1 point(s) at N=8
+	// optimal: 1 point(s) at N=8
 	// SCC: 1 point(s) at N=8
 }
 
@@ -170,12 +172,14 @@ func Example_scenarioFile() {
 		fmt.Println(c.Name)
 	}
 	// Output:
-	// hotspot-next-to-outage: 5 schemes ranked
+	// hotspot-next-to-outage: 7 schemes ranked
 	// adapt
 	// adapt-fuzzy
 	// FACS
 	// FACS-P
 	// guard-channel
+	// learned
+	// optimal
 }
 
 // ExampleRunFigure regenerates (a tiny slice of) one of the paper's

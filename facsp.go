@@ -73,6 +73,8 @@ import (
 	"facsp/internal/cellsim"
 	"facsp/internal/core"
 	"facsp/internal/experiment"
+	"facsp/internal/learned"
+	"facsp/internal/optimal"
 	"facsp/internal/plot"
 	"facsp/internal/rng"
 	"facsp/internal/scc"
@@ -241,6 +243,25 @@ func NewAdaptFuzzy(cfg AdaptConfig, pcfg PConfig) (*adapt.Fuzzy, error) {
 	return adapt.NewFuzzy(cfg, pcfg)
 }
 
+// NewOptimal builds the computed-optimum baseline: the stationary
+// threshold policy of the single-cell birth-death Markov decision model
+// (blocked call cost 1, dropped call cost 10), solved once per capacity by
+// relative value iteration and compiled into an allocation-free lookup
+// table. Policies are cached process-wide per capacity. Every scheme's
+// leaderboard regret is measured against this controller (see
+// EXPERIMENTS.md "Optimal baseline").
+func NewOptimal(capacityBU float64) (Controller, error) {
+	return optimal.ForCapacity(capacityBU)
+}
+
+// NewLearned builds the learned controller: a small neural policy
+// distilled offline from the optimal policy's decisions (cmd/facs-train),
+// shipped as a versioned weights artifact and compiled at construction
+// into the same kind of allocation-free lookup table NewOptimal uses.
+func NewLearned(capacityBU float64) (Controller, error) {
+	return learned.New(capacityBU)
+}
+
 // SimConfig re-exports the cellular simulator configuration.
 type SimConfig = cellsim.Config
 
@@ -312,15 +333,33 @@ func ScenarioFromJSON(data []byte) (*Scenario, error) { return scenario.FromJSON
 func ScenarioFromFile(path string) (*Scenario, error) { return scenario.FromFile(path) }
 
 // RunScenario ranks every admission scheme (FACS, FACS-P, SCC,
-// guard-channel, adapt, adapt-fuzzy) on one scenario: each scheme sweeps
-// the same load axis under the scenario's workload and returns one curve
-// of the paper's headline metric (percentage of accepted centre-cell
-// calls). Sweeps are sharded like RunFigure: curves are bit-identical for
-// any ExperimentOptions.Workers. On scenarios with heterogeneous cell
-// capacity the network-level SCC scheme is skipped. For the dropped-call
-// and degradation-ratio metrics, see cmd/facs-sim's -metric flag.
+// guard-channel, adapt, adapt-fuzzy, optimal, learned) on one scenario:
+// each scheme sweeps the same load axis under the scenario's workload and
+// returns one curve of the paper's headline metric (percentage of
+// accepted centre-cell calls). Sweeps are sharded like RunFigure: curves
+// are bit-identical for any ExperimentOptions.Workers. On scenarios with
+// heterogeneous cell capacity the network-level SCC scheme is skipped.
+// For the dropped-call and degradation-ratio metrics, see cmd/facs-sim's
+// -metric flag.
 func RunScenario(s *Scenario, opts ExperimentOptions) ([]Curve, error) {
 	return experiment.RunScenario(s, opts)
+}
+
+// Leaderboard re-exports the per-scenario scheme ranking by the weighted
+// drop/block objective, with each scheme's regret against the computed
+// optimal policy.
+type Leaderboard = experiment.Leaderboard
+
+// LeaderboardEntry re-exports one scheme's row on a Leaderboard.
+type LeaderboardEntry = experiment.LeaderboardEntry
+
+// RunLeaderboard ranks every applicable scheme on one scenario by the
+// weighted objective J = 10·drop% + block% + degradation shortfall and
+// computes regret against NewOptimal's policy. The ranking is
+// bit-identical for any ExperimentOptions.Workers; cmd/facs-sim
+// -leaderboard prints it and CI gates on Leaderboard.GateOptimalFloor.
+func RunLeaderboard(s *Scenario, opts ExperimentOptions) (*Leaderboard, error) {
+	return experiment.RunLeaderboard(s, opts)
 }
 
 // CityParams parameterizes the synthetic-city scenario generator: a

@@ -3,14 +3,16 @@
 // (cutoff priority) scheme, and the fractional guard channel. They serve
 // as ablation points for the paper's fuzzy controllers — every scheme
 // implements cac.Controller, so the simulator and benchmarks can swap them
-// in for FACS/FACS-P directly.
+// in for FACS/FACS-P directly. Occupancy accounting is delegated to the
+// shared internal/ledger, the same account the value-iteration threshold
+// policy (internal/optimal) runs on.
 package baseline
 
 import (
 	"fmt"
-	"sync"
 
 	"facsp/internal/cac"
+	"facsp/internal/ledger"
 	"facsp/internal/rng"
 )
 
@@ -18,10 +20,7 @@ import (
 // no prioritisation. It is the upper bound on acceptance and the lower
 // bound on handoff protection.
 type CompleteSharing struct {
-	capacity float64
-
-	mu   sync.Mutex
-	used float64
+	led *ledger.Ledger
 }
 
 var (
@@ -31,62 +30,45 @@ var (
 
 // NewCompleteSharing builds the scheme with the given capacity in BU.
 func NewCompleteSharing(capacity float64) (*CompleteSharing, error) {
-	if capacity <= 0 {
-		return nil, fmt.Errorf("baseline: capacity %v must be positive", capacity)
+	led, err := ledger.New(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
 	}
-	return &CompleteSharing{capacity: capacity}, nil
+	return &CompleteSharing{led: led}, nil
 }
 
 // SchemeName implements cac.Named.
 func (c *CompleteSharing) SchemeName() string { return "complete-sharing" }
 
 // Capacity implements cac.Controller.
-func (c *CompleteSharing) Capacity() float64 { return c.capacity }
+func (c *CompleteSharing) Capacity() float64 { return c.led.Capacity() }
 
 // Occupancy implements cac.Controller.
-func (c *CompleteSharing) Occupancy() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.used
-}
+func (c *CompleteSharing) Occupancy() float64 { return c.led.Used() }
 
 // Admit implements cac.Controller.
 func (c *CompleteSharing) Admit(req cac.Request) cac.Decision {
 	if err := req.Validate(); err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: c.Occupancy()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: c.led.Used()}
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.used+req.Bandwidth > c.capacity {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity", Occupancy: c.used}
+	used, ok := c.led.Reserve(req.Bandwidth, c.led.Capacity())
+	if !ok {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity", Occupancy: used}
 	}
-	c.used += req.Bandwidth
-	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: c.used}
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: used}
 }
 
 // Release implements cac.Controller.
 func (c *CompleteSharing) Release(req cac.Request) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if req.Bandwidth > c.used+1e-9 {
-		return fmt.Errorf("baseline: release of %v BU exceeds occupancy %v", req.Bandwidth, c.used)
-	}
-	c.used -= req.Bandwidth
-	if c.used < 0 {
-		c.used = 0
-	}
-	return nil
+	return c.led.Release(req.Bandwidth)
 }
 
 // GuardChannel is the cutoff-priority scheme: the last Guard bandwidth
 // units are reserved for handoffs; new calls are admitted only while
 // occupancy stays below Capacity-Guard.
 type GuardChannel struct {
-	capacity float64
-	guard    float64
-
-	mu   sync.Mutex
-	used float64
+	led   *ledger.Ledger
+	guard float64
 }
 
 var (
@@ -96,74 +78,57 @@ var (
 
 // NewGuardChannel builds the scheme; guard must lie in [0, capacity).
 func NewGuardChannel(capacity, guard float64) (*GuardChannel, error) {
-	if capacity <= 0 {
-		return nil, fmt.Errorf("baseline: capacity %v must be positive", capacity)
+	led, err := ledger.New(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
 	}
 	if guard < 0 || guard >= capacity {
 		return nil, fmt.Errorf("baseline: guard %v outside [0, capacity %v)", guard, capacity)
 	}
-	return &GuardChannel{capacity: capacity, guard: guard}, nil
+	return &GuardChannel{led: led, guard: guard}, nil
 }
 
 // SchemeName implements cac.Named.
 func (g *GuardChannel) SchemeName() string { return "guard-channel" }
 
 // Capacity implements cac.Controller.
-func (g *GuardChannel) Capacity() float64 { return g.capacity }
+func (g *GuardChannel) Capacity() float64 { return g.led.Capacity() }
 
 // Occupancy implements cac.Controller.
-func (g *GuardChannel) Occupancy() float64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.used
-}
+func (g *GuardChannel) Occupancy() float64 { return g.led.Used() }
 
 // Admit implements cac.Controller.
 func (g *GuardChannel) Admit(req cac.Request) cac.Decision {
 	if err := req.Validate(); err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: g.Occupancy()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: g.led.Used()}
 	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	limit := g.capacity
+	limit := g.led.Capacity()
 	if !req.Handoff {
-		limit = g.capacity - g.guard
+		limit -= g.guard
 	}
-	if g.used+req.Bandwidth > limit {
+	used, ok := g.led.Reserve(req.Bandwidth, limit)
+	if !ok {
 		outcome := "capacity"
-		if !req.Handoff && g.used+req.Bandwidth <= g.capacity {
+		if !req.Handoff && used+req.Bandwidth <= g.led.Capacity() {
 			outcome = "guard-channel"
 		}
-		return cac.Decision{Accept: false, Score: -1, Outcome: outcome, Occupancy: g.used}
+		return cac.Decision{Accept: false, Score: -1, Outcome: outcome, Occupancy: used}
 	}
-	g.used += req.Bandwidth
-	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: g.used}
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: used}
 }
 
 // Release implements cac.Controller.
 func (g *GuardChannel) Release(req cac.Request) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if req.Bandwidth > g.used+1e-9 {
-		return fmt.Errorf("baseline: release of %v BU exceeds occupancy %v", req.Bandwidth, g.used)
-	}
-	g.used -= req.Bandwidth
-	if g.used < 0 {
-		g.used = 0
-	}
-	return nil
+	return g.led.Release(req.Bandwidth)
 }
 
 // FractionalGuard is the fractional guard channel (Ramjee et al.): above
 // the guard threshold, new calls are admitted with a probability that
 // decays linearly to zero at full occupancy, softening the cutoff.
 type FractionalGuard struct {
-	capacity  float64
+	led       *ledger.Ledger
 	threshold float64
 	src       *rng.Source
-
-	mu   sync.Mutex
-	used float64
 }
 
 var (
@@ -175,8 +140,9 @@ var (
 // which new-call admission starts to decay; src drives the admission coin
 // flips and must not be nil.
 func NewFractionalGuard(capacity, threshold float64, src *rng.Source) (*FractionalGuard, error) {
-	if capacity <= 0 {
-		return nil, fmt.Errorf("baseline: capacity %v must be positive", capacity)
+	led, err := ledger.New(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
 	}
 	if threshold < 0 || threshold > capacity {
 		return nil, fmt.Errorf("baseline: threshold %v outside [0, capacity %v]", threshold, capacity)
@@ -184,54 +150,47 @@ func NewFractionalGuard(capacity, threshold float64, src *rng.Source) (*Fraction
 	if src == nil {
 		return nil, fmt.Errorf("baseline: nil random source")
 	}
-	return &FractionalGuard{capacity: capacity, threshold: threshold, src: src}, nil
+	return &FractionalGuard{led: led, threshold: threshold, src: src}, nil
 }
 
 // SchemeName implements cac.Named.
 func (f *FractionalGuard) SchemeName() string { return "fractional-guard" }
 
 // Capacity implements cac.Controller.
-func (f *FractionalGuard) Capacity() float64 { return f.capacity }
+func (f *FractionalGuard) Capacity() float64 { return f.led.Capacity() }
 
 // Occupancy implements cac.Controller.
-func (f *FractionalGuard) Occupancy() float64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.used
-}
+func (f *FractionalGuard) Occupancy() float64 { return f.led.Used() }
 
 // Admit implements cac.Controller.
 func (f *FractionalGuard) Admit(req cac.Request) cac.Decision {
 	if err := req.Validate(); err != nil {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: f.Occupancy()}
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: f.led.Used()}
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.used+req.Bandwidth > f.capacity {
-		return cac.Decision{Accept: false, Score: -1, Outcome: "capacity", Occupancy: f.used}
-	}
-	if !req.Handoff && f.used > f.threshold {
-		// Admission probability decays linearly from 1 at the threshold
-		// to 0 at full occupancy.
-		p := 1 - (f.used-f.threshold)/(f.capacity-f.threshold)
-		if !f.src.Bool(p) {
-			return cac.Decision{Accept: false, Score: -1, Outcome: "fractional-guard", Occupancy: f.used}
+	capacity := f.led.Capacity()
+	outcome := "capacity"
+	used, ok := f.led.ReserveIf(req.Bandwidth, func(used float64) bool {
+		if used+req.Bandwidth > capacity {
+			return false
 		}
+		if !req.Handoff && used > f.threshold {
+			// Admission probability decays linearly from 1 at the threshold
+			// to 0 at full occupancy.
+			p := 1 - (used-f.threshold)/(capacity-f.threshold)
+			if !f.src.Bool(p) {
+				outcome = "fractional-guard"
+				return false
+			}
+		}
+		return true
+	})
+	if !ok {
+		return cac.Decision{Accept: false, Score: -1, Outcome: outcome, Occupancy: used}
 	}
-	f.used += req.Bandwidth
-	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: f.used}
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: used}
 }
 
 // Release implements cac.Controller.
 func (f *FractionalGuard) Release(req cac.Request) error {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if req.Bandwidth > f.used+1e-9 {
-		return fmt.Errorf("baseline: release of %v BU exceeds occupancy %v", req.Bandwidth, f.used)
-	}
-	f.used -= req.Bandwidth
-	if f.used < 0 {
-		f.used = 0
-	}
-	return nil
+	return f.led.Release(req.Bandwidth)
 }

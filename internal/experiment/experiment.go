@@ -27,7 +27,9 @@ import (
 	"facsp/internal/fuzzy"
 	"facsp/internal/hexgrid"
 	"facsp/internal/hotness"
+	"facsp/internal/learned"
 	"facsp/internal/metrics"
+	"facsp/internal/optimal"
 	"facsp/internal/scc"
 	"facsp/internal/stats"
 )
@@ -236,6 +238,37 @@ func GuardFactory(capacity, guard float64) AdmitterFactory {
 	}
 }
 
+// OptimalFactory returns a per-cell admitter factory for the
+// value-iteration optimal threshold policy (internal/optimal) at the given
+// capacity — the computed upper bound every heuristic scheme is ranked
+// against.
+func OptimalFactory(capacity float64) AdmitterFactory {
+	return func() cellsim.Admitter {
+		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
+			c, err := optimal.ForCapacity(capacity)
+			if err != nil {
+				panic("experiment: " + err.Error())
+			}
+			return c
+		})
+	}
+}
+
+// LearnedFactory returns a per-cell admitter factory for the
+// table-compiled learned controller (internal/learned) at the given
+// capacity, serving the committed weights artifact.
+func LearnedFactory(capacity float64) AdmitterFactory {
+	return func() cellsim.Admitter {
+		return cellsim.NewPerCell(func(hexgrid.Coord) cac.Controller {
+			c, err := learned.New(capacity)
+			if err != nil {
+				panic("experiment: " + err.Error())
+			}
+			return c
+		})
+	}
+}
+
 // SCCFactory returns a network-level shadow-cluster admitter factory.
 func SCCFactory() AdmitterFactory {
 	return func() cellsim.Admitter {
@@ -265,6 +298,10 @@ func (o Options) SchemeFactory(id string) (AdmitterFactory, error) {
 		return AdaptFactory(), nil
 	case "adapt-fuzzy":
 		return o.adaptFuzzyFactory(), nil
+	case "optimal":
+		return OptimalFactory(core.CounterMax), nil
+	case "learned":
+		return LearnedFactory(core.CounterMax), nil
 	default:
 		return nil, fmt.Errorf("experiment: unknown scheme %q (have %v)", id, SchemeIDs())
 	}

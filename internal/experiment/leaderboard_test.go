@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"testing"
+
+	"facsp/internal/cellsim"
+	"facsp/internal/scenario"
+)
+
+func TestRingScenarioNames(t *testing.T) {
+	names := RingScenarioNames()
+	want := []string{"diurnal-city", "flash-crowd", "highway", "stadium-hotspot"}
+	if len(names) != len(want) {
+		t.Fatalf("RingScenarioNames = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("RingScenarioNames = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestObjectiveComponents(t *testing.T) {
+	// A run with no failures scores 0; each failure mode charges its
+	// weight.
+	perfect := cellsim.Result{Requests: 100, Accepted: 100, BandwidthGranted: 1, BandwidthRequested: 1}
+	if got := Objective(perfect); got != 0 {
+		t.Errorf("perfect run objective = %v, want 0", got)
+	}
+	blocked := cellsim.Result{Requests: 100, Accepted: 50, BandwidthGranted: 1, BandwidthRequested: 1}
+	if got := Objective(blocked); got != 50 {
+		t.Errorf("half-blocked objective = %v, want 50 (block%% weighs 1)", got)
+	}
+}
+
+func TestRunLeaderboardRanksAndGates(t *testing.T) {
+	s, err := scenario.Load("flash-crowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Loads: []int{10, 30}, Replications: 2, SurfaceResolution: 33}
+	lb, err := RunLeaderboard(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb.Entries) != len(SchemeIDs()) {
+		t.Fatalf("leaderboard has %d entries, want %d (flash-crowd is uniform-capacity, every scheme applies)",
+			len(lb.Entries), len(SchemeIDs()))
+	}
+	var opt *LeaderboardEntry
+	seen := map[string]bool{}
+	for i := range lb.Entries {
+		e := &lb.Entries[i]
+		seen[e.ID] = true
+		if e.ID == "optimal" {
+			opt = e
+		}
+		if i > 0 && lb.Entries[i-1].Objective > e.Objective {
+			t.Errorf("entries not sorted by objective: %v then %v", lb.Entries[i-1].Objective, e.Objective)
+		}
+	}
+	if opt == nil {
+		t.Fatal("no optimal entry")
+	}
+	if opt.Regret != 0 {
+		t.Errorf("optimal regret = %v, want 0 by construction", opt.Regret)
+	}
+	for _, e := range lb.Entries {
+		if e.Objective-opt.Objective != e.Regret {
+			t.Errorf("scheme %s: regret %v inconsistent with objectives", e.ID, e.Regret)
+		}
+	}
+	if err := lb.GateOptimalFloor(1); err != nil {
+		t.Errorf("optimal-floor gate failed on the embedded scenario: %v", err)
+	}
+
+	// Determinism: the ranking is bit-identical across worker counts.
+	opts.Workers = 1
+	again, err := RunLeaderboard(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lb.Entries {
+		if lb.Entries[i] != again.Entries[i] {
+			t.Errorf("entry %d differs across worker counts: %+v vs %+v", i, lb.Entries[i], again.Entries[i])
+		}
+	}
+}
+
+func TestGateOptimalFloorDetectsViolation(t *testing.T) {
+	lb := &Leaderboard{
+		Scenario: "synthetic",
+		Entries: []LeaderboardEntry{
+			{ID: "guard", Objective: 1, CI95: 0.1, Drop: 0, DropCI95: 0},
+			{ID: "optimal", Objective: 10, CI95: 0.1, Drop: 5, DropCI95: 0.1},
+		},
+	}
+	if err := lb.GateOptimalFloor(0.5); err == nil {
+		t.Error("gate passed although guard beats optimal far beyond noise")
+	}
+	// The same gap inside the noise budget passes.
+	lb.Entries[0].Objective = 9.9
+	lb.Entries[0].Drop = 4.9
+	if err := lb.GateOptimalFloor(0.5); err != nil {
+		t.Errorf("gate failed inside the noise budget: %v", err)
+	}
+	// Degrading schemes are exempt from the drop-only floor, not from the
+	// objective floor.
+	lb.Entries[0] = LeaderboardEntry{ID: "adapt", Objective: 10.05, CI95: 0.1, Drop: 0, DropCI95: 0}
+	if err := lb.GateOptimalFloor(0.5); err != nil {
+		t.Errorf("gate charged adapt for its drop advantage: %v", err)
+	}
+	lb.Entries[0].ID = "guard"
+	if err := lb.GateOptimalFloor(0.5); err == nil {
+		t.Error("gate passed a fixed-allocation scheme undercutting the optimal drop floor")
+	}
+	if err := (&Leaderboard{Scenario: "x"}).GateOptimalFloor(1); err == nil {
+		t.Error("gate passed a leaderboard with no optimal entry")
+	}
+}

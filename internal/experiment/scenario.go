@@ -11,6 +11,8 @@ import (
 	"facsp/internal/cellsim"
 	"facsp/internal/core"
 	"facsp/internal/hexgrid"
+	"facsp/internal/learned"
+	"facsp/internal/optimal"
 	"facsp/internal/scc"
 	"facsp/internal/scenario"
 )
@@ -43,6 +45,8 @@ var schemeNames = map[string]string{
 	"guard":       "guard-channel",
 	"adapt":       "adapt",
 	"adapt-fuzzy": "adapt-fuzzy",
+	"optimal":     "optimal",
+	"learned":     "learned",
 }
 
 // ErrSchemeNotApplicable marks a scheme that cannot represent a scenario
@@ -133,6 +137,14 @@ func ScenarioSchemeFactory(id string, s *scenario.Scenario, o Options) (Admitter
 			c.Capacity = capacityBU
 			p.Capacity = capacityBU
 			return adapt.NewFuzzy(c, p)
+		}), nil
+	case "optimal":
+		return perCellCapacityFactory(capAt, func(capacityBU float64) (cac.Controller, error) {
+			return optimal.ForCapacity(capacityBU)
+		}), nil
+	case "learned":
+		return perCellCapacityFactory(capAt, func(capacityBU float64) (cac.Controller, error) {
+			return learned.New(capacityBU)
 		}), nil
 	case "scc":
 		if !s.UniformCapacity() {

@@ -1,0 +1,41 @@
+//go:build !race
+
+package learned
+
+import (
+	"testing"
+
+	"facsp/internal/cac"
+)
+
+// TestAdmitAllocFree pins the hot path the perf registry gates
+// (scheme/learned): the table-compiled controller decides an admission and
+// takes the release without allocating — inference happened at
+// construction, the decision is one bool lookup under the ledger lock.
+// Gated out of -race because the detector instruments allocations.
+func TestAdmitAllocFree(t *testing.T) {
+	ctrl, err := New(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := cac.Request{ID: 1, Speed: 60, Angle: 15, Bandwidth: 5, RealTime: true}
+
+	// Warm once: the first Admit may fault lazily-initialised state.
+	d := ctrl.Admit(req)
+	if d.Accept {
+		if err := ctrl.Release(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if n := testing.AllocsPerRun(500, func() {
+		d := ctrl.Admit(req)
+		if d.Accept {
+			if err := ctrl.Release(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Errorf("table-compiled Admit+Release allocates %v per cycle, want 0", n)
+	}
+}

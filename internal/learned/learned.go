@@ -1,0 +1,142 @@
+// Package learned serves a small neural admission controller in the
+// spirit of RNN-CAC (arxiv 1004.3563): a two-hidden-layer network mapping
+// (occupancy fraction, requested bandwidth fraction, handoff flag) to an
+// admit probability, trained offline by cmd/facs-train on sweep traces
+// with the value-iteration optimal policy (internal/optimal) as the
+// teacher. The fitted weights are committed as a versioned generated
+// artifact (weights.go), so builds never train.
+//
+// Inference is table-compiled like fuzzy.Surface: at construction the net
+// is evaluated exhaustively over the finite feature lattice — whole-BU
+// occupancy x service class x new/handoff — and the Admit hot path is one
+// lookup in the resulting dense bool table under the shared occupancy
+// ledger's lock, with zero allocations.
+package learned
+
+import (
+	"fmt"
+	"math"
+
+	"facsp/internal/cac"
+	"facsp/internal/ledger"
+	"facsp/internal/traffic"
+)
+
+// Controller is the table-compiled learned admission controller.
+type Controller struct {
+	led *ledger.Ledger
+	bws []float64
+	// table[h][k][occ]: the decision for a class-k arrival (h=1 handoff)
+	// at whole-BU occupancy occ. Immutable after construction.
+	table [2][][]bool
+}
+
+var (
+	_ cac.Controller = (*Controller)(nil)
+	_ cac.Named      = (*Controller)(nil)
+)
+
+// New builds a controller for the given capacity from the committed
+// DefaultWeights artifact.
+func New(capacity float64) (*Controller, error) {
+	return NewFromNet(DefaultWeights, capacity)
+}
+
+// NewFromNet compiles the given net's decisions into a lookup table over
+// the paper's service classes at the given capacity. The net sees
+// fractions of capacity, so one artifact serves any cell size.
+func NewFromNet(n Net, capacity float64) (*Controller, error) {
+	led, err := ledger.New(capacity)
+	if err != nil {
+		return nil, fmt.Errorf("learned: %w", err)
+	}
+	classes := traffic.Classes()
+	c := &Controller{led: led, bws: make([]float64, len(classes))}
+	steps := int(math.Ceil(capacity)) + 1
+	for h := 0; h < 2; h++ {
+		c.table[h] = make([][]bool, len(classes))
+		for k, cl := range classes {
+			bw := cl.Bandwidth()
+			c.bws[k] = bw
+			row := make([]bool, steps)
+			for occ := 0; occ < steps; occ++ {
+				if float64(occ)+bw > capacity+1e-9 {
+					continue // cannot fit regardless of the net
+				}
+				p := n.Forward(float64(occ)/capacity, bw/capacity, float64(h))
+				row[occ] = p >= 0.5
+			}
+			c.table[h][k] = row
+		}
+	}
+	return c, nil
+}
+
+// SchemeName implements cac.Named.
+func (c *Controller) SchemeName() string { return "learned" }
+
+// Capacity implements cac.Controller.
+func (c *Controller) Capacity() float64 { return c.led.Capacity() }
+
+// Occupancy implements cac.Controller.
+func (c *Controller) Occupancy() float64 { return c.led.Used() }
+
+// classOf maps a request to the class with the nearest per-call bandwidth
+// (an identity for simulator and wire traffic, which only produce the
+// exact class bandwidths).
+func (c *Controller) classOf(bw float64) int {
+	best, bestDist := 0, -1.0
+	for k, b := range c.bws {
+		d := b - bw
+		if d < 0 {
+			d = -d
+		}
+		if bestDist < 0 || d < bestDist {
+			best, bestDist = k, d
+		}
+	}
+	return best
+}
+
+// Admit implements cac.Controller: one table lookup at the ledger's
+// current occupancy, atomic with the reservation.
+func (c *Controller) Admit(req cac.Request) cac.Decision {
+	if err := req.Validate(); err != nil {
+		return cac.Decision{Accept: false, Score: -1, Outcome: "error: " + err.Error(), Occupancy: c.led.Used()}
+	}
+	k := c.classOf(req.Bandwidth)
+	h := 0
+	if req.Handoff {
+		h = 1
+	}
+	row := c.table[h][k]
+	capacity := c.led.Capacity()
+	netReject := false
+	used, ok := c.led.ReserveIf(req.Bandwidth, func(used float64) bool {
+		if used+req.Bandwidth > capacity {
+			return false
+		}
+		occ := int(used + 0.5)
+		if occ >= len(row) {
+			occ = len(row) - 1
+		}
+		if !row[occ] {
+			netReject = true
+			return false
+		}
+		return true
+	})
+	if !ok {
+		outcome := "capacity"
+		if netReject {
+			outcome = "net-reject"
+		}
+		return cac.Decision{Accept: false, Score: -1, Outcome: outcome, Occupancy: used}
+	}
+	return cac.Decision{Accept: true, Score: 1, Outcome: "fits", Occupancy: used}
+}
+
+// Release implements cac.Controller.
+func (c *Controller) Release(req cac.Request) error {
+	return c.led.Release(req.Bandwidth)
+}

@@ -1,0 +1,138 @@
+package learned
+
+import (
+	"testing"
+
+	"facsp/internal/cac"
+)
+
+func TestTrainDeterministic(t *testing.T) {
+	samples := []Sample{}
+	// A crisp occupancy threshold at 0.6, handoffs allowed to 0.8: the
+	// structure the real teacher produces, in miniature.
+	for occ := 0.0; occ <= 1.0; occ += 0.02 {
+		for _, h := range []float64{0, 1} {
+			limit := 0.6
+			if h == 1 {
+				limit = 0.8
+			}
+			samples = append(samples, Sample{Occ: occ, BW: 0.125, Handoff: h, Admit: occ < limit})
+		}
+	}
+	a, statsA := Train(samples, 200, 0.1, 7)
+	b, statsB := Train(samples, 200, 0.1, 7)
+	if a != b {
+		t.Error("two identically seeded fits differ")
+	}
+	if statsA != statsB {
+		t.Errorf("stats differ: %+v vs %+v", statsA, statsB)
+	}
+	if statsA.Accuracy < 0.9 {
+		t.Errorf("accuracy %v on a crisply separable trace, want >= 0.9", statsA.Accuracy)
+	}
+	// The fitted net must reproduce the handoff gap it was shown.
+	if a.Forward(0.7, 0.125, 1) < 0.5 {
+		t.Error("handoff at 0.7 occupancy rejected; trained region lost")
+	}
+	if a.Forward(0.7, 0.125, 0) >= 0.5 {
+		t.Error("new call at 0.7 occupancy admitted; trained threshold lost")
+	}
+}
+
+func TestControllerBasics(t *testing.T) {
+	ctrl, err := New(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.SchemeName(); got != "learned" {
+		t.Errorf("SchemeName = %q", got)
+	}
+	if got := ctrl.Capacity(); got != 40 {
+		t.Errorf("Capacity = %v", got)
+	}
+	req := cac.Request{ID: 1, Speed: 60, Angle: 15, Bandwidth: 5, RealTime: true}
+	d := ctrl.Admit(req)
+	if !d.Accept {
+		t.Fatalf("empty cell rejected a voice call: %+v", d)
+	}
+	if d.Occupancy != 5 {
+		t.Errorf("decision occupancy = %v, want 5", d.Occupancy)
+	}
+	if err := ctrl.Release(req); err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.Release(req); err == nil {
+		t.Error("underflow release accepted")
+	}
+	if d := ctrl.Admit(cac.Request{}); d.Accept {
+		t.Error("invalid request accepted")
+	}
+}
+
+func TestControllerNeverOversubscribes(t *testing.T) {
+	ctrl, err := New(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		ctrl.Admit(cac.Request{Bandwidth: 1, Handoff: true})
+		ctrl.Admit(cac.Request{Bandwidth: 10, RealTime: true, Handoff: true})
+	}
+	if got := ctrl.Occupancy(); got > 40 {
+		t.Fatalf("occupancy %v exceeds capacity", got)
+	}
+}
+
+// TestControllerInheritsHandoffPriority checks the distilled policy keeps
+// the teacher's structure: over the whole-BU occupancy lattice, voice
+// handoffs are admitted at least wherever new voice calls are, and
+// somewhere the gap is strict.
+func TestControllerInheritsHandoffPriority(t *testing.T) {
+	ctrl, err := New(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := ctrl.classOf(5)
+	strict := false
+	for occ := 0; occ < len(ctrl.table[0][k]); occ++ {
+		newOK := ctrl.table[0][k][occ]
+		handOK := ctrl.table[1][k][occ]
+		if newOK && !handOK {
+			t.Fatalf("occupancy %d: new voice admitted but handoff rejected", occ)
+		}
+		if handOK && !newOK {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("no occupancy prioritises voice handoffs over new calls; the distilled priority is gone")
+	}
+}
+
+func TestNewFromNetRespectsCapacity(t *testing.T) {
+	// An always-admit net must still be clipped by the physical fit check
+	// baked into the table.
+	var admitAll Net // zero net: sigmoid(0) = 0.5 >= 0.5 admits everywhere
+	ctrl, err := NewFromNet(admitAll, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := ctrl.Admit(cac.Request{Bandwidth: 10}); !d.Accept {
+		t.Fatal("video into an empty 10 BU cell rejected")
+	}
+	if d := ctrl.Admit(cac.Request{Bandwidth: 1}); d.Accept {
+		t.Error("admitted beyond capacity")
+	}
+	if _, err := NewFromNet(admitAll, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestWeightsAreFitted(t *testing.T) {
+	if WeightsVersion < 1 {
+		t.Fatalf("WeightsVersion = %d; the committed artifact is the untrained bootstrap", WeightsVersion)
+	}
+	if DefaultWeights == (Net{}) {
+		t.Fatal("DefaultWeights is the zero net; run cmd/facs-train")
+	}
+}

@@ -1,0 +1,180 @@
+package learned
+
+import (
+	"math"
+
+	"facsp/internal/rng"
+)
+
+// The network shape: three features — occupancy fraction, requested
+// bandwidth fraction, handoff flag — through two tanh hidden layers to a
+// sigmoid admit probability. Small enough to train in seconds on sweep
+// traces and to evaluate exhaustively when the controller compiles its
+// decision table.
+const (
+	Features = 3
+	Hidden1  = 16
+	Hidden2  = 8
+)
+
+// Net is the admission network. Weights are plain value arrays so a
+// trained instance can be embedded verbatim in generated Go source
+// (weights.go) and compared for equality in tests.
+type Net struct {
+	W1 [Hidden1][Features]float64
+	B1 [Hidden1]float64
+	W2 [Hidden2][Hidden1]float64
+	B2 [Hidden2]float64
+	W3 [Hidden2]float64
+	B3 float64
+}
+
+// Forward returns the admit probability for the given features: occ and bw
+// in [0,1] as fractions of cell capacity, handoff 0 or 1.
+func (n *Net) Forward(occ, bw, handoff float64) float64 {
+	_, _, p := n.forward([Features]float64{occ, bw, handoff})
+	return p
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+func (n *Net) forward(x [Features]float64) (a1 [Hidden1]float64, a2 [Hidden2]float64, p float64) {
+	for i := 0; i < Hidden1; i++ {
+		s := n.B1[i]
+		for j := 0; j < Features; j++ {
+			s += n.W1[i][j] * x[j]
+		}
+		a1[i] = math.Tanh(s)
+	}
+	for i := 0; i < Hidden2; i++ {
+		s := n.B2[i]
+		for j := 0; j < Hidden1; j++ {
+			s += n.W2[i][j] * a1[j]
+		}
+		a2[i] = math.Tanh(s)
+	}
+	s := n.B3
+	for i := 0; i < Hidden2; i++ {
+		s += n.W3[i] * a2[i]
+	}
+	return a1, a2, sigmoid(s)
+}
+
+// InitRandom initialises the weights with the uniform Xavier/Glorot scheme
+// from the given deterministic source.
+func (n *Net) InitRandom(src *rng.Source) {
+	scale1 := math.Sqrt(6.0 / float64(Features+Hidden1))
+	for i := range n.W1 {
+		for j := range n.W1[i] {
+			n.W1[i][j] = src.Uniform(-scale1, scale1)
+		}
+		n.B1[i] = 0
+	}
+	scale2 := math.Sqrt(6.0 / float64(Hidden1+Hidden2))
+	for i := range n.W2 {
+		for j := range n.W2[i] {
+			n.W2[i][j] = src.Uniform(-scale2, scale2)
+		}
+		n.B2[i] = 0
+	}
+	scale3 := math.Sqrt(6.0 / float64(Hidden2+1))
+	for i := range n.W3 {
+		n.W3[i] = src.Uniform(-scale3, scale3)
+	}
+	n.B3 = 0
+}
+
+// Sample is one labelled admission decision for training: the features an
+// inference-time lookup sees and the teacher's verdict.
+type Sample struct {
+	Occ     float64 // occupancy fraction of capacity before the decision
+	BW      float64 // requested bandwidth fraction of capacity
+	Handoff float64 // 1 for a handoff-in, 0 for a new call
+	Admit   bool
+}
+
+// Step runs one stochastic-gradient step on the binary cross-entropy loss
+// for sample s and returns the sample's loss before the update.
+func (n *Net) Step(s Sample, lr float64) float64 {
+	x := [Features]float64{s.Occ, s.BW, s.Handoff}
+	a1, a2, p := n.forward(x)
+	y := 0.0
+	if s.Admit {
+		y = 1
+	}
+	// dL/dz3 for sigmoid + BCE collapses to the residual.
+	d3 := p - y
+	var d2 [Hidden2]float64
+	for i := 0; i < Hidden2; i++ {
+		d2[i] = d3 * n.W3[i] * (1 - a2[i]*a2[i])
+	}
+	var d1 [Hidden1]float64
+	for j := 0; j < Hidden1; j++ {
+		s := 0.0
+		for i := 0; i < Hidden2; i++ {
+			s += d2[i] * n.W2[i][j]
+		}
+		d1[j] = s * (1 - a1[j]*a1[j])
+	}
+	for i := 0; i < Hidden2; i++ {
+		n.W3[i] -= lr * d3 * a2[i]
+	}
+	n.B3 -= lr * d3
+	for i := 0; i < Hidden2; i++ {
+		for j := 0; j < Hidden1; j++ {
+			n.W2[i][j] -= lr * d2[i] * a1[j]
+		}
+		n.B2[i] -= lr * d2[i]
+	}
+	for i := 0; i < Hidden1; i++ {
+		for j := 0; j < Features; j++ {
+			n.W1[i][j] -= lr * d1[i] * x[j]
+		}
+		n.B1[i] -= lr * d1[i]
+	}
+	// Clamp away log(0): the loss is reported, not differentiated.
+	const eps = 1e-12
+	if p < eps {
+		p = eps
+	} else if p > 1-eps {
+		p = 1 - eps
+	}
+	return -(y*math.Log(p) + (1-y)*math.Log(1-p))
+}
+
+// TrainStats summarises a fitting run.
+type TrainStats struct {
+	Samples   int
+	Epochs    int
+	FinalLoss float64 // mean BCE over the last epoch
+	Accuracy  float64 // fraction of samples the trained net labels like the teacher
+}
+
+// Train fits a fresh net to the samples with seeded SGD: deterministic for
+// a given (samples, epochs, lr, seed), so the generated weights artifact
+// is reproducible.
+func Train(samples []Sample, epochs int, lr float64, seed uint64) (Net, TrainStats) {
+	var n Net
+	src := rng.New(seed)
+	n.InitRandom(src)
+	stats := TrainStats{Samples: len(samples), Epochs: epochs}
+	if len(samples) == 0 {
+		return n, stats
+	}
+	for e := 0; e < epochs; e++ {
+		perm := src.Perm(len(samples))
+		total := 0.0
+		for _, i := range perm {
+			total += n.Step(samples[i], lr)
+		}
+		stats.FinalLoss = total / float64(len(samples))
+	}
+	agree := 0
+	for _, s := range samples {
+		if (n.Forward(s.Occ, s.BW, s.Handoff) >= 0.5) == s.Admit {
+			agree++
+		}
+	}
+	stats.Accuracy = float64(agree) / float64(len(samples))
+	return n, stats
+}

@@ -1,0 +1,194 @@
+// Package ledger provides the occupancy accounting shared by every
+// admission scheme that tracks a cell as "used bandwidth units out of a
+// fixed capacity": reserve-under-a-limit, epsilon-guarded release, and a
+// per-class variant for schemes whose decision state is the vector of
+// on-going calls by service class (the value-iteration threshold policy).
+//
+// Before this package, complete sharing, the guard channel and the
+// fractional guard each carried their own copy of the same three lines of
+// release arithmetic; internal/baseline and internal/optimal now share
+// this one.
+package ledger
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Ledger is a thread-safe occupancy account for one cell: used BU against
+// a fixed capacity. The zero value is unusable; build with New.
+type Ledger struct {
+	capacity float64
+
+	mu   sync.Mutex
+	used float64
+}
+
+// New builds a ledger with the given capacity in BU.
+func New(capacity float64) (*Ledger, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ledger: capacity %v must be positive", capacity)
+	}
+	return &Ledger{capacity: capacity}, nil
+}
+
+// Capacity reports the fixed capacity in BU.
+func (l *Ledger) Capacity() float64 { return l.capacity }
+
+// Used reports the current occupancy in BU.
+func (l *Ledger) Used() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// Reserve atomically admits bw BU if occupancy would stay within limit
+// (callers pass Capacity() for plain fit checks, or a lower cutoff such as
+// capacity-guard). It returns the occupancy after the operation — the new
+// occupancy on success, the unchanged one on refusal — and whether the
+// reservation was made.
+func (l *Ledger) Reserve(bw, limit float64) (used float64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.used+bw > limit {
+		return l.used, false
+	}
+	l.used += bw
+	return l.used, true
+}
+
+// ReserveIf atomically admits bw BU if admit, called with the occupancy
+// before the reservation, returns true. The callback runs under the
+// ledger lock and must not call back into the ledger.
+func (l *Ledger) ReserveIf(bw float64, admit func(used float64) bool) (used float64, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !admit(l.used) {
+		return l.used, false
+	}
+	l.used += bw
+	return l.used, true
+}
+
+// Release returns bw BU to the ledger. Releasing more than the current
+// occupancy (beyond float tolerance) is an accounting bug and is refused.
+func (l *Ledger) Release(bw float64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	next, err := release(l.used, bw)
+	if err != nil {
+		return err
+	}
+	l.used = next
+	return nil
+}
+
+// release is the one copy of the epsilon-guarded release arithmetic: bw
+// may exceed used by at most float tolerance, and the result is clamped
+// at zero so accumulated rounding never leaves a phantom occupancy.
+func release(used, bw float64) (float64, error) {
+	if bw > used+1e-9 {
+		return used, fmt.Errorf("ledger: release of %v BU exceeds occupancy %v", bw, used)
+	}
+	used -= bw
+	if used < 0 {
+		used = 0
+	}
+	return used, nil
+}
+
+// ClassLedger is a Ledger that additionally tracks the number of on-going
+// calls per service class — the state the value-iteration threshold policy
+// indexes its decision table with.
+type ClassLedger struct {
+	capacity float64
+	bws      []float64
+
+	mu     sync.Mutex
+	used   float64
+	counts []int
+}
+
+// NewClassLedger builds a per-class ledger. bws gives the nominal
+// bandwidth of one call of each class, in BU; it fixes the class count.
+func NewClassLedger(capacity float64, bws []float64) (*ClassLedger, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("ledger: capacity %v must be positive", capacity)
+	}
+	if len(bws) == 0 {
+		return nil, fmt.Errorf("ledger: need at least one class")
+	}
+	for i, bw := range bws {
+		if bw <= 0 {
+			return nil, fmt.Errorf("ledger: class %d bandwidth %v must be positive", i, bw)
+		}
+	}
+	l := &ClassLedger{capacity: capacity, counts: make([]int, len(bws))}
+	l.bws = append([]float64(nil), bws...)
+	return l, nil
+}
+
+// Capacity reports the fixed capacity in BU.
+func (l *ClassLedger) Capacity() float64 { return l.capacity }
+
+// Classes reports the number of service classes.
+func (l *ClassLedger) Classes() int { return len(l.bws) }
+
+// ClassBandwidth reports the nominal bandwidth of class k in BU.
+func (l *ClassLedger) ClassBandwidth(k int) float64 { return l.bws[k] }
+
+// Used reports the current occupancy in BU.
+func (l *ClassLedger) Used() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.used
+}
+
+// Counts returns a snapshot of the per-class call counts.
+func (l *ClassLedger) Counts() []int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]int(nil), l.counts...)
+}
+
+// ReserveIf atomically admits one class-k call of bw BU if admit, called
+// with the pre-reservation per-class counts, returns true. The counts
+// slice is only valid for the duration of the callback and must not be
+// mutated or retained; the callback runs under the ledger lock and must
+// not call back into the ledger. A call that would exceed capacity is
+// refused before admit is consulted.
+func (l *ClassLedger) ReserveIf(k int, bw float64, admit func(counts []int) bool) (used float64, ok bool) {
+	if k < 0 || k >= len(l.bws) {
+		return l.Used(), false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.used+bw > l.capacity {
+		return l.used, false
+	}
+	if !admit(l.counts) {
+		return l.used, false
+	}
+	l.counts[k]++
+	l.used += bw
+	return l.used, true
+}
+
+// Release returns one class-k call of bw BU to the ledger.
+func (l *ClassLedger) Release(k int, bw float64) error {
+	if k < 0 || k >= len(l.bws) {
+		return fmt.Errorf("ledger: class %d outside [0, %d)", k, len(l.bws))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.counts[k] == 0 {
+		return fmt.Errorf("ledger: release of class %d with no on-going class-%d call", k, k)
+	}
+	next, err := release(l.used, bw)
+	if err != nil {
+		return err
+	}
+	l.counts[k]--
+	l.used = next
+	return nil
+}

@@ -1,0 +1,197 @@
+package ledger
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLedgerReserveAgainstLimit(t *testing.T) {
+	l, err := New(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Capacity(); got != 40 {
+		t.Fatalf("Capacity = %v", got)
+	}
+	used, ok := l.Reserve(5, 30)
+	if !ok || used != 5 {
+		t.Fatalf("Reserve(5,30) = %v, %v", used, ok)
+	}
+	// A reservation that would cross the limit is refused and reports the
+	// unchanged occupancy.
+	used, ok = l.Reserve(30, 30)
+	if ok || used != 5 {
+		t.Fatalf("Reserve(30,30) over limit = %v, %v", used, ok)
+	}
+	// The same reservation fits against a higher limit.
+	if _, ok := l.Reserve(30, 40); !ok {
+		t.Fatal("Reserve(30,40) refused below limit")
+	}
+	if got := l.Used(); got != 35 {
+		t.Fatalf("Used = %v", got)
+	}
+}
+
+func TestLedgerReserveIf(t *testing.T) {
+	l, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen float64 = -1
+	used, ok := l.ReserveIf(4, func(used float64) bool { seen = used; return true })
+	if !ok || used != 4 || seen != 0 {
+		t.Fatalf("ReserveIf accept = (%v, %v), saw %v", used, ok, seen)
+	}
+	used, ok = l.ReserveIf(4, func(used float64) bool { seen = used; return false })
+	if ok || used != 4 || seen != 4 {
+		t.Fatalf("ReserveIf refuse = (%v, %v), saw %v", used, ok, seen)
+	}
+}
+
+func TestLedgerReleaseGuardsUnderflow(t *testing.T) {
+	l, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Reserve(5, 10); !ok {
+		t.Fatal("reserve failed")
+	}
+	if err := l.Release(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(1); err == nil {
+		t.Error("underflow release accepted")
+	}
+	if got := l.Used(); got != 0 {
+		t.Errorf("Used = %v", got)
+	}
+}
+
+func TestLedgerReleaseClampsRounding(t *testing.T) {
+	l, err := New(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0.1+0.2 != 0.3 in floats: releasing the two parts of a 0.3 BU
+	// reservation overshoots by ~2.8e-17, so the epsilon guard must absorb
+	// it and the clamp must land the ledger at exactly zero.
+	a, b := 0.1, 0.2
+	l.Reserve(0.3, 10)
+	if err := l.Release(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Release(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Used(); got != 0 {
+		t.Errorf("Used after rounding release = %v", got)
+	}
+}
+
+func TestLedgerValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := New(-1); err == nil {
+		t.Error("negative capacity accepted")
+	}
+}
+
+func TestClassLedgerCountsAndRelease(t *testing.T) {
+	l, err := NewClassLedger(40, []float64{1, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Classes(); got != 3 {
+		t.Fatalf("Classes = %d", got)
+	}
+	if got := l.ClassBandwidth(1); got != 5 {
+		t.Fatalf("ClassBandwidth(1) = %v", got)
+	}
+	admitAll := func([]int) bool { return true }
+	if _, ok := l.ReserveIf(1, 5, admitAll); !ok {
+		t.Fatal("voice reserve refused")
+	}
+	if _, ok := l.ReserveIf(2, 10, admitAll); !ok {
+		t.Fatal("video reserve refused")
+	}
+	if got := l.Counts(); got[0] != 0 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("Counts = %v", got)
+	}
+	if got := l.Used(); got != 15 {
+		t.Fatalf("Used = %v", got)
+	}
+	// Releasing a class with no on-going call is refused even when other
+	// classes hold bandwidth.
+	if err := l.Release(0, 1); err == nil {
+		t.Error("release of empty class accepted")
+	}
+	if err := l.Release(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Counts(); got[1] != 0 {
+		t.Fatalf("Counts after release = %v", got)
+	}
+	if err := l.Release(3, 1); err == nil {
+		t.Error("out-of-range class release accepted")
+	}
+}
+
+func TestClassLedgerRefusesOverCapacityBeforeCallback(t *testing.T) {
+	l, err := NewClassLedger(10, []float64{1, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitAll := func([]int) bool { return true }
+	if _, ok := l.ReserveIf(2, 10, admitAll); !ok {
+		t.Fatal("video reserve refused")
+	}
+	called := false
+	if _, ok := l.ReserveIf(0, 1, func([]int) bool { called = true; return true }); ok {
+		t.Error("over-capacity reserve accepted")
+	}
+	if called {
+		t.Error("admit callback consulted for a call that cannot fit")
+	}
+	if _, ok := l.ReserveIf(-1, 1, admitAll); ok {
+		t.Error("out-of-range class reserve accepted")
+	}
+}
+
+func TestClassLedgerValidation(t *testing.T) {
+	if _, err := NewClassLedger(0, []float64{1}); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := NewClassLedger(10, nil); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := NewClassLedger(10, []float64{1, 0}); err == nil {
+		t.Error("zero class bandwidth accepted")
+	}
+}
+
+func TestLedgerConcurrentReserveRelease(t *testing.T) {
+	l, err := New(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, ok := l.Reserve(1, l.Capacity()); ok {
+					if err := l.Release(1); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Used(); got != 0 {
+		t.Errorf("Used after balanced traffic = %v", got)
+	}
+}

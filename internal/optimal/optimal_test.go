@@ -1,0 +1,258 @@
+package optimal
+
+import (
+	"math"
+	"testing"
+
+	"facsp/internal/cac"
+)
+
+// erlangB computes the Erlang-B blocking probability for c servers at
+// offered load rho (in Erlangs) with the standard recursion.
+func erlangB(c int, rho float64) float64 {
+	b := 1.0
+	for m := 1; m <= c; m++ {
+		b = rho * b / (float64(m) + rho*b)
+	}
+	return b
+}
+
+// singleClass is an M/M/c/c cell: one class at 1 BU, no handoffs, block
+// cost only.
+func singleClass(capacity, lambda, mu float64) Config {
+	return Config{
+		Capacity: capacity,
+		Classes: []ClassParams{{
+			Bandwidth:     1,
+			NewRate:       lambda,
+			DepartureRate: mu,
+			BlockCost:     1,
+		}},
+	}
+}
+
+// TestValueIterationMatchesErlangB solves the analytically known case: on
+// M/M/c/c with a single class and block costs only, the optimal policy is
+// complete sharing (threshold = c), and its stationary blocking — and
+// therefore the model's average cost — is the Erlang-B formula.
+func TestValueIterationMatchesErlangB(t *testing.T) {
+	const (
+		c      = 5
+		lambda = 0.8
+		mu     = 0.25
+	)
+	p, err := Solve(singleClass(c, lambda, mu))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admit everywhere it fits: the known Erlang-B threshold.
+	if got := p.NewCallThreshold(0); got != c-1 {
+		t.Fatalf("NewCallThreshold = %d, want %d (admit while a call fits)", got, c-1)
+	}
+	counts := []int{0}
+	for n := 0; n < c; n++ {
+		counts[0] = n
+		if !p.AdmitAt(counts, 0, false) {
+			t.Errorf("state %d rejects although admitting is optimal", n)
+		}
+	}
+	counts[0] = c
+	if p.AdmitAt(counts, 0, false) {
+		t.Error("full cell admitted")
+	}
+
+	// Under the admit-all policy the chain is exactly M/M/c/c, so the
+	// optimal average cost is λ·B(c, ρ): blocks per second.
+	rho := lambda / mu
+	want := lambda * erlangB(c, rho)
+	if got := p.AvgCost(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("AvgCost = %v, want λ·ErlangB = %v", got, want)
+	}
+}
+
+// TestPolicyMonotoneInOccupancy is the threshold property: for every
+// arrival kind, admission at a state implies admission at every state with
+// one call fewer (equivalently, rejection propagates upward).
+func TestPolicyMonotoneInOccupancy(t *testing.T) {
+	p, err := Solve(DefaultConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	K := p.Classes()
+	var walk func(counts []int, used float64, k int)
+	walk = func(counts []int, used float64, k int) {
+		if k == K {
+			for class := 0; class < K; class++ {
+				for _, handoff := range []bool{false, true} {
+					if !p.AdmitAt(counts, class, handoff) {
+						continue
+					}
+					for j := 0; j < K; j++ {
+						if counts[j] == 0 {
+							continue
+						}
+						counts[j]--
+						ok := p.AdmitAt(counts, class, handoff)
+						counts[j]++
+						if !ok {
+							t.Fatalf("policy not monotone: admits class %d (handoff=%v) at %v but not with one class-%d call fewer",
+								class, handoff, counts, j)
+						}
+					}
+				}
+			}
+			return
+		}
+		bw := p.bws[k]
+		for n := 0; used+float64(n)*bw <= p.Capacity()+1e-9; n++ {
+			counts[k] = n
+			walk(counts, used+float64(n)*bw, k+1)
+		}
+		counts[k] = 0
+	}
+	walk(make([]int, K), 0, 0)
+}
+
+// TestDefaultPolicyProtectsHandoffs checks the paper's priority shows up
+// structurally: wherever a new call of a class is admitted a handoff of
+// the same class is too, and somewhere in the lattice the policy holds
+// back a new call for a handoff's sake.
+func TestDefaultPolicyProtectsHandoffs(t *testing.T) {
+	p, err := Solve(DefaultConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	K := p.Classes()
+	gapSeen := false
+	counts := make([]int, K)
+	var walk func(k int, used float64)
+	walk = func(k int, used float64) {
+		if k == K {
+			for class := 0; class < K; class++ {
+				newOK := p.AdmitAt(counts, class, false)
+				handOK := p.AdmitAt(counts, class, true)
+				if newOK && !handOK {
+					t.Fatalf("state %v: new class-%d call admitted but handoff rejected — drop cost %vx is inverted",
+						counts, class, DropWeight)
+				}
+				if handOK && !newOK {
+					gapSeen = true
+				}
+			}
+			return
+		}
+		bw := p.bws[k]
+		for n := 0; used+float64(n)*bw <= p.Capacity()+1e-9; n++ {
+			counts[k] = n
+			walk(k+1, used+float64(n)*bw)
+		}
+		counts[k] = 0
+	}
+	walk(0, 0)
+	if !gapSeen {
+		t.Error("no state prioritises handoffs over new calls; the drop weight is not biting")
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := singleClass(5, 0.8, 0.25)
+	cfg.Classes[0].Bandwidth = 0
+	if _, err := Solve(cfg); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	cfg = singleClass(5, 0, 0.25)
+	if _, err := Solve(cfg); err == nil {
+		t.Error("zero arrival rate accepted")
+	}
+	cfg = singleClass(5, 0.8, 0.25)
+	cfg.MaxIterations = 1
+	if _, err := Solve(cfg); err == nil {
+		t.Error("non-converged solve did not error")
+	}
+}
+
+func TestControllerAdmitReleaseRoundtrip(t *testing.T) {
+	ctrl, err := New(DefaultConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.SchemeName(); got != "optimal" {
+		t.Errorf("SchemeName = %q", got)
+	}
+	if got := ctrl.Capacity(); got != 40 {
+		t.Errorf("Capacity = %v", got)
+	}
+	req := cac.Request{ID: 1, Speed: 60, Angle: 15, Bandwidth: 5, RealTime: true}
+	d := ctrl.Admit(req)
+	if !d.Accept {
+		t.Fatalf("empty cell rejected a voice call: %+v", d)
+	}
+	if d.Occupancy != 5 {
+		t.Errorf("decision occupancy = %v, want 5", d.Occupancy)
+	}
+	if err := ctrl.Release(req); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctrl.Occupancy(); got != 0 {
+		t.Errorf("occupancy after release = %v", got)
+	}
+	if err := ctrl.Release(req); err == nil {
+		t.Error("release of an empty cell accepted")
+	}
+	if d := ctrl.Admit(cac.Request{}); d.Accept {
+		t.Error("invalid request accepted")
+	}
+}
+
+func TestControllerRejectsBeyondCapacity(t *testing.T) {
+	ctrl, err := New(DefaultConfig(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offer far more handoff traffic than fits. The policy may hold some
+	// back below capacity (rejecting a wide video call to keep room for
+	// the denser text/voice handoff streams is optimal), but it must never
+	// oversubscribe the cell, and once admission stops the refusals must
+	// carry a meaningful outcome.
+	for i := 0; i < 200; i++ {
+		ctrl.Admit(cac.Request{Bandwidth: 10, RealTime: true, Handoff: true})
+		ctrl.Admit(cac.Request{Bandwidth: 1, Handoff: true})
+	}
+	if got := ctrl.Occupancy(); got > 40 {
+		t.Fatalf("occupancy %v exceeds capacity 40", got)
+	} else if got < 30 {
+		t.Fatalf("occupancy %v after saturation; the policy is rejecting far below capacity", got)
+	}
+	d := ctrl.Admit(cac.Request{Bandwidth: 10, RealTime: true})
+	if d.Accept {
+		t.Fatal("new video admitted into a saturated cell")
+	}
+	if d.Outcome != "capacity" && d.Outcome != "threshold" {
+		t.Errorf("outcome = %q", d.Outcome)
+	}
+}
+
+func TestForCapacityCachesPolicy(t *testing.T) {
+	a, err := ForCapacity(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ForCapacity(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Policy() != b.Policy() {
+		t.Error("same-capacity controllers do not share the solved policy")
+	}
+	if a == b {
+		t.Error("ForCapacity returned the same controller twice")
+	}
+	// Independent ledgers: admitting on one must not show on the other.
+	a.Admit(cac.Request{Bandwidth: 5})
+	if got := b.Occupancy(); got != 0 {
+		t.Errorf("shared cell state across controllers: occupancy %v", got)
+	}
+}

@@ -1,0 +1,294 @@
+package optimal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Policy is a stationary admission policy over the per-class call-count
+// lattice: one admit/reject bit per (arrival kind, state), threshold
+// (monotone) by construction. It is immutable after Solve, so lookups are
+// lock-free and allocation-free.
+type Policy struct {
+	capacity float64
+	bws      []float64
+	dims     []int // per class: max concurrent calls + 1
+	strides  []int
+	// admit[kind][denseIdx]: kind k is a new class-k call, kind
+	// classes+k a class-k handoff. Entries at infeasible states are false.
+	admit [][]bool
+
+	avgCost    float64
+	iterations int
+}
+
+// Classes reports the number of service classes.
+func (p *Policy) Classes() int { return len(p.bws) }
+
+// Capacity reports the cell capacity the policy was solved for.
+func (p *Policy) Capacity() float64 { return p.capacity }
+
+// AvgCost reports the model's optimal long-run average cost in cost units
+// per second (blocks weigh BlockCost, drops DropCost).
+func (p *Policy) AvgCost() float64 { return p.avgCost }
+
+// Iterations reports how many relative-value-iteration sweeps the solver
+// used.
+func (p *Policy) Iterations() int { return p.iterations }
+
+// index returns the dense table index of counts, or -1 when any count is
+// outside the lattice.
+func (p *Policy) index(counts []int) int {
+	idx := 0
+	for k, n := range counts {
+		if n < 0 || n >= p.dims[k] {
+			return -1
+		}
+		idx += n * p.strides[k]
+	}
+	return idx
+}
+
+// AdmitAt reports the policy's decision for an arrival of class k (handoff
+// or new) at the state with the given per-class call counts. States
+// outside the lattice, infeasible states, and arrivals that do not fit
+// reject.
+func (p *Policy) AdmitAt(counts []int, k int, handoff bool) bool {
+	if k < 0 || k >= len(p.bws) {
+		return false
+	}
+	idx := p.index(counts)
+	if idx < 0 {
+		return false
+	}
+	kind := k
+	if handoff {
+		kind += len(p.bws)
+	}
+	return p.admit[kind][idx]
+}
+
+// NewCallThreshold reports the policy's threshold for new class-k calls
+// along the class-k axis (all other classes empty): the largest on-going
+// class-k count at which a new class-k call is still admitted, or -1 when
+// even the empty cell rejects.
+func (p *Policy) NewCallThreshold(k int) int {
+	counts := make([]int, len(p.bws))
+	threshold := -1
+	for n := 0; n < p.dims[k]; n++ {
+		counts[k] = n
+		if p.AdmitAt(counts, k, false) {
+			threshold = n
+		}
+	}
+	return threshold
+}
+
+// Solve runs relative value iteration on the uniformized chain and
+// returns the compiled threshold policy.
+func Solve(cfg Config) (*Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	maxIter := cfg.MaxIterations
+	if maxIter == 0 {
+		maxIter = 50000
+	}
+	tol := cfg.Tolerance
+	if tol == 0 {
+		tol = 1e-9
+	}
+
+	K := len(cfg.Classes)
+	bws := make([]float64, K)
+	dims := make([]int, K)
+	for k, cl := range cfg.Classes {
+		bws[k] = cl.Bandwidth
+		dims[k] = int(cfg.Capacity/cl.Bandwidth) + 1
+	}
+	strides := make([]int, K)
+	stride := 1
+	for k := 0; k < K; k++ {
+		strides[k] = stride
+		stride *= dims[k]
+	}
+	dense := stride
+
+	// Enumerate the feasible states once: counts with Σ n_k b_k ≤ C, in
+	// lexicographically increasing count order (class 0 fastest), which is
+	// also increasing dense-index order — the order the monotone closure
+	// pass needs.
+	type state struct {
+		idx  int
+		n    []int
+		used float64
+	}
+	var feasible []state
+	counts := make([]int, K)
+	for {
+		used := 0.0
+		for k, n := range counts {
+			used += float64(n) * bws[k]
+		}
+		if used <= cfg.Capacity+1e-9 {
+			idx := 0
+			for k, n := range counts {
+				idx += n * strides[k]
+			}
+			feasible = append(feasible, state{idx: idx, n: append([]int(nil), counts...), used: used})
+		}
+		// Odometer increment over the dense box.
+		k := K - 1
+		for ; k >= 0; k-- {
+			counts[k]++
+			if counts[k] < dims[k] {
+				break
+			}
+			counts[k] = 0
+		}
+		if k < 0 {
+			break
+		}
+	}
+	// The odometer walks class K-1 fastest but class 0 has stride 1, so
+	// enumeration order is not dense-index order. Sort by index so the
+	// monotone closure pass sees every predecessor before its successors.
+	sort.Slice(feasible, func(i, j int) bool { return feasible[i].idx < feasible[j].idx })
+
+	// Uniformization: Λ bounds the total event rate of any state.
+	uniform := 0.0
+	for k, cl := range cfg.Classes {
+		uniform += cl.NewRate + cl.HandoffRate
+		uniform += float64(dims[k]-1) * cl.DepartureRate
+	}
+	pNew := make([]float64, K)
+	pHand := make([]float64, K)
+	pDep := make([]float64, K)
+	cBlock := make([]float64, K)
+	cDrop := make([]float64, K)
+	for k, cl := range cfg.Classes {
+		pNew[k] = cl.NewRate / uniform
+		pHand[k] = cl.HandoffRate / uniform
+		pDep[k] = cl.DepartureRate / uniform
+		cBlock[k] = cl.BlockCost
+		cDrop[k] = cl.DropCost
+	}
+
+	h := make([]float64, dense)
+	hNext := make([]float64, dense)
+	avgCost := 0.0
+	iterations := 0
+	converged := false
+	for it := 1; it <= maxIter; it++ {
+		iterations = it
+		for _, s := range feasible {
+			here := h[s.idx]
+			v := 0.0
+			pStay := 1.0
+			for k := 0; k < K; k++ {
+				fits := s.used+bws[k] <= cfg.Capacity+1e-9
+				up := 0.0
+				if fits {
+					up = h[s.idx+strides[k]]
+				}
+				// New arrival: admit (move up) or block (pay, stay).
+				best := cBlock[k] + here
+				if fits && up < best {
+					best = up
+				}
+				v += pNew[k] * best
+				// Handoff arrival: admit or drop (pay, stay).
+				best = cDrop[k] + here
+				if fits && up < best {
+					best = up
+				}
+				v += pHand[k] * best
+				pStay -= pNew[k] + pHand[k]
+				// Departures of each on-going class-k call.
+				if s.n[k] > 0 {
+					rate := float64(s.n[k]) * pDep[k]
+					v += rate * h[s.idx-strides[k]]
+					pStay -= rate
+				}
+			}
+			v += pStay * here
+			hNext[s.idx] = v
+		}
+		// Span of the Bellman update decides convergence; its midpoint
+		// estimates the average cost per uniformized step.
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, s := range feasible {
+			d := hNext[s.idx] - h[s.idx]
+			if d < lo {
+				lo = d
+			}
+			if d > hi {
+				hi = d
+			}
+		}
+		avgCost = uniform * (lo + hi) / 2
+		// Relative VI: renormalize against the empty state so the values
+		// stay bounded.
+		ref := hNext[0]
+		for _, s := range feasible {
+			hNext[s.idx] -= ref
+		}
+		h, hNext = hNext, h
+		if hi-lo < tol {
+			converged = true
+			break
+		}
+	}
+	if !converged {
+		return nil, fmt.Errorf("optimal: value iteration did not converge in %d iterations (capacity %v, %d states)",
+			maxIter, cfg.Capacity, len(feasible))
+	}
+
+	// Extract the greedy policy from the converged values: admit when
+	// moving up is no worse than paying the rejection cost (ties admit —
+	// acceptance is free at the margin).
+	admit := make([][]bool, 2*K)
+	for kind := range admit {
+		admit[kind] = make([]bool, dense)
+	}
+	const tieEps = 1e-12
+	for _, s := range feasible {
+		here := h[s.idx]
+		for k := 0; k < K; k++ {
+			if s.used+bws[k] > cfg.Capacity+1e-9 {
+				continue
+			}
+			up := h[s.idx+strides[k]]
+			admit[k][s.idx] = up <= cBlock[k]+here+tieEps
+			admit[K+k][s.idx] = up <= cDrop[k]+here+tieEps
+		}
+	}
+
+	// Monotone (threshold) closure: a rejection propagates to every more
+	// occupied state. feasible is in increasing dense-index order, so
+	// every predecessor s-e_j is finalised before s.
+	for kind := range admit {
+		for _, s := range feasible {
+			if !admit[kind][s.idx] {
+				continue
+			}
+			for j := 0; j < K; j++ {
+				if s.n[j] > 0 && !admit[kind][s.idx-strides[j]] {
+					admit[kind][s.idx] = false
+					break
+				}
+			}
+		}
+	}
+
+	return &Policy{
+		capacity:   cfg.Capacity,
+		bws:        bws,
+		dims:       dims,
+		strides:    strides,
+		admit:      admit,
+		avgCost:    avgCost,
+		iterations: iterations,
+	}, nil
+}

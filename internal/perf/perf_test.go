@@ -27,8 +27,8 @@ func TestRegistryNamesUniqueAndStable(t *testing.T) {
 		}
 		if !strings.HasPrefix(s.Name, "micro/") && !strings.HasPrefix(s.Name, "sweep/") &&
 			!strings.HasPrefix(s.Name, "city/") && !strings.HasPrefix(s.Name, "surface/") &&
-			!strings.HasPrefix(s.Name, "server/") {
-			t.Errorf("spec %q outside the micro/, sweep/, city/, surface/ and server/ namespaces", s.Name)
+			!strings.HasPrefix(s.Name, "server/") && !strings.HasPrefix(s.Name, "scheme/") {
+			t.Errorf("spec %q outside the micro/, sweep/, city/, surface/, server/ and scheme/ namespaces", s.Name)
 		}
 	}
 }
